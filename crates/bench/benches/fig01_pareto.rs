@@ -1,0 +1,146 @@
+//! Fig. 1: accuracy-vs-throughput Pareto frontiers for (a) long-context
+//! input and (b) long-context reasoning (budgets 1024 and 2048).
+//!
+//! Accuracy: normalized to full attention (LongBench 2WikiMQA for the
+//! input scenario, LongWriter average for reasoning), from simulated
+//! runs. Throughput: normalized to HuggingFace eager, from the hardware
+//! simulator at 4 requests × 16K (the paper's Fig. 1 setting).
+
+use spec_bench::{emit, sim_engine, to_sim};
+use spec_hwsim::DeviceSpec;
+use spec_model::{ModelConfig, PrefillMode};
+use spec_runtime::serving::{ServingSim, SystemKind, Workload};
+use specontext_core::evaluate::{
+    longbench_matrix, longwriter_scores, EvalSystem, LongBenchOptions, LongWriterOptions,
+};
+use specontext_core::pareto::{pareto_frontier, ParetoPoint};
+use specontext_core::report::{f2, Table};
+use spec_workloads::longbench::TaskKind;
+
+fn main() {
+    let cfg = ModelConfig::llama3_1_8b();
+    let engine = sim_engine(&cfg, to_sim(2048), 0x101);
+    let sim = ServingSim::new(cfg.clone(), DeviceSpec::a100_80g(), 2048);
+    let budgets = [1024usize, 2048];
+
+    // --- accuracy ---------------------------------------------------------
+    let systems = [
+        EvalSystem::Quest,
+        EvalSystem::ClusterKv,
+        EvalSystem::ShadowKv,
+        EvalSystem::SpeContext,
+    ];
+    let sim_budgets: Vec<usize> = budgets.iter().map(|&b| to_sim(b)).collect();
+    let opt = LongBenchOptions {
+        instances: 6,
+        prefill_mode: PrefillMode::Windowed {
+            window: 96,
+            sinks: 4,
+        },
+        strength: 2.5,
+        ..LongBenchOptions::new(TaskKind::TwoWikiMqa, to_sim(16 * 1024), 0)
+    };
+    let mut all: Vec<EvalSystem> = systems.to_vec();
+    all.push(EvalSystem::Full);
+    let input_acc = longbench_matrix(&engine, &all, &sim_budgets, &opt);
+    let full_input_acc = input_acc[all.len() - 1][0].max(1e-6);
+
+    // Reasoning accuracy: LongWriter average vs full.
+    let full_lw = longwriter_scores(
+        &engine,
+        EvalSystem::Full,
+        &LongWriterOptions {
+            prompt_len: 16,
+            gen_len: 160,
+            budget: to_sim(2048),
+            seed: 0x1A,
+        },
+    )
+    .average()
+    .max(1e-6);
+
+    // --- throughput (normalized to eager) ---------------------------------
+    let input_w = Workload::new(16 * 1024, 2048, 4);
+    let reason_w = Workload::new(2048, 16 * 1024, 4);
+    let tput = |sys: SystemKind, w: &Workload| sim.throughput(sys, w).tokens_per_s;
+    let eager_in = tput(SystemKind::FullFlash, &input_w); // eager OOMs at 16K x4
+    let eager_re = tput(SystemKind::FullEager, &reason_w);
+
+    let sys_map = [
+        (EvalSystem::Quest, SystemKind::Quest),
+        (EvalSystem::ClusterKv, SystemKind::ClusterKv),
+        (EvalSystem::ShadowKv, SystemKind::ShadowKv),
+        (EvalSystem::SpeContext, SystemKind::SpeContext),
+    ];
+
+    for (panel, w, acc_norm, base_tput) in [
+        ("a) long-context input", &input_w, full_input_acc, eager_in),
+        ("b) long-context reasoning", &reason_w, full_lw, eager_re),
+    ] {
+        let mut points = Vec::new();
+        // Full-attention systems (accuracy 1.0 by definition).
+        for sys in [
+            SystemKind::FullEager,
+            SystemKind::FullFlash,
+            SystemKind::FullFlashInfer,
+        ] {
+            let t = tput(sys, w);
+            if t > 0.0 {
+                points.push(ParetoPoint {
+                    label: sys.to_string(),
+                    accuracy: 1.0,
+                    throughput: t / base_tput,
+                });
+            }
+        }
+        for (bi, &pb) in budgets.iter().enumerate() {
+            for (ei, sk) in sys_map {
+                let acc = if panel.starts_with("a") {
+                    let si = all.iter().position(|s| *s == ei).unwrap();
+                    input_acc[si][bi] / acc_norm
+                } else {
+                    let s = longwriter_scores(
+                        &engine,
+                        ei,
+                        &LongWriterOptions {
+                            prompt_len: 16,
+                            gen_len: 160,
+                            budget: to_sim(pb),
+                            seed: 0x1A,
+                        },
+                    );
+                    s.average() / acc_norm
+                };
+                let mut sim_b = ServingSim::new(cfg.clone(), DeviceSpec::a100_80g(), pb);
+                sim_b.elastic_reuse = 0.85;
+                let t = sim_b.throughput(sk, w).tokens_per_s;
+                if t > 0.0 {
+                    points.push(ParetoPoint {
+                        label: format!("{ei} B={pb}"),
+                        accuracy: acc as f64,
+                        throughput: t / base_tput,
+                    });
+                }
+            }
+        }
+        let frontier = pareto_frontier(&points);
+        let mut table = Table::new(
+            format!("Fig. 1({panel}) — normalized accuracy vs throughput"),
+            &["point", "norm. accuracy", "norm. throughput", "on frontier"],
+        );
+        for (i, p) in points.iter().enumerate() {
+            table.push_row(vec![
+                p.label.clone(),
+                f2(p.accuracy),
+                f2(p.throughput),
+                if frontier.contains(&i) { "*".into() } else { "".into() },
+            ]);
+        }
+        let slug = if panel.starts_with("a") {
+            "fig01a_input"
+        } else {
+            "fig01b_reasoning"
+        };
+        emit(&table, slug);
+    }
+}

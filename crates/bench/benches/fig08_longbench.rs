@@ -1,0 +1,59 @@
+//! Fig. 8: LongBench accuracy vs KV budget on Llama3.1-8B(-sim).
+//!
+//! Regenerates the four panels (2WikiMQA, TriviaQA, HotpotQA,
+//! PassageCount) for Quest, ClusterKV, ShadowKV, SpeContext and full
+//! attention at paper budgets {512, 1024, 2048, 4096}. All systems and
+//! budgets are evaluated on the same instances with a shared prefill, as
+//! in the paper's protocol.
+
+use spec_bench::{emit, sim_engine, to_sim, SIM_SCALE};
+use spec_model::{ModelConfig, PrefillMode};
+use specontext_core::evaluate::{longbench_matrix, EvalSystem, LongBenchOptions};
+use specontext_core::report::Table;
+use spec_workloads::longbench::TaskKind;
+
+fn main() {
+    let budgets = [512usize, 1024, 2048, 4096];
+    let sim_budgets: Vec<usize> = budgets.iter().map(|&b| to_sim(b)).collect();
+    let paper_context = 16 * 1024;
+    let cfg = ModelConfig::llama3_1_8b();
+    let engine = sim_engine(&cfg, to_sim(2048), 0xF18);
+
+    let systems = EvalSystem::fig8_systems();
+    for kind in TaskKind::all() {
+        let opt = LongBenchOptions {
+            instances: 8,
+            seed: 0xBEEF,
+            prefill_mode: PrefillMode::Windowed {
+                window: 96,
+                sinks: 4,
+            },
+            strength: 2.5,
+            ..LongBenchOptions::new(kind, to_sim(paper_context), 0)
+        };
+        let scores = longbench_matrix(&engine, &systems, &sim_budgets, &opt);
+
+        let mut table = Table::new(
+            format!(
+                "Fig. 8 — {} on {} (sim 1/{SIM_SCALE} scale, score x100)",
+                kind.paper_name(),
+                cfg.name
+            ),
+            &["system", "B=512", "B=1024", "B=2048", "B=4096"],
+        );
+        for (si, system) in systems.iter().enumerate() {
+            let mut cells = vec![system.to_string()];
+            for bi in 0..budgets.len() {
+                cells.push(format!("{:.1}", scores[si][bi] * 100.0));
+            }
+            table.push_row(cells);
+        }
+        emit(
+            &table,
+            &format!(
+                "fig08_{}",
+                kind.paper_name().replace(' ', "_").to_lowercase()
+            ),
+        );
+    }
+}

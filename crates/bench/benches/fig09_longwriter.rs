@@ -1,0 +1,100 @@
+//! Fig. 9 + Table 4: LongWriter long-generation quality.
+//!
+//! Average scores for the three cloud models at paper budgets
+//! {1024, 2048, 4096}, plus the detailed six-dimension breakdown
+//! (Table 4) for each model. The paper's Quest/ClusterKV/ShadowKV have
+//! no Qwen3 support; this harness runs them anyway and EXPERIMENTS.md
+//! notes the difference.
+
+use spec_bench::{emit, sim_engine, to_sim};
+use spec_model::ModelConfig;
+use specontext_core::evaluate::{longwriter_scores, EvalSystem, LongWriterOptions};
+use specontext_core::report::{f2, Table};
+
+fn main() {
+    let budgets = [1024usize, 2048, 4096];
+    let systems = [
+        EvalSystem::Quest,
+        EvalSystem::ClusterKv,
+        EvalSystem::ShadowKv,
+        EvalSystem::SpeContext,
+    ];
+    let models = [
+        ModelConfig::llama3_1_8b(),
+        ModelConfig::deepseek_distill_llama_8b(),
+        ModelConfig::qwen3_8b(),
+    ];
+    for (mi, cfg) in models.iter().enumerate() {
+        let engine = sim_engine(cfg, to_sim(2048), 0x900 + mi as u64);
+        let mut avg_table = Table::new(
+            format!("Fig. 9 — LongWriter average score, {}", cfg.name),
+            &["system", "B=1024", "B=2048", "B=4096"],
+        );
+        let mut detail = Table::new(
+            format!("Table 4 — LongWriter detail, {} (B=2048)", cfg.name),
+            &[
+                "system",
+                "Relevance",
+                "Accuracy",
+                "Coherence",
+                "Clarity",
+                "Breadth&Depth",
+                "Reading Exp.",
+                "Average",
+            ],
+        );
+        // Full-attention reference row.
+        let full_opt = LongWriterOptions {
+            prompt_len: 16,
+            gen_len: 192,
+            budget: to_sim(2048),
+            seed: 0x941 + mi as u64,
+        };
+        let full = longwriter_scores(&engine, EvalSystem::Full, &full_opt);
+        avg_table.push_row(vec![
+            "Full".into(),
+            f2(full.average() as f64),
+            f2(full.average() as f64),
+            f2(full.average() as f64),
+        ]);
+        push_detail(&mut detail, "Full", &full);
+
+        for system in systems {
+            let mut cells = vec![system.to_string()];
+            for &pb in &budgets {
+                let opt = LongWriterOptions {
+                    prompt_len: 16,
+                    gen_len: 192,
+                    budget: to_sim(pb),
+                    seed: 0x941 + mi as u64,
+                };
+                let s = longwriter_scores(&engine, system, &opt);
+                cells.push(f2(s.average() as f64));
+                if pb == 2048 {
+                    push_detail(&mut detail, &system.to_string(), &s);
+                }
+            }
+            avg_table.push_row(cells);
+        }
+        let slug = cfg.name.to_lowercase().replace(['-', '.'], "_");
+        emit(&avg_table, &format!("fig09_{slug}"));
+        emit(&detail, &format!("table4_{slug}"));
+    }
+}
+
+fn push_detail(
+    table: &mut Table,
+    name: &str,
+    s: &spec_workloads::longwriter::LongWriterScores,
+) {
+    table.push_row(vec![
+        name.to_string(),
+        f2(s.relevance as f64),
+        f2(s.accuracy as f64),
+        f2(s.coherence as f64),
+        f2(s.clarity as f64),
+        f2(s.breadth_depth as f64),
+        f2(s.reading_experience as f64),
+        f2(s.average() as f64),
+    ]);
+}

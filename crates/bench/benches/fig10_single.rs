@@ -1,0 +1,78 @@
+//! Fig. 10: end-to-end throughput with a single request
+//! (a) in the cloud (A100-80GB), (b) in the edge environment
+//! (RTX 4060 Laptop, 4GB usage cap).
+//!
+//! Cloud compares seven systems including the single-request-only Quest
+//! and ClusterKV; edge compares full attention (eager / FlashAttention)
+//! and ShadowKV with offloading against SpeContext.
+
+use spec_bench::{emit, paper_shapes, shape_label};
+use spec_hwsim::DeviceSpec;
+use spec_model::ModelConfig;
+use spec_runtime::serving::{MemoryPolicy, ServingSim, SystemKind, Workload};
+use specontext_core::report::{f2, Table};
+
+fn main() {
+    cloud();
+    edge();
+}
+
+fn cloud() {
+    let sim = ServingSim::new(
+        ModelConfig::deepseek_distill_llama_8b(),
+        DeviceSpec::a100_80g(),
+        2048,
+    );
+    let systems = SystemKind::all();
+    let mut table = Table::new(
+        "Fig. 10(a) — single request, cloud (A100-80GB), tokens/s",
+        &[
+            "[In, Out]",
+            "Eager",
+            "FlashAttn",
+            "FlashInfer",
+            "Quest",
+            "ClusterKV",
+            "ShadowKV",
+            "Ours",
+        ],
+    );
+    for (inp, out) in paper_shapes() {
+        let w = Workload::new(inp, out, 1);
+        let mut cells = vec![shape_label(inp, out)];
+        for sys in systems {
+            let rep = sim.throughput(sys, &w);
+            cells.push(if rep.oom { "OOM".into() } else { f2(rep.tokens_per_s) });
+        }
+        table.push_row(cells);
+    }
+    emit(&table, "fig10a_cloud_single");
+}
+
+fn edge() {
+    let sim = ServingSim::new(
+        ModelConfig::reasoning_llama3_2_1b(),
+        DeviceSpec::rtx4060_laptop_4g(),
+        2048,
+    );
+    let mut table = Table::new(
+        "Fig. 10(b) — single request, edge (RTX4060 Laptop, 4GB cap), tokens/s",
+        &["[In, Out]", "Eager", "FlashAttn", "ShadowKV", "Ours"],
+    );
+    for (inp, out) in paper_shapes() {
+        let w = Workload::new(inp, out, 1);
+        let mut cells = vec![shape_label(inp, out)];
+        // Edge full-attention baselines run with complete offloading
+        // (nothing fits in 4GB alongside the model).
+        for sys in [SystemKind::FullEager, SystemKind::FullFlash] {
+            let rep = sim.throughput_with_policy(sys, &w, MemoryPolicy::AllGpuOrFullOffload);
+            cells.push(if rep.oom { "OOM".into() } else { f2(rep.tokens_per_s) });
+        }
+        let shadow = sim.throughput(SystemKind::ShadowKv, &w);
+        cells.push(if shadow.oom { "OOM".into() } else { f2(shadow.tokens_per_s) });
+        let ours = sim.throughput(SystemKind::SpeContext, &w);
+        cells.push(if ours.oom { "OOM".into() } else { f2(ours.tokens_per_s) });
+        table.push_row(cells);
+    }
+    emit(&table, "fig10b_edge_single");
+}

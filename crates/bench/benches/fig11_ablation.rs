@@ -1,0 +1,74 @@
+//! Fig. 11: ablation of the three contributions on
+//! DeepSeek-Distill-Llama-8B (the Table-3 configuration):
+//! HF → +C1 (retrieval head) → +C2 (async prefetch + elastic loading)
+//! → +C3 (adaptive memory management).
+//!
+//! Following the paper's setup ("we select the results of
+//! DeepSeek-Distill-Llama-8B in Table 3"), all stages run at the batch
+//! size the full system serves in Table 3 — the regime where the KV cache
+//! no longer fits on the GPU, which is what C2 and C3 address. HF is
+//! additionally reported at its own best batch as the 1.00x reference.
+
+use spec_bench::{emit, paper_shapes, shape_label};
+use spec_hwsim::DeviceSpec;
+use spec_model::ModelConfig;
+use spec_runtime::serving::Workload;
+use specontext_core::ablation::{ablation_best_batch, ablation_throughput, AblationStage};
+use specontext_core::report::{throughput_cell, Table};
+
+fn main() {
+    let cfg = ModelConfig::deepseek_distill_llama_8b();
+    let dev = DeviceSpec::a100_80g();
+    let batches = [4usize, 8, 16, 32, 64];
+
+    // Primary view (the paper's): every stage at its own best batch.
+    let mut table = Table::new(
+        "Fig. 11 — ablation, best batch per stage (A100-80GB), tokens/s (batch, speedup vs HF)",
+        &["[In, Out]", "HF", "HF+C1", "HF+C1+C2", "HF+C1+C2+C3"],
+    );
+    for (inp, out) in paper_shapes() {
+        let hf = ablation_best_batch(AblationStage::Hf, &cfg, &dev, inp, out, 2048, &[4]);
+        let mut cells = vec![shape_label(inp, out)];
+        cells.push(throughput_cell(hf.tokens_per_s, hf.requests, 1.0));
+        for stage in [AblationStage::C1, AblationStage::C1C2, AblationStage::C1C2C3] {
+            let rep = ablation_best_batch(stage, &cfg, &dev, inp, out, 2048, &batches);
+            let speedup = if hf.tokens_per_s > 0.0 {
+                rep.tokens_per_s / hf.tokens_per_s
+            } else {
+                0.0
+            };
+            cells.push(throughput_cell(rep.tokens_per_s, rep.requests, speedup));
+        }
+        table.push_row(cells);
+    }
+    emit(&table, "fig11_ablation");
+
+    // Secondary view: all sparse stages pinned at the full system's batch,
+    // where the KV cache no longer fits resident. This isolates what C2
+    // (async prefetch + elastic loading) and C3 (adaptive placement)
+    // contribute in the offloaded regime they were designed for.
+    let mut table2 = Table::new(
+        "Fig. 11 (aux) — ablation at the full system's batch (offloaded regime)",
+        &["[In, Out]", "batch", "HF+C1", "HF+C1+C2", "HF+C1+C2+C3"],
+    );
+    for (inp, out) in paper_shapes() {
+        let full = ablation_best_batch(AblationStage::C1C2C3, &cfg, &dev, inp, out, 2048, &batches);
+        let batch = full.requests;
+        let mut cells = vec![shape_label(inp, out), batch.to_string()];
+        let mut c1_tput = 0.0;
+        for stage in [AblationStage::C1, AblationStage::C1C2, AblationStage::C1C2C3] {
+            let rep = ablation_throughput(stage, &cfg, &dev, &Workload::new(inp, out, batch), 2048);
+            if stage == AblationStage::C1 {
+                c1_tput = rep.tokens_per_s;
+            }
+            let speedup = if c1_tput > 0.0 {
+                rep.tokens_per_s / c1_tput
+            } else {
+                0.0
+            };
+            cells.push(throughput_cell(rep.tokens_per_s, rep.requests, speedup));
+        }
+        table2.push_row(cells);
+    }
+    emit(&table2, "fig11_ablation_offloaded");
+}

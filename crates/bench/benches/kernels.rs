@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks of the kernels every retrieval system is
+//! built from: top-k selection, softmax, quantized scoring, k-means
+//! assignment, elastic set-difference planning, and the small matmuls of
+//! the simulated forward pass.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spec_kvcache::{PageTable, ResidentSet};
+use spec_tensor::kmeans::nearest_centroid;
+use spec_tensor::quant::{BitWidth, QuantVec};
+use spec_tensor::topk::top_k_positions;
+use spec_tensor::{ops, SimRng};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = SimRng::seed(0xBE7C);
+    let scores: Vec<f32> = (0..16_384).map(|_| rng.normal()).collect();
+
+    c.bench_function("top_k_positions/16384->2048", |b| {
+        b.iter(|| top_k_positions(black_box(&scores), 2048))
+    });
+
+    let mut soft = scores.clone();
+    c.bench_function("softmax/16384", |b| {
+        b.iter(|| {
+            soft.copy_from_slice(&scores);
+            ops::softmax_inplace(black_box(&mut soft));
+        })
+    });
+
+    let key: Vec<f32> = (0..128).map(|_| rng.normal()).collect();
+    let q = QuantVec::quantize(&key, BitWidth::Int4);
+    let query: Vec<f32> = (0..128).map(|_| rng.normal()).collect();
+    c.bench_function("quant_dot/int4/128", |b| {
+        b.iter(|| black_box(&q).dot(black_box(&query)))
+    });
+
+    let keys = rng.normal_matrix(1024, 128, 1.0);
+    c.bench_function("page_table_build/1024x128", |b| {
+        b.iter(|| PageTable::build(black_box(&keys), 16))
+    });
+    let table = PageTable::build(&keys, 16);
+    c.bench_function("page_scores/64pages", |b| {
+        b.iter(|| black_box(&table).scores(black_box(&query)))
+    });
+
+    let centroids = rng.normal_matrix(64, 128, 1.0);
+    c.bench_function("kmeans_assign/64x128", |b| {
+        b.iter(|| nearest_centroid(black_box(&query), black_box(&centroids)))
+    });
+
+    let wanted_a: Vec<usize> = (0..2048).collect();
+    let wanted_b: Vec<usize> = (256..2304).collect();
+    c.bench_function("elastic_plan/2048_budget", |b| {
+        b.iter_batched(
+            || {
+                let mut rs = ResidentSet::new(2048);
+                rs.apply(&rs.plan(&wanted_a));
+                rs
+            },
+            |rs| rs.plan(black_box(&wanted_b)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let a = rng.normal_matrix(64, 64, 1.0);
+    let bm = rng.normal_matrix(64, 64, 1.0);
+    c.bench_function("matmul/64x64x64", |b| {
+        b.iter(|| black_box(&a).matmul(black_box(&bm)))
+    });
+
+    let x: Vec<f32> = (0..64).map(|_| rng.normal()).collect();
+    c.bench_function("vecmat/64x64", |b| {
+        b.iter(|| black_box(&a).vecmat(black_box(&x)))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_kernels
+}
+criterion_main!(kernels);

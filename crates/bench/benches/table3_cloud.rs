@@ -1,0 +1,70 @@
+//! Table 3: end-to-end throughput (tokens/s) on the high-end GPU with
+//! multiple requests in the cloud.
+//!
+//! Two models (DeepSeek-Distill-Llama-8B, Qwen3-8B), four workload shapes,
+//! five systems; every system runs at its best batch among the paper's
+//! candidates, and speedups are normalized to Full Attn (Eager) — OOM
+//! rows normalize to the first non-OOM baseline, as the paper does with
+//! FlashAttention.
+
+use spec_bench::{emit, paper_shapes, shape_label};
+use spec_hwsim::DeviceSpec;
+use spec_model::ModelConfig;
+use spec_runtime::serving::{ServingSim, SystemKind};
+use specontext_core::report::{throughput_cell, Table};
+
+fn main() {
+    let budget = 2048;
+    let batches = [4usize, 6, 8, 16, 32, 64];
+    let systems = [
+        SystemKind::FullEager,
+        SystemKind::FullFlash,
+        SystemKind::FullFlashInfer,
+        SystemKind::ShadowKv,
+        SystemKind::SpeContext,
+    ];
+    for cfg in [
+        ModelConfig::deepseek_distill_llama_8b(),
+        ModelConfig::qwen3_8b(),
+    ] {
+        let sim = ServingSim::new(cfg.clone(), DeviceSpec::a100_80g(), budget);
+        let mut table = Table::new(
+            format!(
+                "Table 3 — {} on A100-80GB, tokens/s (batch, speedup)",
+                cfg.name
+            ),
+            &[
+                "[In, Out]",
+                "Eager",
+                "FlashAttn",
+                "FlashInfer",
+                "ShadowKV",
+                "Ours",
+            ],
+        );
+        for (inp, out) in paper_shapes() {
+            let mut cells = vec![shape_label(inp, out)];
+            let mut baseline = 0.0;
+            for sys in systems {
+                let rep = sim.best_batch(sys, inp, out, &batches);
+                if baseline == 0.0 && !rep.oom {
+                    baseline = rep.tokens_per_s;
+                }
+                let speedup = if baseline > 0.0 {
+                    rep.tokens_per_s / baseline
+                } else {
+                    0.0
+                };
+                cells.push(throughput_cell(rep.tokens_per_s, rep.requests, speedup));
+            }
+            table.push_row(cells);
+        }
+        emit(
+            &table,
+            &format!(
+                "table3_{}",
+                cfg.name.to_lowercase().replace(['-', '.'], "_")
+            ),
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Device specifications for the paper's two evaluation environments
+//! (Table 2).
+
+use serde::{Deserialize, Serialize};
+
+/// A GPU + host pair with the bandwidths the pipeline model needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// GPU memory capacity in bytes (`Mem_GPU` of Table 1).
+    pub gpu_mem_bytes: u64,
+    /// GPU memory bandwidth, bytes/second.
+    pub gpu_mem_bw: f64,
+    /// GPU peak FP16 throughput, FLOP/s.
+    pub gpu_flops: f64,
+    /// Host DRAM capacity in bytes.
+    pub cpu_mem_bytes: u64,
+    /// CPU↔GPU interconnect bandwidth, bytes/second (PCIe).
+    pub pcie_bw: f64,
+    /// Fixed per-transfer latency, seconds (driver + DMA setup).
+    pub pcie_latency: f64,
+}
+
+impl DeviceSpec {
+    /// The cloud node: NVIDIA A100/A800 80GB (Table 2).
+    pub fn a100_80g() -> Self {
+        Self {
+            name: "A100-80GB".into(),
+            gpu_mem_bytes: 80 * (1 << 30),
+            gpu_mem_bw: 2.039e12,
+            gpu_flops: 312e12,
+            cpu_mem_bytes: 1008 * (1 << 30),
+            pcie_bw: 25e9,
+            pcie_latency: 10e-6,
+        }
+    }
+
+    /// The edge node: RTX 4060 Laptop 8GB + i7-13650HX 24GB (Table 2).
+    pub fn rtx4060_laptop() -> Self {
+        Self {
+            name: "RTX4060-Laptop".into(),
+            gpu_mem_bytes: 8 * (1 << 30),
+            gpu_mem_bw: 256e9,
+            gpu_flops: 45e12,
+            cpu_mem_bytes: 24 * (1 << 30),
+            pcie_bw: 12e9,
+            pcie_latency: 15e-6,
+        }
+    }
+
+    /// An RTX 4090 desktop node (the Fig. 1 framing: 24GB, 3 requests of
+    /// 16K at most for Llama3.1-8B).
+    pub fn rtx4090() -> Self {
+        Self {
+            name: "RTX4090-24GB".into(),
+            gpu_mem_bytes: 24 * (1 << 30),
+            gpu_mem_bw: 1.008e12,
+            gpu_flops: 165e12,
+            cpu_mem_bytes: 128 * (1 << 30),
+            pcie_bw: 25e9,
+            pcie_latency: 10e-6,
+        }
+    }
+
+    /// An H100-80GB node (for headroom studies beyond the paper).
+    pub fn h100_80g() -> Self {
+        Self {
+            name: "H100-80GB".into(),
+            gpu_mem_bytes: 80 * (1 << 30),
+            gpu_mem_bw: 3.35e12,
+            gpu_flops: 989e12,
+            cpu_mem_bytes: 1008 * (1 << 30),
+            pcie_bw: 55e9,
+            pcie_latency: 8e-6,
+        }
+    }
+
+    /// The edge node with the paper's 4GB usage cap (Section 7.3.2).
+    pub fn rtx4060_laptop_4g() -> Self {
+        let mut d = Self::rtx4060_laptop();
+        d.name = "RTX4060-Laptop (4GB cap)".into();
+        d.gpu_mem_bytes = 4 * (1 << 30);
+        d
+    }
+
+    /// Seconds to stream `bytes` through GPU memory.
+    pub fn hbm_time(&self, bytes: f64) -> f64 {
+        bytes / self.gpu_mem_bw
+    }
+
+    /// Seconds to execute `flops` at peak.
+    pub fn compute_time(&self, flops: f64) -> f64 {
+        flops / self.gpu_flops
+    }
+
+    /// Seconds to move `bytes` across PCIe (including fixed latency).
+    pub fn pcie_time(&self, bytes: f64) -> f64 {
+        self.pcie_latency + bytes / self.pcie_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_is_faster_than_laptop_everywhere() {
+        let a = DeviceSpec::a100_80g();
+        let l = DeviceSpec::rtx4060_laptop();
+        assert!(a.gpu_mem_bw > l.gpu_mem_bw);
+        assert!(a.gpu_flops > l.gpu_flops);
+        assert!(a.pcie_bw > l.pcie_bw);
+        assert!(a.gpu_mem_bytes > l.gpu_mem_bytes);
+    }
+
+    #[test]
+    fn pcie_time_includes_latency_floor() {
+        let d = DeviceSpec::a100_80g();
+        assert!(d.pcie_time(0.0) >= d.pcie_latency);
+        // 25 GB at 25 GB/s ~ 1s.
+        let t = d.pcie_time(25e9);
+        assert!((t - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn hbm_streams_faster_than_pcie() {
+        let d = DeviceSpec::rtx4060_laptop();
+        let bytes = 1e9;
+        assert!(d.hbm_time(bytes) < d.pcie_time(bytes) / 5.0);
+    }
+
+    #[test]
+    fn device_ladder_is_ordered() {
+        let l = DeviceSpec::rtx4060_laptop();
+        let d = DeviceSpec::rtx4090();
+        let a = DeviceSpec::a100_80g();
+        let h = DeviceSpec::h100_80g();
+        assert!(l.gpu_mem_bw < d.gpu_mem_bw);
+        assert!(d.gpu_mem_bw < a.gpu_mem_bw);
+        assert!(a.gpu_mem_bw < h.gpu_mem_bw);
+        assert!(d.gpu_mem_bytes < a.gpu_mem_bytes);
+    }
+
+    #[test]
+    fn capped_edge_device_keeps_other_specs() {
+        let full = DeviceSpec::rtx4060_laptop();
+        let capped = DeviceSpec::rtx4060_laptop_4g();
+        assert_eq!(capped.gpu_mem_bytes, 4 * (1 << 30));
+        assert_eq!(capped.gpu_mem_bw, full.gpu_mem_bw);
+    }
+}

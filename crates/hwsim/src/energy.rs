@@ -1,0 +1,91 @@
+//! First-order energy model.
+//!
+//! The paper motivates throughput work with cloud "energy and hardware
+//! consumption" costs (Section 1). This module attaches per-device energy
+//! coefficients to the same quantities the cost model already tracks —
+//! FLOPs executed, HBM bytes streamed, PCIe bytes moved, and idle time —
+//! so any simulated run can report joules and joules/token.
+
+use crate::device::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// Energy coefficients for a device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Joules per FLOP (fp16).
+    pub j_per_flop: f64,
+    /// Joules per HBM byte.
+    pub j_per_hbm_byte: f64,
+    /// Joules per PCIe byte.
+    pub j_per_pcie_byte: f64,
+    /// Idle/static power, watts.
+    pub idle_watts: f64,
+}
+
+impl EnergyModel {
+    /// Coefficients for a data-center accelerator (A100-class: ~400W TDP
+    /// at 312 TFLOPS ≈ 1.3 pJ/FLOP; HBM ≈ 60 pJ/byte; PCIe ≈ 100 pJ/byte).
+    pub fn datacenter() -> Self {
+        Self {
+            j_per_flop: 1.3e-12,
+            j_per_hbm_byte: 6e-11,
+            j_per_pcie_byte: 1e-10,
+            idle_watts: 60.0,
+        }
+    }
+
+    /// Coefficients for a laptop GPU (higher static share, GDDR6).
+    pub fn laptop() -> Self {
+        Self {
+            j_per_flop: 2.5e-12,
+            j_per_hbm_byte: 9e-11,
+            j_per_pcie_byte: 1.2e-10,
+            idle_watts: 15.0,
+        }
+    }
+
+    /// Energy of a run: `flops` executed, `hbm_bytes` streamed,
+    /// `pcie_bytes` transferred, over `wall_s` seconds of wall time.
+    pub fn run_joules(&self, flops: f64, hbm_bytes: f64, pcie_bytes: f64, wall_s: f64) -> f64 {
+        self.j_per_flop * flops
+            + self.j_per_hbm_byte * hbm_bytes
+            + self.j_per_pcie_byte * pcie_bytes
+            + self.idle_watts * wall_s
+    }
+
+    /// Sustained power implied by running a device at full tilt.
+    pub fn peak_watts(&self, dev: &DeviceSpec) -> f64 {
+        self.j_per_flop * dev.gpu_flops + self.j_per_hbm_byte * dev.gpu_mem_bw + self.idle_watts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_peak_power_is_realistic() {
+        let e = EnergyModel::datacenter();
+        let w = e.peak_watts(&DeviceSpec::a100_80g());
+        // A100 TDP is 400W; compute+memory rarely saturate together, so
+        // the additive model lands somewhat above.
+        assert!((300.0..700.0).contains(&w), "peak {w} W");
+    }
+
+    #[test]
+    fn transfers_cost_energy() {
+        let e = EnergyModel::datacenter();
+        let with = e.run_joules(1e12, 1e9, 1e9, 1.0);
+        let without = e.run_joules(1e12, 1e9, 0.0, 1.0);
+        assert!(with > without);
+        assert!((with - without - 0.1).abs() < 1e-6); // 1 GB * 100 pJ/B
+    }
+
+    #[test]
+    fn faster_run_saves_idle_energy() {
+        let e = EnergyModel::laptop();
+        let slow = e.run_joules(1e12, 1e9, 0.0, 100.0);
+        let fast = e.run_joules(1e12, 1e9, 0.0, 10.0);
+        assert!(slow - fast > 15.0 * 89.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Two-stream discrete-event simulator.
+//!
+//! Models CUDA-style streams: operations on the same stream serialize;
+//! operations on different streams run concurrently unless ordered by an
+//! explicit dependency (the analogue of a CUDA event wait). This is the
+//! substrate on which the runtime lays out the five dataflow paradigms of
+//! paper Fig. 7.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a stream in the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StreamId(pub usize);
+
+/// The compute stream (convention used by the runtime).
+pub const COMPUTE: StreamId = StreamId(0);
+/// The copy/prefetch stream.
+pub const COPY: StreamId = StreamId(1);
+
+/// A completed-op record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpRecord {
+    /// Op label (e.g. `"L3.attn"`, `"L3.kv_fetch"`).
+    pub label: String,
+    /// Stream it ran on.
+    pub stream: StreamId,
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+}
+
+/// Handle returned by [`EventSim::submit`], usable as a dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OpHandle(usize);
+
+/// The simulator.
+///
+/// # Example
+///
+/// ```
+/// use spec_hwsim::event::{EventSim, COMPUTE, COPY};
+///
+/// let mut sim = EventSim::new(2);
+/// let load = sim.submit("load", COPY, 1.0, &[]);
+/// let attn = sim.submit("attn", COMPUTE, 0.5, &[load]); // waits for load
+/// let ffn = sim.submit("ffn", COMPUTE, 0.5, &[]);        // independent
+/// assert_eq!(sim.end_of(attn), 1.5);
+/// assert_eq!(sim.makespan(), 2.0);
+/// # let _ = ffn;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventSim {
+    stream_free: Vec<f64>,
+    records: Vec<OpRecord>,
+}
+
+impl EventSim {
+    /// Creates a simulator with `streams` streams, all free at t=0.
+    pub fn new(streams: usize) -> Self {
+        Self {
+            stream_free: vec![0.0; streams.max(1)],
+            records: Vec::new(),
+        }
+    }
+
+    /// Submits an op of `duration` seconds on `stream`, starting no
+    /// earlier than the end of every op in `deps`. Returns a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream does not exist, `duration` is negative, or a
+    /// dependency handle is invalid.
+    pub fn submit(
+        &mut self,
+        label: impl Into<String>,
+        stream: StreamId,
+        duration: f64,
+        deps: &[OpHandle],
+    ) -> OpHandle {
+        assert!(stream.0 < self.stream_free.len(), "unknown stream");
+        assert!(duration >= 0.0, "negative duration");
+        let dep_end = deps
+            .iter()
+            .map(|h| self.end_of(*h))
+            .fold(0.0f64, f64::max);
+        let start = self.stream_free[stream.0].max(dep_end);
+        let end = start + duration;
+        self.stream_free[stream.0] = end;
+        self.records.push(OpRecord {
+            label: label.into(),
+            stream,
+            start,
+            end,
+        });
+        OpHandle(self.records.len() - 1)
+    }
+
+    /// End time of a submitted op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is invalid.
+    pub fn end_of(&self, h: OpHandle) -> f64 {
+        self.records[h.0].end
+    }
+
+    /// Time at which every submitted op has finished.
+    pub fn makespan(&self) -> f64 {
+        self.records.iter().map(|r| r.end).fold(0.0, f64::max)
+    }
+
+    /// All op records, in submission order.
+    pub fn records(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    /// Total busy time of one stream.
+    pub fn busy_time(&self, stream: StreamId) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.stream == stream)
+            .map(|r| r.end - r.start)
+            .sum()
+    }
+
+    /// Fraction of the makespan during which `stream` was busy.
+    pub fn utilization(&self, stream: StreamId) -> f64 {
+        let ms = self.makespan();
+        if ms == 0.0 {
+            0.0
+        } else {
+            self.busy_time(stream) / ms
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_stream_serializes() {
+        let mut sim = EventSim::new(1);
+        let a = sim.submit("a", StreamId(0), 1.0, &[]);
+        let b = sim.submit("b", StreamId(0), 1.0, &[]);
+        assert_eq!(sim.end_of(a), 1.0);
+        assert_eq!(sim.end_of(b), 2.0);
+    }
+
+    #[test]
+    fn different_streams_overlap() {
+        let mut sim = EventSim::new(2);
+        sim.submit("a", COMPUTE, 1.0, &[]);
+        sim.submit("b", COPY, 1.0, &[]);
+        assert_eq!(sim.makespan(), 1.0);
+    }
+
+    #[test]
+    fn dependency_across_streams_orders_ops() {
+        let mut sim = EventSim::new(2);
+        let load = sim.submit("load", COPY, 2.0, &[]);
+        let attn = sim.submit("attn", COMPUTE, 0.5, &[load]);
+        assert_eq!(sim.records()[1].start, 2.0);
+        assert_eq!(sim.end_of(attn), 2.5);
+    }
+
+    #[test]
+    fn makespan_bounds_busy_time() {
+        let mut sim = EventSim::new(2);
+        for i in 0..5 {
+            sim.submit(format!("c{i}"), COMPUTE, 0.3, &[]);
+            sim.submit(format!("t{i}"), COPY, 0.4, &[]);
+        }
+        assert!(sim.makespan() >= sim.busy_time(COMPUTE).max(sim.busy_time(COPY)) - 1e-12);
+        assert!(sim.utilization(COPY) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_ops_allowed() {
+        let mut sim = EventSim::new(1);
+        let h = sim.submit("sync", COMPUTE, 0.0, &[]);
+        assert_eq!(sim.end_of(h), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown stream")]
+    fn bad_stream_rejected() {
+        let mut sim = EventSim::new(1);
+        sim.submit("x", StreamId(5), 1.0, &[]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Analytical + discrete-event hardware simulator.
+//!
+//! The paper's throughput results (Table 3, Figs. 10–11) are properties of
+//! a bandwidth/compute-bound pipeline: how long each kernel takes on the
+//! GPU, how long each KV transfer takes over PCIe, and how much of the two
+//! overlaps. This crate reproduces that pipeline:
+//!
+//! * [`device`] — device specifications (A100-80GB cloud node, RTX 4060
+//!   Laptop edge node) with bandwidths, FLOPS and capacities;
+//! * [`cost`] — a roofline kernel cost model parameterized by an engine
+//!   efficiency profile (eager / FlashAttention / FlashInfer);
+//! * [`event`] — a two-stream discrete-event simulator (compute stream +
+//!   copy stream) with dependencies, the substrate for the asynchronous
+//!   prefetch dataflow of Section 5;
+//! * [`transfer`] — CPU↔GPU transfer timing.
+//!
+//! Everything is in SI seconds and bytes; no wall-clock measurement is
+//! involved, so results are exactly reproducible.
+
+pub mod cost;
+pub mod energy;
+pub mod gantt;
+pub mod device;
+pub mod event;
+pub mod transfer;
+
+pub use cost::{EngineProfile, KernelCost};
+pub use energy::EnergyModel;
+pub use device::DeviceSpec;
+pub use event::{EventSim, OpRecord, StreamId};
+pub use transfer::TransferEngine;

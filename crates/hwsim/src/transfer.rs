@@ -1,0 +1,79 @@
+//! CPU↔GPU transfer timing and accounting.
+
+use crate::device::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// Accumulates transfer volume and time over a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TransferEngine {
+    total_bytes: f64,
+    total_time: f64,
+    transfers: u64,
+}
+
+impl TransferEngine {
+    /// A fresh engine with zero accounting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time to move `bytes` host→device (or back) on `dev`, recording it.
+    pub fn transfer(&mut self, bytes: f64, dev: &DeviceSpec) -> f64 {
+        let t = dev.pcie_time(bytes);
+        self.total_bytes += bytes;
+        self.total_time += t;
+        self.transfers += 1;
+        t
+    }
+
+    /// Time for a transfer batched with others (no extra latency).
+    pub fn transfer_batched(&mut self, bytes: f64, dev: &DeviceSpec) -> f64 {
+        let t = bytes / dev.pcie_bw;
+        self.total_bytes += bytes;
+        self.total_time += t;
+        self.transfers += 1;
+        t
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> f64 {
+        self.total_bytes
+    }
+
+    /// Total seconds spent transferring (unoverlapped sum).
+    pub fn total_time(&self) -> f64 {
+        self.total_time
+    }
+
+    /// Number of transfers issued.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_accumulates() {
+        let dev = DeviceSpec::a100_80g();
+        let mut t = TransferEngine::new();
+        t.transfer(1e9, &dev);
+        t.transfer(2e9, &dev);
+        assert_eq!(t.total_bytes(), 3e9);
+        assert_eq!(t.transfers(), 2);
+        assert!(t.total_time() > 0.1);
+    }
+
+    #[test]
+    fn batched_transfer_skips_latency() {
+        let dev = DeviceSpec::rtx4060_laptop();
+        let mut a = TransferEngine::new();
+        let mut b = TransferEngine::new();
+        let lone = a.transfer(1e6, &dev);
+        let batched = b.transfer_batched(1e6, &dev);
+        assert!(lone > batched);
+        assert!((lone - batched - dev.pcie_latency).abs() < 1e-9);
+    }
+}

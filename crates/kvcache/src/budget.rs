@@ -1,0 +1,152 @@
+//! Budgeted per-head selection buffers.
+//!
+//! A [`BudgetBuffer`] bundles one [`ResidentSet`] per (layer, KV head):
+//! the GPU-side slot arrays that hold the currently selected KV entries
+//! for sparse attention. The runtime drives it once per decode step with
+//! the retrieval head's selections and reads back aggregate transfer
+//! volumes for the performance model.
+
+use crate::elastic::{DiffPlan, ResidentSet};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate transfer accounting for one step across all layers/heads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StepTransfer {
+    /// KV entries fetched from the lower tier.
+    pub fetched_entries: u64,
+    /// KV entries reused from residency.
+    pub reused_entries: u64,
+}
+
+impl StepTransfer {
+    /// Fraction of required entries served without transfer.
+    pub fn reuse_fraction(&self) -> f32 {
+        let total = self.fetched_entries + self.reused_entries;
+        if total == 0 {
+            1.0
+        } else {
+            self.reused_entries as f32 / total as f32
+        }
+    }
+}
+
+/// Per-(layer, head) resident sets under a shared per-head budget.
+#[derive(Debug, Clone)]
+pub struct BudgetBuffer {
+    sets: Vec<Vec<ResidentSet>>,
+    budget: usize,
+}
+
+impl BudgetBuffer {
+    /// Creates empty buffers: `layers x kv_heads` resident sets of
+    /// `budget` slots each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(layers: usize, kv_heads: usize, budget: usize) -> Self {
+        assert!(layers > 0 && kv_heads > 0, "dimensions must be positive");
+        Self {
+            sets: (0..layers)
+                .map(|_| (0..kv_heads).map(|_| ResidentSet::new(budget)).collect())
+                .collect(),
+            budget,
+        }
+    }
+
+    /// The per-head budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Number of layers.
+    pub fn layers(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Number of KV heads per layer.
+    pub fn kv_heads(&self) -> usize {
+        self.sets.first().map_or(0, Vec::len)
+    }
+
+    /// Access one head's resident set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn head(&self, layer: usize, kv_head: usize) -> &ResidentSet {
+        &self.sets[layer][kv_head]
+    }
+
+    /// Plans and applies the selections for one decode step.
+    /// `selections[layer][kv_head]` are the wanted positions. Returns the
+    /// aggregate transfer volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selection shape does not match the buffer shape or a
+    /// selection exceeds the budget.
+    pub fn step(&mut self, selections: &[Vec<Vec<usize>>]) -> StepTransfer {
+        assert_eq!(selections.len(), self.layers(), "layer count mismatch");
+        let mut agg = StepTransfer::default();
+        for (layer, heads) in selections.iter().enumerate() {
+            assert_eq!(heads.len(), self.kv_heads(), "head count mismatch");
+            for (h, wanted) in heads.iter().enumerate() {
+                let plan: DiffPlan = self.sets[layer][h].plan(wanted);
+                agg.fetched_entries += plan.fetch.len() as u64;
+                agg.reused_entries += plan.reused.len() as u64;
+                self.sets[layer][h].apply(&plan);
+            }
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_step_fetches_everything() {
+        let mut b = BudgetBuffer::new(2, 2, 4);
+        let sel = vec![vec![vec![0, 1, 2, 3]; 2]; 2];
+        let t = b.step(&sel);
+        assert_eq!(t.fetched_entries, 2 * 2 * 4);
+        assert_eq!(t.reused_entries, 0);
+    }
+
+    #[test]
+    fn repeated_step_reuses_everything() {
+        let mut b = BudgetBuffer::new(2, 2, 4);
+        let sel = vec![vec![vec![0, 1, 2, 3]; 2]; 2];
+        b.step(&sel);
+        let t = b.step(&sel);
+        assert_eq!(t.fetched_entries, 0);
+        assert_eq!(t.reuse_fraction(), 1.0);
+    }
+
+    #[test]
+    fn shifted_selection_transfers_difference() {
+        let mut b = BudgetBuffer::new(1, 1, 4);
+        b.step(&[vec![vec![0, 1, 2, 3]]]);
+        let t = b.step(&[vec![vec![1, 2, 3, 4]]]);
+        assert_eq!(t.fetched_entries, 1);
+        assert_eq!(t.reused_entries, 3);
+    }
+
+    #[test]
+    fn heads_are_independent() {
+        let mut b = BudgetBuffer::new(1, 2, 2);
+        b.step(&[vec![vec![0, 1], vec![5, 6]]]);
+        assert!(b.head(0, 0).contains(0));
+        assert!(!b.head(0, 0).contains(5));
+        assert!(b.head(0, 1).contains(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "layer count mismatch")]
+    fn wrong_shape_rejected() {
+        let mut b = BudgetBuffer::new(2, 1, 2);
+        b.step(&[vec![vec![0]]]);
+    }
+}

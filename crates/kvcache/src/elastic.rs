@@ -1,0 +1,268 @@
+//! Elastic loading: the set-difference transfer planner of Section 5.4.
+//!
+//! Adjacent decode steps select highly overlapping KV positions
+//! (paper Fig. 6(b): >80% overlap). The elastic loader therefore keeps the
+//! previous step's selection resident on the GPU and transfers only the
+//! difference: positions in `S_now − S_last` are fetched, slots holding
+//! `S_last − S_now` are overwritten in place (`Tensor.copy_()` in the
+//! paper). Under a fixed budget `|S_last| == |S_now|` both differences
+//! have equal cardinality, so the plan is a slot-for-slot replacement.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A transfer plan produced by [`ResidentSet::plan`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiffPlan {
+    /// Positions to fetch from the lower tier (`S_now − S_last`), ascending.
+    pub fetch: Vec<usize>,
+    /// Resident slots to overwrite, parallel to `fetch` (slot `evict[i]`
+    /// receives position `fetch[i]`).
+    pub evict_slots: Vec<usize>,
+    /// Positions that stay resident (`S_now ∩ S_last`), ascending.
+    pub reused: Vec<usize>,
+}
+
+impl DiffPlan {
+    /// Number of positions transferred.
+    pub fn transfer_count(&self) -> usize {
+        self.fetch.len()
+    }
+
+    /// Fraction of the new selection served from residency (0..=1);
+    /// 1.0 when the selection is empty.
+    pub fn reuse_fraction(&self) -> f32 {
+        let total = self.fetch.len() + self.reused.len();
+        if total == 0 {
+            1.0
+        } else {
+            self.reused.len() as f32 / total as f32
+        }
+    }
+}
+
+/// The GPU-resident selection: budget slots holding KV positions.
+///
+/// # Example
+///
+/// ```
+/// use spec_kvcache::ResidentSet;
+///
+/// let mut rs = ResidentSet::new(4);
+/// let p1 = rs.plan(&[1, 2, 3, 4]);
+/// assert_eq!(p1.transfer_count(), 4); // cold start
+/// rs.apply(&p1);
+/// let p2 = rs.plan(&[2, 3, 4, 9]);
+/// assert_eq!(p2.transfer_count(), 1); // only 9 is new
+/// rs.apply(&p2);
+/// assert!(rs.contains(9));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResidentSet {
+    /// slot -> position (usize::MAX = empty slot).
+    slots: Vec<usize>,
+    /// position -> slot.
+    index: HashMap<usize, usize>,
+}
+
+/// Sentinel for an unoccupied slot.
+const EMPTY: usize = usize::MAX;
+
+impl ResidentSet {
+    /// Creates an empty resident set with `budget` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget == 0`.
+    pub fn new(budget: usize) -> Self {
+        assert!(budget > 0, "budget must be positive");
+        Self {
+            slots: vec![EMPTY; budget],
+            index: HashMap::with_capacity(budget),
+        }
+    }
+
+    /// The slot budget.
+    pub fn budget(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of occupied slots.
+    pub fn occupied(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether `pos` is resident.
+    pub fn contains(&self, pos: usize) -> bool {
+        self.index.contains_key(&pos)
+    }
+
+    /// Currently resident positions, ascending.
+    pub fn positions(&self) -> Vec<usize> {
+        let mut p: Vec<usize> = self.index.keys().copied().collect();
+        p.sort_unstable();
+        p
+    }
+
+    /// Computes the minimal transfer plan to make `wanted` resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wanted` exceeds the budget or contains duplicates.
+    pub fn plan(&self, wanted: &[usize]) -> DiffPlan {
+        assert!(
+            wanted.len() <= self.budget(),
+            "selection {} exceeds budget {}",
+            wanted.len(),
+            self.budget()
+        );
+        let wanted_set: std::collections::HashSet<usize> = wanted.iter().copied().collect();
+        assert_eq!(wanted_set.len(), wanted.len(), "duplicate positions");
+
+        let mut fetch: Vec<usize> = wanted
+            .iter()
+            .copied()
+            .filter(|p| !self.index.contains_key(p))
+            .collect();
+        fetch.sort_unstable();
+        let mut reused: Vec<usize> = wanted
+            .iter()
+            .copied()
+            .filter(|p| self.index.contains_key(p))
+            .collect();
+        reused.sort_unstable();
+
+        // Slots to overwrite: empty slots first, then slots holding
+        // positions not in `wanted` (no needless eviction under budget).
+        let mut evictable: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, &pos)| pos == EMPTY)
+            .map(|(slot, _)| slot)
+            .collect();
+        evictable.extend(
+            self.slots
+                .iter()
+                .enumerate()
+                .filter(|(_, &pos)| pos != EMPTY && !wanted_set.contains(&pos))
+                .map(|(slot, _)| slot),
+        );
+        let evict_slots: Vec<usize> = evictable.into_iter().take(fetch.len()).collect();
+        debug_assert_eq!(evict_slots.len(), fetch.len());
+        DiffPlan {
+            fetch,
+            evict_slots,
+            reused,
+        }
+    }
+
+    /// Applies a plan produced by [`plan`](Self::plan) on the current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is inconsistent with the current state (wrong
+    /// slot contents), which indicates it was produced for another state.
+    pub fn apply(&mut self, plan: &DiffPlan) {
+        for (&pos, &slot) in plan.fetch.iter().zip(&plan.evict_slots) {
+            let old = self.slots[slot];
+            if old != EMPTY {
+                let removed = self.index.remove(&old);
+                assert!(removed.is_some(), "plan/state mismatch at slot {slot}");
+            }
+            self.slots[slot] = pos;
+            self.index.insert(pos, slot);
+        }
+    }
+
+    /// The slot currently holding `pos`, if resident.
+    pub fn slot_of(&self, pos: usize) -> Option<usize> {
+        self.index.get(&pos).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_start_fetches_everything() {
+        let rs = ResidentSet::new(3);
+        let plan = rs.plan(&[5, 1, 9]);
+        assert_eq!(plan.fetch, vec![1, 5, 9]);
+        assert_eq!(plan.reused, Vec::<usize>::new());
+        assert_eq!(plan.reuse_fraction(), 0.0);
+    }
+
+    #[test]
+    fn full_overlap_transfers_nothing() {
+        let mut rs = ResidentSet::new(3);
+        let p = rs.plan(&[1, 2, 3]);
+        rs.apply(&p);
+        let p2 = rs.plan(&[3, 2, 1]);
+        assert_eq!(p2.transfer_count(), 0);
+        assert_eq!(p2.reuse_fraction(), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_fetches_difference_only() {
+        let mut rs = ResidentSet::new(4);
+        rs.apply(&rs.plan(&[10, 20, 30, 40]));
+        let p = rs.plan(&[20, 30, 40, 50]);
+        assert_eq!(p.fetch, vec![50]);
+        assert_eq!(p.reused, vec![20, 30, 40]);
+        // Fixed budget: |S_last − S_now| == |S_now − S_last|.
+        assert_eq!(p.evict_slots.len(), p.fetch.len());
+        rs.apply(&p);
+        assert!(!rs.contains(10));
+        assert!(rs.contains(50));
+    }
+
+    #[test]
+    fn eviction_prefers_stale_slots() {
+        let mut rs = ResidentSet::new(3);
+        rs.apply(&rs.plan(&[1, 2, 3]));
+        let p = rs.plan(&[2, 3, 7]);
+        // The evicted slot must be the one holding 1.
+        let slot_of_1 = rs.slot_of(1).unwrap();
+        assert_eq!(p.evict_slots, vec![slot_of_1]);
+    }
+
+    #[test]
+    fn smaller_selection_is_allowed() {
+        let mut rs = ResidentSet::new(4);
+        rs.apply(&rs.plan(&[1, 2]));
+        assert_eq!(rs.occupied(), 2);
+        let p = rs.plan(&[2, 3, 4]);
+        assert_eq!(p.fetch, vec![3, 4]);
+        rs.apply(&p);
+        assert_eq!(rs.occupied(), 4); // 1 was never evicted: budget allows
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds budget")]
+    fn over_budget_selection_rejected() {
+        let rs = ResidentSet::new(2);
+        let _ = rs.plan(&[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_positions_rejected() {
+        let rs = ResidentSet::new(3);
+        let _ = rs.plan(&[1, 1, 2]);
+    }
+
+    #[test]
+    fn apply_then_positions_equals_wanted_superset() {
+        let mut rs = ResidentSet::new(4);
+        rs.apply(&rs.plan(&[4, 8, 15, 16]));
+        let wanted = vec![8, 15, 23, 42];
+        let p = rs.plan(&wanted);
+        rs.apply(&p);
+        let resident = rs.positions();
+        for w in &wanted {
+            assert!(resident.contains(w));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! System-level KV cache management for the SpeContext reproduction.
+//!
+//! While `spec-model` holds the *logical* KV tensors a forward pass reads,
+//! this crate models the *physical* side the paper's system contributions
+//! manipulate:
+//!
+//! * [`store`] — a tiered KV store that tracks which layer's cache lives in
+//!   which memory tier (GPU HBM vs CPU DRAM) and byte-accurate sizes;
+//! * [`pages`] — the paged layout and per-page min/max metadata vectors
+//!   used by the Quest baseline;
+//! * [`budget`] — budgeted per-head selection buffers (the GPU-resident
+//!   slots that hold the currently selected KV entries);
+//! * [`elastic`] — the set-difference planner of Section 5.4: given last
+//!   step's resident selection and this step's requirement, compute the
+//!   minimal transfer plan (`S_now − S_last` in, `S_last − S_now` out);
+//! * [`alloc`] — block-based KV memory allocation (contiguous-reserve vs
+//!   paged), the mechanism behind the serving batch caps.
+
+pub mod alloc;
+pub mod budget;
+pub mod elastic;
+pub mod pages;
+pub mod store;
+
+pub use alloc::{AllocId, AllocPolicy, BlockAllocator};
+pub use budget::BudgetBuffer;
+pub use elastic::{DiffPlan, ResidentSet};
+pub use pages::{PageTable, PAGE_SIZE_DEFAULT};
+pub use store::{KvStore, MemoryTier, TierStats};

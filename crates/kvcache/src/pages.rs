@@ -1,0 +1,182 @@
+//! Paged KV layout and page metadata vectors (Quest's preprocessing).
+//!
+//! Quest (Tang et al., 2024) partitions the KV cache into fixed-size pages
+//! and represents each page by the element-wise minimum and maximum of its
+//! key vectors. At retrieval time an upper bound of the page's attention
+//! score is computed from the query sign pattern against those two
+//! vectors; the top pages are loaded wholesale.
+
+use spec_tensor::Matrix;
+
+/// Default tokens per page (Quest uses 16).
+pub const PAGE_SIZE_DEFAULT: usize = 16;
+
+/// Page metadata over a key matrix.
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    page_size: usize,
+    /// Per page: element-wise max of member keys.
+    max_vec: Matrix,
+    /// Per page: element-wise min of member keys.
+    min_vec: Matrix,
+    len: usize,
+}
+
+impl PageTable {
+    /// Builds the table over `keys` (`seq x dim`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size == 0`.
+    pub fn build(keys: &Matrix, page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        let n = keys.rows();
+        let dim = keys.cols();
+        let pages = n.div_ceil(page_size);
+        let mut max_vec = Matrix::zeros(pages, dim);
+        let mut min_vec = Matrix::zeros(pages, dim);
+        for p in 0..pages {
+            let start = p * page_size;
+            let end = ((p + 1) * page_size).min(n);
+            for c in 0..dim {
+                let mut mx = f32::NEG_INFINITY;
+                let mut mn = f32::INFINITY;
+                for r in start..end {
+                    let v = keys.get(r, c);
+                    mx = mx.max(v);
+                    mn = mn.min(v);
+                }
+                max_vec.set(p, c, mx);
+                min_vec.set(p, c, mn);
+            }
+        }
+        Self {
+            page_size,
+            max_vec,
+            min_vec,
+            len: n,
+        }
+    }
+
+    /// Number of pages.
+    pub fn num_pages(&self) -> usize {
+        self.max_vec.rows()
+    }
+
+    /// Tokens per page.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of tokens covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no tokens are covered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Token range of page `p` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn page_range(&self, p: usize) -> std::ops::Range<usize> {
+        assert!(p < self.num_pages(), "page index out of range");
+        let start = p * self.page_size;
+        start..((p + 1) * self.page_size).min(self.len)
+    }
+
+    /// Quest's upper-bound importance score of a page for a query:
+    /// for each channel take `max(q_c * max_c, q_c * min_c)` and sum.
+    /// This upper-bounds `q · k` for every key `k` in the page.
+    pub fn page_score(&self, p: usize, query: &[f32]) -> f32 {
+        assert_eq!(query.len(), self.max_vec.cols(), "query dim mismatch");
+        let mx = self.max_vec.row(p);
+        let mn = self.min_vec.row(p);
+        query
+            .iter()
+            .zip(mx.iter().zip(mn))
+            .map(|(q, (hi, lo))| (q * hi).max(q * lo))
+            .sum()
+    }
+
+    /// Scores every page for a query.
+    pub fn scores(&self, query: &[f32]) -> Vec<f32> {
+        (0..self.num_pages())
+            .map(|p| self.page_score(p, query))
+            .collect()
+    }
+
+    /// Expands a page selection into token positions, ascending.
+    pub fn expand_pages(&self, pages: &[usize]) -> Vec<usize> {
+        let mut out: Vec<usize> = pages
+            .iter()
+            .flat_map(|&p| self.page_range(p))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, -1.0],
+            &[2.0, 0.0],
+            &[-1.0, 3.0],
+            &[0.0, 1.0],
+            &[5.0, 5.0],
+        ])
+    }
+
+    #[test]
+    fn builds_correct_page_count() {
+        let t = PageTable::build(&keys(), 2);
+        assert_eq!(t.num_pages(), 3);
+        assert_eq!(t.page_range(2), 4..5);
+    }
+
+    #[test]
+    fn minmax_vectors_bound_members() {
+        let k = keys();
+        let t = PageTable::build(&k, 2);
+        // Page 0 covers rows 0..2: max = [2,0], min = [1,-1].
+        assert_eq!(t.max_vec.row(0), &[2.0, 0.0]);
+        assert_eq!(t.min_vec.row(0), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn page_score_upper_bounds_member_dots() {
+        let k = keys();
+        let t = PageTable::build(&k, 2);
+        let q = [0.5, -2.0];
+        for p in 0..t.num_pages() {
+            let bound = t.page_score(p, &q);
+            for r in t.page_range(p) {
+                let dot: f32 = q.iter().zip(k.row(r)).map(|(a, b)| a * b).sum();
+                assert!(bound >= dot - 1e-6, "page {p} row {r}: {bound} < {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn expand_pages_returns_sorted_unique_positions() {
+        let t = PageTable::build(&keys(), 2);
+        let pos = t.expand_pages(&[2, 0]);
+        assert_eq!(pos, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn single_page_covers_everything() {
+        let t = PageTable::build(&keys(), 100);
+        assert_eq!(t.num_pages(), 1);
+        assert_eq!(t.expand_pages(&[0]), vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Tiered KV store: which layer's cache lives where, and how big it is.
+//!
+//! The adaptive memory manager (Section 6) moves whole layers between GPU
+//! HBM and CPU DRAM as the sequence grows. This store is the bookkeeping
+//! object it manipulates; byte sizes follow Table 1's symbols.
+
+use serde::{Deserialize, Serialize};
+
+/// A memory tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryTier {
+    /// GPU high-bandwidth memory.
+    Gpu,
+    /// CPU DRAM (offload target).
+    Cpu,
+}
+
+impl std::fmt::Display for MemoryTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MemoryTier::Gpu => "GPU",
+            MemoryTier::Cpu => "CPU",
+        })
+    }
+}
+
+/// Aggregate sizes per tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TierStats {
+    /// Bytes of KV cache resident on the GPU.
+    pub gpu_bytes: u64,
+    /// Bytes of KV cache resident on the CPU.
+    pub cpu_bytes: u64,
+    /// Layers whose cache is on the GPU.
+    pub gpu_layers: usize,
+    /// Layers whose cache is on the CPU.
+    pub cpu_layers: usize,
+}
+
+/// Per-layer placement and size tracking for one request's KV cache.
+///
+/// # Example
+///
+/// ```
+/// use spec_kvcache::{KvStore, MemoryTier};
+///
+/// let mut store = KvStore::new(4, 1024); // 4 layers, 1 KiB per token-layer
+/// store.append_tokens(10);
+/// assert_eq!(store.stats().gpu_bytes, 4 * 10 * 1024);
+/// store.offload_layer(3);
+/// assert_eq!(store.stats().cpu_layers, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KvStore {
+    placement: Vec<MemoryTier>,
+    bytes_per_token_layer: u64,
+    seq_len: usize,
+}
+
+impl KvStore {
+    /// Creates a store with all layers on the GPU and zero tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers == 0` or `bytes_per_token_layer == 0`.
+    pub fn new(layers: usize, bytes_per_token_layer: u64) -> Self {
+        assert!(layers > 0, "store requires at least one layer");
+        assert!(bytes_per_token_layer > 0, "bytes per token must be positive");
+        Self {
+            placement: vec![MemoryTier::Gpu; layers],
+            bytes_per_token_layer,
+            seq_len: 0,
+        }
+    }
+
+    /// Number of layers.
+    pub fn layers(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// Current sequence length.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Bytes of KV cache per token per layer.
+    pub fn bytes_per_token_layer(&self) -> u64 {
+        self.bytes_per_token_layer
+    }
+
+    /// Appends `n` tokens' worth of KV entries to every layer.
+    pub fn append_tokens(&mut self, n: usize) {
+        self.seq_len += n;
+    }
+
+    /// Placement of a layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn tier_of(&self, layer: usize) -> MemoryTier {
+        self.placement[layer]
+    }
+
+    /// Moves one layer's cache to the CPU. Returns the bytes transferred
+    /// (0 if it was already there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn offload_layer(&mut self, layer: usize) -> u64 {
+        if self.placement[layer] == MemoryTier::Cpu {
+            return 0;
+        }
+        self.placement[layer] = MemoryTier::Cpu;
+        self.layer_bytes()
+    }
+
+    /// Moves one layer's cache back to the GPU. Returns bytes transferred.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn upload_layer(&mut self, layer: usize) -> u64 {
+        if self.placement[layer] == MemoryTier::Gpu {
+            return 0;
+        }
+        self.placement[layer] = MemoryTier::Gpu;
+        self.layer_bytes()
+    }
+
+    /// Bytes currently held by one layer's cache.
+    pub fn layer_bytes(&self) -> u64 {
+        self.bytes_per_token_layer * self.seq_len as u64
+    }
+
+    /// Aggregate tier statistics.
+    pub fn stats(&self) -> TierStats {
+        let mut s = TierStats::default();
+        for t in &self.placement {
+            match t {
+                MemoryTier::Gpu => {
+                    s.gpu_layers += 1;
+                    s.gpu_bytes += self.layer_bytes();
+                }
+                MemoryTier::Cpu => {
+                    s.cpu_layers += 1;
+                    s.cpu_bytes += self.layer_bytes();
+                }
+            }
+        }
+        s
+    }
+
+    /// Indices of layers on the given tier, ascending.
+    pub fn layers_on(&self, tier: MemoryTier) -> Vec<usize> {
+        self.placement
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == tier)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_all_on_gpu() {
+        let s = KvStore::new(8, 100);
+        assert_eq!(s.stats().gpu_layers, 8);
+        assert_eq!(s.stats().cpu_layers, 0);
+        assert_eq!(s.stats().gpu_bytes, 0);
+    }
+
+    #[test]
+    fn append_grows_all_layers() {
+        let mut s = KvStore::new(2, 10);
+        s.append_tokens(5);
+        assert_eq!(s.seq_len(), 5);
+        assert_eq!(s.stats().gpu_bytes, 2 * 5 * 10);
+    }
+
+    #[test]
+    fn offload_moves_bytes_between_tiers() {
+        let mut s = KvStore::new(4, 10);
+        s.append_tokens(8);
+        let moved = s.offload_layer(3);
+        assert_eq!(moved, 80);
+        let st = s.stats();
+        assert_eq!(st.gpu_layers, 3);
+        assert_eq!(st.cpu_layers, 1);
+        assert_eq!(st.cpu_bytes, 80);
+    }
+
+    #[test]
+    fn double_offload_is_idempotent() {
+        let mut s = KvStore::new(2, 10);
+        s.append_tokens(3);
+        assert_eq!(s.offload_layer(0), 30);
+        assert_eq!(s.offload_layer(0), 0);
+    }
+
+    #[test]
+    fn upload_restores_gpu_placement() {
+        let mut s = KvStore::new(2, 10);
+        s.append_tokens(4);
+        s.offload_layer(1);
+        assert_eq!(s.upload_layer(1), 40);
+        assert_eq!(s.stats().cpu_layers, 0);
+    }
+
+    #[test]
+    fn layers_on_reports_indices() {
+        let mut s = KvStore::new(5, 1);
+        s.offload_layer(4);
+        s.offload_layer(2);
+        assert_eq!(s.layers_on(MemoryTier::Cpu), vec![2, 4]);
+        assert_eq!(s.layers_on(MemoryTier::Gpu), vec![0, 1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn zero_layers_rejected() {
+        let _ = KvStore::new(0, 1);
+    }
+}

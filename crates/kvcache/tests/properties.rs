@@ -1,0 +1,125 @@
+//! Property-based tests for the KV cache subsystem, covering the elastic
+//! loading invariants the paper's Section 5.4 relies on.
+
+use proptest::prelude::*;
+use spec_kvcache::{KvStore, MemoryTier, PageTable, ResidentSet};
+use spec_tensor::Matrix;
+
+fn selection(budget: usize, universe: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::btree_set(0..universe, 0..=budget)
+        .prop_map(|s| s.into_iter().collect::<Vec<usize>>())
+}
+
+proptest! {
+    /// Applying a plan always makes exactly the wanted set resident
+    /// (plus possibly stale entries when under budget — the wanted set
+    /// itself must always be fully resident).
+    #[test]
+    fn plan_apply_reaches_wanted_state(
+        sels in prop::collection::vec(selection(8, 64), 1..12)
+    ) {
+        let mut rs = ResidentSet::new(8);
+        for wanted in &sels {
+            let plan = rs.plan(wanted);
+            // Fixed-budget symmetry: when the buffer is full and the
+            // selection is at budget, fetch count equals eviction count.
+            prop_assert_eq!(plan.fetch.len(), plan.evict_slots.len());
+            rs.apply(&plan);
+            for w in wanted {
+                prop_assert!(rs.contains(*w), "position {} not resident", w);
+            }
+            prop_assert!(rs.occupied() <= rs.budget());
+        }
+    }
+
+    /// Transfer volume is exactly the set difference size.
+    #[test]
+    fn transfer_is_set_difference(
+        a in selection(8, 32),
+        b in selection(8, 32),
+    ) {
+        let mut rs = ResidentSet::new(8);
+        rs.apply(&rs.plan(&a));
+        let plan = rs.plan(&b);
+        let a_set: std::collections::HashSet<_> = a.iter().collect();
+        let expected: usize = b.iter().filter(|p| !a_set.contains(p)).count();
+        prop_assert_eq!(plan.transfer_count(), expected);
+    }
+
+    /// Plans never fetch something already resident.
+    #[test]
+    fn no_redundant_fetches(
+        a in selection(6, 24),
+        b in selection(6, 24),
+    ) {
+        let mut rs = ResidentSet::new(6);
+        rs.apply(&rs.plan(&a));
+        let plan = rs.plan(&b);
+        for f in &plan.fetch {
+            prop_assert!(!a.contains(f));
+        }
+        for r in &plan.reused {
+            prop_assert!(a.contains(r) && b.contains(r));
+        }
+    }
+
+    /// Quest page bound: the page score upper-bounds every member dot.
+    #[test]
+    fn page_score_upper_bound(
+        rows in 1usize..40,
+        page_size in 1usize..9,
+        qseed in 0u64..1000,
+    ) {
+        let dim = 4;
+        let data: Vec<f32> = (0..rows * dim)
+            .map(|i| (((i as u64 + qseed) * 2654435761 % 2000) as f32 / 1000.0) - 1.0)
+            .collect();
+        let keys = Matrix::from_vec(rows, dim, data);
+        let q: Vec<f32> = (0..dim)
+            .map(|i| (((i as u64 + 3 * qseed) * 40503 % 2000) as f32 / 1000.0) - 1.0)
+            .collect();
+        let table = PageTable::build(&keys, page_size);
+        for p in 0..table.num_pages() {
+            let bound = table.page_score(p, &q);
+            for r in table.page_range(p) {
+                let dot: f32 = q.iter().zip(keys.row(r)).map(|(a, b)| a * b).sum();
+                prop_assert!(bound >= dot - 1e-4);
+            }
+        }
+    }
+
+    /// Page expansion covers exactly the selected pages' tokens.
+    #[test]
+    fn expand_pages_is_exact_cover(
+        rows in 1usize..40,
+        page_size in 1usize..9,
+    ) {
+        let keys = Matrix::zeros(rows, 2);
+        let table = PageTable::build(&keys, page_size);
+        let all: Vec<usize> = (0..table.num_pages()).collect();
+        let tokens = table.expand_pages(&all);
+        prop_assert_eq!(tokens, (0..rows).collect::<Vec<_>>());
+    }
+
+    /// Tier accounting conserves total bytes.
+    #[test]
+    fn tier_bytes_conserved(
+        layers in 1usize..10,
+        tokens in 0usize..100,
+        moves in prop::collection::vec((0usize..10, any::<bool>()), 0..20),
+    ) {
+        let mut s = KvStore::new(layers, 64);
+        s.append_tokens(tokens);
+        for (l, up) in moves {
+            let l = l % layers;
+            if up { s.upload_layer(l); } else { s.offload_layer(l); }
+            let st = s.stats();
+            prop_assert_eq!(
+                st.gpu_bytes + st.cpu_bytes,
+                64 * layers as u64 * tokens as u64
+            );
+            prop_assert_eq!(st.gpu_layers + st.cpu_layers, layers);
+        }
+        let _ = s.layers_on(MemoryTier::Gpu);
+    }
+}

@@ -1,0 +1,160 @@
+//! Semantic probe directions.
+//!
+//! The synthetic workloads need a way to *plant* evidence tokens that the
+//! teacher model genuinely attends to — without hand-editing attention
+//! weights. The trick: for a bilinear attention form
+//! `logit(q_tok, k_tok) = (x_q W_q)(x_k W_k)^T / sqrt(d)`, any direction
+//! `m` with large `m^T W_q W_k^T m` produces high attention between two
+//! tokens that both carry an `m` component in their embeddings.
+//!
+//! [`probe_direction`] finds such a direction by power iteration on the
+//! symmetrized, layer/head-aggregated bilinear form. Workloads add
+//! `strength * m` to the embeddings of evidence tokens and of the question
+//! token; the model then *discovers* the evidence through its own
+//! attention, which is what makes the accuracy experiments earned.
+
+use crate::config::AttentionKind;
+use crate::transformer::Model;
+use spec_tensor::Matrix;
+
+/// A unit direction in embedding space plus the Rayleigh quotient of the
+/// aggregated query-key bilinear form along it (a measure of how strongly
+/// two tokens carrying this direction attend to each other).
+#[derive(Debug, Clone)]
+pub struct Probe {
+    /// Unit vector in the hidden/embedding space.
+    pub direction: Vec<f32>,
+    /// `m^T A m` for the aggregated bilinear form `A`.
+    pub alignment: f32,
+}
+
+/// Computes the aggregated bilinear form `A = Σ_{l,q} W_q (K_eff)^T`
+/// over all layers and query heads, where `K_eff` maps hidden space to
+/// the head's key space (through the latent down-projection for MLA).
+fn aggregate_bilinear(model: &Model) -> Matrix {
+    let geom = model.geometry();
+    let h = geom.hidden;
+    let mut acc = Matrix::zeros(h, h);
+    for lw in &model.weights().layers {
+        for q in 0..geom.q_heads {
+            let kvh = q / geom.group_size();
+            let k_eff: Matrix = match geom.attention {
+                AttentionKind::Mla => lw
+                    .w_down_latent
+                    .as_ref()
+                    .expect("MLA weights")
+                    .matmul(&lw.wk[kvh]),
+                _ => lw.wk[kvh].clone(),
+            };
+            // W_q: h x d, K_eff: h x d  =>  A_h = W_q K_eff^T : h x h
+            let a_h = lw.wq[q].matmul(&k_eff.transposed());
+            acc = acc.add(&a_h);
+        }
+    }
+    acc
+}
+
+/// Finds the probe direction by power iteration on the symmetrized
+/// aggregated bilinear form.
+///
+/// `iters` controls power-iteration steps (20 is plenty for a clear
+/// spectral gap). The returned alignment is per-layer-per-head on
+/// average, so workloads can reason about logit magnitudes.
+pub fn probe_direction(model: &Model, iters: usize) -> Probe {
+    let geom = model.geometry();
+    let a = aggregate_bilinear(model);
+    // Symmetrize: power iteration needs a symmetric operator, and
+    // m^T A m == m^T sym(A) m.
+    let sym = a.add(&a.transposed());
+    let h = geom.hidden;
+    let mut v: Vec<f32> = (0..h)
+        .map(|i| ((i * 2654435761) % 1000) as f32 / 1000.0 - 0.5)
+        .collect();
+    normalize(&mut v);
+    for _ in 0..iters {
+        let mut next = sym.matvec(&v);
+        // Shift to favor the most positive eigenvalue rather than the
+        // largest magnitude (we need positive alignment).
+        let shift = sym_row_bound(&sym);
+        for (n, x) in next.iter_mut().zip(&v) {
+            *n += shift * x;
+        }
+        normalize(&mut next);
+        v = next;
+    }
+    let av = a.matvec(&v);
+    let alignment = v.iter().zip(&av).map(|(x, y)| x * y).sum::<f32>()
+        / (geom.layers * geom.q_heads) as f32;
+    Probe {
+        direction: v,
+        alignment,
+    }
+}
+
+fn sym_row_bound(m: &Matrix) -> f32 {
+    // Gershgorin-style bound so that (M + shift I) is positive definite.
+    m.iter_rows()
+        .map(|r| r.iter().map(|v| v.abs()).sum::<f32>())
+        .fold(0.0f32, f32::max)
+}
+
+fn normalize(v: &mut [f32]) {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+    for x in v.iter_mut() {
+        *x /= norm;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimGeometry;
+
+    #[test]
+    fn probe_is_unit_norm_with_positive_alignment() {
+        for kind in [
+            AttentionKind::Mha,
+            AttentionKind::Gqa,
+            AttentionKind::Mqa,
+            AttentionKind::Mla,
+        ] {
+            let model = Model::new(SimGeometry::tiny(kind), 9);
+            let probe = probe_direction(&model, 30);
+            let norm: f32 = probe.direction.iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-4, "{kind}");
+            assert!(
+                probe.alignment > 0.0,
+                "{kind}: alignment {}",
+                probe.alignment
+            );
+        }
+    }
+
+    #[test]
+    fn probe_beats_random_direction() {
+        let model = Model::new(SimGeometry::tiny(AttentionKind::Gqa), 10);
+        let probe = probe_direction(&model, 30);
+        let a = aggregate_bilinear(&model);
+        // Compare against a few arbitrary unit directions.
+        let h = model.geometry().hidden;
+        for s in 0..5u64 {
+            let mut v: Vec<f32> = (0..h)
+                .map(|i| (((i as u64 + 1) * (s + 3) * 2654435761) % 997) as f32 / 997.0 - 0.5)
+                .collect();
+            normalize(&mut v);
+            let av = a.matvec(&v);
+            let rq: f32 = v.iter().zip(&av).map(|(x, y)| x * y).sum();
+            let probe_rq =
+                probe.alignment * (model.geometry().layers * model.geometry().q_heads) as f32;
+            assert!(probe_rq >= rq - 1e-3, "probe {probe_rq} vs random {rq}");
+        }
+    }
+
+    #[test]
+    fn probe_deterministic() {
+        let model = Model::new(SimGeometry::tiny(AttentionKind::Mha), 11);
+        let p1 = probe_direction(&model, 20);
+        let p2 = probe_direction(&model, 20);
+        assert_eq!(p1.direction, p2.direction);
+    }
+}

@@ -1,0 +1,185 @@
+//! Token sampling strategies for decode loops.
+//!
+//! Greedy decoding is the default everywhere in the reproduction (it is
+//! what makes sparse-vs-dense output comparisons exact), but the serving
+//! engine also supports standard stochastic sampling for realism in
+//! long-generation workloads.
+
+use spec_tensor::{ops, SimRng};
+
+/// A sampling strategy over logits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sampler {
+    /// Argmax.
+    Greedy,
+    /// Softmax sampling at a temperature.
+    Temperature(f32),
+    /// Top-k filtering then temperature sampling.
+    TopK {
+        /// Candidates kept.
+        k: usize,
+        /// Temperature.
+        temperature: f32,
+    },
+    /// Nucleus (top-p) filtering then temperature sampling.
+    TopP {
+        /// Cumulative probability mass kept.
+        p: f32,
+        /// Temperature.
+        temperature: f32,
+    },
+}
+
+impl Sampler {
+    /// Draws a token id from `logits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is empty or a parameter is out of range
+    /// (temperature must be positive, `k >= 1`, `0 < p <= 1`).
+    pub fn sample(&self, logits: &[f32], rng: &mut SimRng) -> usize {
+        assert!(!logits.is_empty(), "empty logits");
+        match *self {
+            Sampler::Greedy => argmax(logits),
+            Sampler::Temperature(t) => {
+                assert!(t > 0.0, "temperature must be positive");
+                let mut probs: Vec<f32> = logits.iter().map(|l| l / t).collect();
+                ops::softmax_inplace(&mut probs);
+                draw(&probs, rng)
+            }
+            Sampler::TopK { k, temperature } => {
+                assert!(k >= 1, "top-k requires k >= 1");
+                assert!(temperature > 0.0, "temperature must be positive");
+                let keep = spec_tensor::topk::top_k_indices(logits, k);
+                let mut probs: Vec<f32> = keep
+                    .iter()
+                    .map(|&i| logits[i] / temperature)
+                    .collect();
+                ops::softmax_inplace(&mut probs);
+                keep[draw(&probs, rng)]
+            }
+            Sampler::TopP { p, temperature } => {
+                assert!((0.0..=1.0).contains(&p) && p > 0.0, "p in (0, 1]");
+                assert!(temperature > 0.0, "temperature must be positive");
+                let mut probs: Vec<f32> = logits.iter().map(|l| l / temperature).collect();
+                ops::softmax_inplace(&mut probs);
+                let order = spec_tensor::topk::argsort_desc(&probs);
+                let mut cum = 0.0;
+                let mut keep = Vec::new();
+                for &i in &order {
+                    keep.push(i);
+                    cum += probs[i];
+                    if cum >= p {
+                        break;
+                    }
+                }
+                let mut kept: Vec<f32> = keep.iter().map(|&i| probs[i]).collect();
+                let total: f32 = kept.iter().sum();
+                kept.iter_mut().for_each(|v| *v /= total);
+                keep[draw(&kept, rng)]
+            }
+        }
+    }
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn draw(probs: &[f32], rng: &mut SimRng) -> usize {
+    let u = rng.uniform();
+    let mut cum = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        cum += p;
+        if u < cum {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits() -> Vec<f32> {
+        vec![0.0, 5.0, 1.0, -2.0, 3.0]
+    }
+
+    #[test]
+    fn greedy_picks_argmax() {
+        let mut rng = SimRng::seed(1);
+        assert_eq!(Sampler::Greedy.sample(&logits(), &mut rng), 1);
+    }
+
+    #[test]
+    fn low_temperature_approaches_greedy() {
+        let mut rng = SimRng::seed(2);
+        let s = Sampler::Temperature(0.05);
+        for _ in 0..20 {
+            assert_eq!(s.sample(&logits(), &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn high_temperature_spreads_mass() {
+        let mut rng = SimRng::seed(3);
+        let s = Sampler::Temperature(50.0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(s.sample(&logits(), &mut rng));
+        }
+        assert!(seen.len() >= 4, "high temperature should explore: {seen:?}");
+    }
+
+    #[test]
+    fn top_k_restricts_support() {
+        let mut rng = SimRng::seed(4);
+        let s = Sampler::TopK {
+            k: 2,
+            temperature: 10.0,
+        };
+        for _ in 0..100 {
+            let t = s.sample(&logits(), &mut rng);
+            assert!(t == 1 || t == 4, "token {t} outside top-2");
+        }
+    }
+
+    #[test]
+    fn top_p_restricts_to_nucleus() {
+        let mut rng = SimRng::seed(5);
+        let s = Sampler::TopP {
+            p: 0.5,
+            temperature: 1.0,
+        };
+        for _ in 0..100 {
+            // Token 1 holds most of the mass at T=1.
+            assert_eq!(s.sample(&logits(), &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let s = Sampler::Temperature(2.0);
+        let a: Vec<usize> = {
+            let mut rng = SimRng::seed(9);
+            (0..10).map(|_| s.sample(&logits(), &mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = SimRng::seed(9);
+            (0..10).map(|_| s.sample(&logits(), &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn zero_temperature_rejected() {
+        let mut rng = SimRng::seed(1);
+        Sampler::Temperature(0.0).sample(&logits(), &mut rng);
+    }
+}

@@ -1,0 +1,196 @@
+//! ClusterKV: retrieval over semantic clusters of keys (Liu et al., 2024).
+//!
+//! Preprocessing (after prefill): k-means cluster each head's key cache;
+//! the cluster centroids act as retrieval representatives. At decode time
+//! a query scores all centroids, clusters are ranked, and members of the
+//! best clusters are selected until the budget fills. Finer-grained than
+//! Quest's positional pages, hence its accuracy edge at small budgets
+//! (paper Fig. 8), at the cost of a much heavier preprocessing step.
+
+use crate::common::{group_max_scores, SelectorConfig};
+use spec_tensor::kmeans::{kmeans, KMeans, KMeansConfig};
+use spec_tensor::SimRng;
+use spec_model::{LayerKv, LayerSelector, ModelKv};
+use std::collections::BTreeSet;
+
+/// The ClusterKV selector. Build with [`ClusterKvSelector::preprocess`].
+#[derive(Debug, Clone)]
+pub struct ClusterKvSelector {
+    cfg: SelectorConfig,
+    /// `clusters[layer][kv_head]`.
+    clusters: Vec<Vec<KMeans>>,
+    prefill_len: usize,
+}
+
+impl ClusterKvSelector {
+    /// Clusters the prefill KV cache. Deterministic given `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on latent (MLA) layouts, which ClusterKV does not support.
+    pub fn preprocess(kv: &ModelKv, cfg: SelectorConfig, seed: u64) -> Self {
+        let prefill_len = kv.seq_len();
+        let k = (prefill_len / cfg.tokens_per_cluster.max(1)).max(1);
+        let mut rng = SimRng::seed(seed);
+        let clusters = kv
+            .layers
+            .iter()
+            .map(|layer| match layer {
+                LayerKv::PerHead { keys, .. } => keys
+                    .iter()
+                    .map(|keys| {
+                        kmeans(
+                            keys,
+                            KMeansConfig {
+                                k,
+                                max_iters: 15,
+                                tol: 1e-3,
+                            },
+                            &mut rng,
+                        )
+                    })
+                    .collect(),
+                LayerKv::Latent { .. } => panic!("ClusterKV does not support MLA layouts"),
+            })
+            .collect();
+        Self {
+            cfg,
+            clusters,
+            prefill_len,
+        }
+    }
+
+    /// The prefill length captured at preprocessing time.
+    pub fn prefill_len(&self) -> usize {
+        self.prefill_len
+    }
+
+    fn select_head(&self, km: &KMeans, cluster_scores: &[f32], seq_len: usize) -> Vec<usize> {
+        let order = spec_tensor::topk::argsort_desc(cluster_scores);
+        let mut picked: BTreeSet<usize> = BTreeSet::new();
+        for p in 0..self.cfg.sinks.min(self.prefill_len) {
+            picked.insert(p);
+        }
+        let budget = self.cfg.budget.min(self.prefill_len);
+        'outer: for cluster in order {
+            for &member in &km.clusters[cluster] {
+                if picked.len() >= budget {
+                    break 'outer;
+                }
+                picked.insert(member);
+            }
+        }
+        for pos in self.prefill_len..seq_len {
+            picked.insert(pos);
+        }
+        picked.into_iter().collect()
+    }
+}
+
+impl LayerSelector for ClusterKvSelector {
+    fn select(
+        &mut self,
+        layer: usize,
+        queries: &[Vec<f32>],
+        kv: &LayerKv,
+    ) -> Option<Vec<Vec<usize>>> {
+        let heads = &self.clusters[layer];
+        let group = (queries.len() / heads.len()).max(1);
+        let seq_len = kv.seq_len();
+        Some(
+            heads
+                .iter()
+                .enumerate()
+                .map(|(hh, km)| {
+                    // Centroid scores per query head, pooled by group-max.
+                    let per_q: Vec<Vec<f32>> = (hh * group..(hh + 1) * group)
+                        .map(|q| {
+                            km.centroids
+                                .iter_rows()
+                                .map(|c| spec_tensor::matrix::dot(&queries[q], c))
+                                .collect()
+                        })
+                        .collect();
+                    let pooled = group_max_scores(&per_q, group)[0].clone();
+                    self.select_head(km, &pooled, seq_len)
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_model::{AttentionKind, Model, PrefillMode, SimGeometry};
+
+    fn setup(n: usize) -> (Model, ModelKv) {
+        let geom = SimGeometry::tiny(AttentionKind::Gqa);
+        let m = Model::new(geom, 31);
+        let toks: Vec<usize> = (0..n).map(|i| i % 60).collect();
+        let (kv, _) = m.prefill_tokens(&toks, PrefillMode::Exact);
+        (m, kv)
+    }
+
+    #[test]
+    fn budget_respected_and_sorted() {
+        let (m, kv) = setup(64);
+        let cfg = SelectorConfig::with_budget(12);
+        let mut ckv = ClusterKvSelector::preprocess(&kv, cfg, 7);
+        let g = m.geometry();
+        let queries = vec![vec![0.3; g.head_dim]; g.q_heads];
+        let sel = ckv.select(0, &queries, &kv.layers[0]).unwrap();
+        for head in &sel {
+            assert!(head.len() <= 12);
+            assert!(head.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn whole_clusters_are_preferred() {
+        // A query equal to a key should pull in that key's cluster first.
+        let (m, kv) = setup(48);
+        let cfg = SelectorConfig {
+            budget: 24,
+            sinks: 0,
+            ..SelectorConfig::with_budget(24)
+        };
+        let mut ckv = ClusterKvSelector::preprocess(&kv, cfg, 7);
+        let key7: Vec<f32> = match &kv.layers[0] {
+            spec_model::LayerKv::PerHead { keys, .. } => keys[0].row(7).to_vec(),
+            _ => unreachable!(),
+        };
+        let g = m.geometry();
+        let queries = vec![key7; g.q_heads];
+        let sel = ckv.select(0, &queries, &kv.layers[0]).unwrap();
+        assert!(sel[0].contains(&7), "own cluster must be selected");
+    }
+
+    #[test]
+    fn retains_generated_tokens() {
+        let (m, mut kv) = setup(32);
+        let mut ckv = ClusterKvSelector::preprocess(&kv, SelectorConfig::with_budget(8), 3);
+        let emb = m.embed_tokens(&[5, 6]);
+        m.decode_step(emb.row(0), 32, &mut kv);
+        m.decode_step(emb.row(1), 33, &mut kv);
+        let g = m.geometry();
+        let queries = vec![vec![0.0; g.head_dim]; g.q_heads];
+        let sel = ckv.select(0, &queries, &kv.layers[0]).unwrap();
+        assert!(sel[0].contains(&32) && sel[0].contains(&33));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (m, kv) = setup(40);
+        let a = ClusterKvSelector::preprocess(&kv, SelectorConfig::with_budget(8), 11);
+        let b = ClusterKvSelector::preprocess(&kv, SelectorConfig::with_budget(8), 11);
+        let g = m.geometry();
+        let queries = vec![vec![0.5; g.head_dim]; g.q_heads];
+        let mut a = a;
+        let mut b = b;
+        assert_eq!(
+            a.select(0, &queries, &kv.layers[0]),
+            b.select(0, &queries, &kv.layers[0])
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! Shared selection plumbing: budgets, forced positions, assembly.
+
+use serde::{Deserialize, Serialize};
+use spec_tensor::topk;
+use std::collections::BTreeSet;
+
+/// Configuration shared by all budgeted selectors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectorConfig {
+    /// KV budget `B`: positions retrieved from the (preprocessed) prefix.
+    pub budget: usize,
+    /// Always-kept initial positions (attention sinks).
+    pub sinks: usize,
+    /// Always-kept most recent positions.
+    pub recent: usize,
+    /// Quest page size.
+    pub page_size: usize,
+    /// ClusterKV: average tokens per cluster.
+    pub tokens_per_cluster: usize,
+    /// SpeContext: EMA blend of the retrieval query with the running
+    /// context average (0 = raw token embedding, 1 = pure context EMA).
+    /// Models the DLM consuming the slowly-varying hidden state (EAGLE-3
+    /// feeds hidden features, not just the token), which is what makes
+    /// adjacent-step selections overlap strongly (Fig. 6(b)).
+    pub query_smoothing: f32,
+}
+
+impl SelectorConfig {
+    /// A config with the given budget and conventional defaults
+    /// (4 sinks, 8 recent, 16-token pages, 16-token clusters).
+    pub fn with_budget(budget: usize) -> Self {
+        Self {
+            budget,
+            sinks: 4,
+            recent: 8,
+            page_size: 16,
+            tokens_per_cluster: 16,
+            query_smoothing: 0.5,
+        }
+    }
+}
+
+impl Default for SelectorConfig {
+    fn default() -> Self {
+        Self::with_budget(1024)
+    }
+}
+
+/// Statistics about a produced selection (for transfer accounting and
+/// Fig. 6(b)-style overlap analysis).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SelectionStats {
+    /// Positions selected from the preprocessed prefix.
+    pub from_prefix: usize,
+    /// Retained newly generated positions.
+    pub retained_new: usize,
+    /// Forced sink/recent positions.
+    pub forced: usize,
+}
+
+/// Assembles a baseline's per-head selection (dynamic-selection paradigm):
+/// sinks ∪ top-(B − |forced|) of `prefix_scores` ∪ all generated positions
+/// (`prefill_len..seq_len`) — the "complete retention of new KV" behaviour
+/// the paper identifies as Challenge 2.
+///
+/// `prefix_scores.len()` must equal `prefill_len`.
+pub fn assemble_baseline_selection(
+    prefix_scores: &[f32],
+    prefill_len: usize,
+    seq_len: usize,
+    cfg: &SelectorConfig,
+) -> (Vec<usize>, SelectionStats) {
+    assert_eq!(prefix_scores.len(), prefill_len, "score length mismatch");
+    let mut picked: BTreeSet<usize> = BTreeSet::new();
+    // Sinks.
+    for p in 0..cfg.sinks.min(prefill_len) {
+        picked.insert(p);
+    }
+    // Recent prefix tail (only meaningful right after prefill).
+    let recent_lo = prefill_len.saturating_sub(cfg.recent.min(prefill_len));
+    for p in recent_lo..prefill_len {
+        picked.insert(p);
+    }
+    let forced = picked.len();
+    // Budgeted top-k from the prefix.
+    let remaining = cfg.budget.saturating_sub(forced);
+    let mut from_prefix = 0;
+    for idx in topk::argsort_desc(prefix_scores) {
+        if from_prefix >= remaining {
+            break;
+        }
+        if picked.insert(idx) {
+            from_prefix += 1;
+        }
+    }
+    // Complete retention of newly generated KV pairs.
+    let retained_new = seq_len.saturating_sub(prefill_len);
+    for p in prefill_len..seq_len {
+        picked.insert(p);
+    }
+    (
+        picked.into_iter().collect(),
+        SelectionStats {
+            from_prefix,
+            retained_new,
+            forced,
+        },
+    )
+}
+
+/// Assembles SpeContext's selection: a *fixed total budget* over the whole
+/// cache (prefix and generated alike — no unbounded retention), with sinks
+/// and recency forced inside the budget.
+pub fn assemble_budgeted_selection(
+    scores: &[f32],
+    seq_len: usize,
+    cfg: &SelectorConfig,
+) -> (Vec<usize>, SelectionStats) {
+    assert_eq!(scores.len(), seq_len, "score length mismatch");
+    let mut picked: BTreeSet<usize> = BTreeSet::new();
+    for p in 0..cfg.sinks.min(seq_len) {
+        picked.insert(p);
+    }
+    let recent_lo = seq_len.saturating_sub(cfg.recent.min(seq_len));
+    for p in recent_lo..seq_len {
+        picked.insert(p);
+    }
+    let forced = picked.len();
+    let mut from_scores = 0;
+    for idx in topk::argsort_desc(scores) {
+        if picked.len() >= cfg.budget.min(seq_len) {
+            break;
+        }
+        if picked.insert(idx) {
+            from_scores += 1;
+        }
+    }
+    (
+        picked.into_iter().collect(),
+        SelectionStats {
+            from_prefix: from_scores,
+            retained_new: 0,
+            forced,
+        },
+    )
+}
+
+/// Reduces per-query-head scores to per-KV-head scores by element-wise
+/// maximum within each group (the GQA reduction of paper Fig. 5(c);
+/// for MHA `group == 1` this is the identity, for MQA it pools all heads).
+///
+/// # Panics
+///
+/// Panics if `q_scores` is empty or not a multiple of `group`.
+pub fn group_max_scores(q_scores: &[Vec<f32>], group: usize) -> Vec<Vec<f32>> {
+    assert!(!q_scores.is_empty(), "need at least one head");
+    assert_eq!(q_scores.len() % group, 0, "heads not divisible by group");
+    q_scores
+        .chunks(group)
+        .map(|chunk| {
+            let mut acc = chunk[0].clone();
+            for s in &chunk[1..] {
+                for (a, b) in acc.iter_mut().zip(s) {
+                    *a = a.max(*b);
+                }
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_keeps_sinks_topk_and_new() {
+        let cfg = SelectorConfig {
+            budget: 6,
+            sinks: 2,
+            recent: 0,
+            ..SelectorConfig::with_budget(6)
+        };
+        let scores = vec![0.0, 0.0, 0.9, 0.1, 0.8, 0.2, 0.0, 0.0];
+        let (sel, stats) = assemble_baseline_selection(&scores, 8, 11, &cfg);
+        // sinks {0,1}, top-4 {2,4,5,3}, new {8,9,10}
+        assert!(sel.contains(&0) && sel.contains(&1));
+        assert!(sel.contains(&2) && sel.contains(&4));
+        assert!(sel.contains(&8) && sel.contains(&10));
+        assert_eq!(stats.retained_new, 3);
+        assert!(sel.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn baseline_selection_grows_with_generation() {
+        let cfg = SelectorConfig::with_budget(4);
+        let scores = vec![0.5; 16];
+        let (short, _) = assemble_baseline_selection(&scores, 16, 20, &cfg);
+        let (long, _) = assemble_baseline_selection(&scores, 16, 40, &cfg);
+        assert_eq!(long.len() - short.len(), 20);
+    }
+
+    #[test]
+    fn budgeted_selection_respects_fixed_budget() {
+        let cfg = SelectorConfig {
+            budget: 8,
+            sinks: 2,
+            recent: 2,
+            ..SelectorConfig::with_budget(8)
+        };
+        let scores: Vec<f32> = (0..50).map(|i| (i % 7) as f32).collect();
+        let (sel, _) = assemble_budgeted_selection(&scores, 50, &cfg);
+        assert_eq!(sel.len(), 8);
+        assert!(sel.contains(&0) && sel.contains(&1), "sinks kept");
+        assert!(sel.contains(&48) && sel.contains(&49), "recent kept");
+    }
+
+    #[test]
+    fn budgeted_selection_caps_at_seq_len() {
+        let cfg = SelectorConfig::with_budget(100);
+        let scores = vec![1.0; 10];
+        let (sel, _) = assemble_budgeted_selection(&scores, 10, &cfg);
+        assert_eq!(sel.len(), 10);
+    }
+
+    #[test]
+    fn group_max_pools_within_groups() {
+        let qs = vec![vec![1.0, 0.0], vec![0.0, 2.0], vec![5.0, 0.0], vec![0.0, 3.0]];
+        let pooled = group_max_scores(&qs, 2);
+        assert_eq!(pooled.len(), 2);
+        assert_eq!(pooled[0], vec![1.0, 2.0]);
+        assert_eq!(pooled[1], vec![5.0, 3.0]);
+    }
+
+    #[test]
+    fn group_max_identity_for_group_one() {
+        let qs = vec![vec![1.0], vec![2.0]];
+        assert_eq!(group_max_scores(&qs, 1), qs);
+    }
+}

@@ -1,0 +1,45 @@
+//! Full (dense) attention — the accuracy ceiling and throughput floor.
+
+use spec_model::{LayerKv, LayerSelector};
+
+/// Selects every position (returns `None`, requesting dense attention).
+///
+/// # Example
+///
+/// ```
+/// use spec_retrieval::FullAttention;
+/// use spec_model::LayerSelector;
+/// use spec_model::{LayerKv, SimGeometry, AttentionKind};
+///
+/// let mut full = FullAttention;
+/// let kv = LayerKv::empty(&SimGeometry::tiny(AttentionKind::Gqa));
+/// assert!(full.select(0, &[], &kv).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FullAttention;
+
+impl LayerSelector for FullAttention {
+    fn select(
+        &mut self,
+        _layer: usize,
+        _queries: &[Vec<f32>],
+        _kv: &LayerKv,
+    ) -> Option<Vec<Vec<usize>>> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_model::{AttentionKind, SimGeometry};
+
+    #[test]
+    fn always_dense() {
+        let mut f = FullAttention;
+        let kv = LayerKv::empty(&SimGeometry::tiny(AttentionKind::Mha));
+        for l in 0..4 {
+            assert!(f.select(l, &[], &kv).is_none());
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! KV retrieval algorithms: the SpeContext retrieval head and every
+//! baseline the paper compares against.
+//!
+//! All algorithms implement `spec_model::LayerSelector` (the layer-wise
+//! query-aware interface of the dynamic-selection paradigm) or produce a
+//! whole-model `SparsePlan` ahead of the forward pass (the speculative
+//! paradigm of SpeContext). The implementations are complete from-scratch
+//! ports of each baseline's selection mechanism:
+//!
+//! | module | algorithm | preprocessing |
+//! |---|---|---|
+//! | [`full`] | full (dense) attention | none |
+//! | [`window`] | SlidingWindow, StreamingLLM | none (static policy) |
+//! | [`quest`] | Quest (Tang et al. 2024) | paging + min/max page vectors |
+//! | [`clusterkv`] | ClusterKV (Liu et al. 2024) | k-means over keys |
+//! | [`shadowkv`] | ShadowKV (Sun et al. 2024) | int4 key quantization |
+//! | [`spec_head`] | SpeContext retrieval head | DLM distillation (offline) |
+//! | [`infinigen`] | InfiniGen speculative per-layer prefetch | none |
+//! | [`oracle`] | teacher's own attention (upper bound) | none |
+
+pub mod clusterkv;
+pub mod common;
+pub mod full;
+pub mod infinigen;
+pub mod oracle;
+pub mod quest;
+pub mod shadowkv;
+pub mod spec_head;
+pub mod window;
+
+pub use common::{SelectionStats, SelectorConfig};
+pub use full::FullAttention;
+pub use spec_head::{MappingLevel, SpecSelection};
+
+/// Identifies a retrieval system in reports and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SystemId {
+    /// HuggingFace eager full attention.
+    FullEager,
+    /// Full attention with FlashAttention kernels.
+    FullFlash,
+    /// Full attention with FlashInfer kernels.
+    FullFlashInfer,
+    /// Sliding-window permanent eviction.
+    SlidingWindow,
+    /// StreamingLLM (sinks + window).
+    StreamingLlm,
+    /// Quest paged dynamic selection.
+    Quest,
+    /// ClusterKV clustered dynamic selection.
+    ClusterKv,
+    /// ShadowKV quantized-key dynamic selection.
+    ShadowKv,
+    /// SpeContext (this paper).
+    SpeContext,
+}
+
+impl std::fmt::Display for SystemId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SystemId::FullEager => "Full Attn (Eager)",
+            SystemId::FullFlash => "Full Attn (Flash Attn)",
+            SystemId::FullFlashInfer => "Full Attn (FlashInfer)",
+            SystemId::SlidingWindow => "Sliding Window",
+            SystemId::StreamingLlm => "StreamingLLM",
+            SystemId::Quest => "Quest",
+            SystemId::ClusterKv => "ClusterKV",
+            SystemId::ShadowKv => "ShadowKV",
+            SystemId::SpeContext => "SpeContext (Ours)",
+        };
+        f.write_str(s)
+    }
+}

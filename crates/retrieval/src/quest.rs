@@ -1,0 +1,201 @@
+//! Quest: query-aware paged KV selection (Tang et al., 2024).
+//!
+//! Preprocessing (after prefill): partition each head's key cache into
+//! pages and store per-page element-wise min/max vectors. At each decode
+//! step and each layer, compute an upper bound of every page's attention
+//! score from the current query, take the top pages within budget, and
+//! load all KV entries of the selected pages. Newly generated KV pairs
+//! are retained in full (the paradigm's Challenge-2 behaviour).
+
+use crate::common::{group_max_scores, SelectorConfig};
+use spec_kvcache::PageTable;
+use spec_model::{LayerKv, LayerSelector, ModelKv};
+use std::collections::BTreeSet;
+
+/// The Quest selector. Build with [`QuestSelector::preprocess`].
+#[derive(Debug, Clone)]
+pub struct QuestSelector {
+    cfg: SelectorConfig,
+    /// `tables[layer][kv_head]`.
+    tables: Vec<Vec<PageTable>>,
+    prefill_len: usize,
+}
+
+impl QuestSelector {
+    /// Builds page tables over the prefill KV cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache uses a latent (MLA) layout — Quest does not
+    /// support MLA (the paper reports no MLA/Qwen support either).
+    pub fn preprocess(kv: &ModelKv, cfg: SelectorConfig) -> Self {
+        let prefill_len = kv.seq_len();
+        let tables = kv
+            .layers
+            .iter()
+            .map(|layer| match layer {
+                LayerKv::PerHead { keys, .. } => keys
+                    .iter()
+                    .map(|k| PageTable::build(k, cfg.page_size))
+                    .collect(),
+                LayerKv::Latent { .. } => panic!("Quest does not support MLA layouts"),
+            })
+            .collect();
+        Self {
+            cfg,
+            tables,
+            prefill_len,
+        }
+    }
+
+    /// The prefill length captured at preprocessing time.
+    pub fn prefill_len(&self) -> usize {
+        self.prefill_len
+    }
+
+    /// Per-head page selection for one layer from pooled page scores.
+    fn select_head(&self, table: &PageTable, page_scores: &[f32], seq_len: usize) -> Vec<usize> {
+        let order = spec_tensor::topk::argsort_desc(page_scores);
+        let mut picked: BTreeSet<usize> = BTreeSet::new();
+        // Sinks as pages.
+        for p in 0..self.cfg.sinks.min(self.prefill_len) {
+            picked.insert(p);
+        }
+        let budget = self.cfg.budget.min(self.prefill_len);
+        for page in order {
+            if picked.len() >= budget {
+                break;
+            }
+            for pos in table.page_range(page) {
+                if picked.len() >= budget {
+                    break;
+                }
+                picked.insert(pos);
+            }
+        }
+        // Complete retention of newly generated KV.
+        for pos in self.prefill_len..seq_len {
+            picked.insert(pos);
+        }
+        picked.into_iter().collect()
+    }
+}
+
+impl LayerSelector for QuestSelector {
+    fn select(
+        &mut self,
+        layer: usize,
+        queries: &[Vec<f32>],
+        kv: &LayerKv,
+    ) -> Option<Vec<Vec<usize>>> {
+        let tables = &self.tables[layer];
+        let group = (queries.len() / tables.len()).max(1);
+        let seq_len = kv.seq_len();
+        Some(
+            tables
+                .iter()
+                .enumerate()
+                .map(|(hh, t)| {
+                    // Score pages per query head, then group-max the
+                    // *scores* (the GQA reduction of Fig. 5(c)).
+                    let per_q: Vec<Vec<f32>> = (hh * group..(hh + 1) * group)
+                        .map(|q| t.scores(&queries[q]))
+                        .collect();
+                    let pooled = group_max_scores(&per_q, group)[0].clone();
+                    self.select_head(t, &pooled, seq_len)
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_model::{AttentionKind, Model, PrefillMode, SimGeometry};
+
+    fn setup(n: usize) -> (Model, ModelKv) {
+        let geom = SimGeometry::tiny(AttentionKind::Gqa);
+        let m = Model::new(geom, 21);
+        let toks: Vec<usize> = (0..n).map(|i| i % 60).collect();
+        let (kv, _) = m.prefill_tokens(&toks, PrefillMode::Exact);
+        (m, kv)
+    }
+
+    #[test]
+    fn selection_respects_budget_over_prefix() {
+        let (m, kv) = setup(64);
+        let cfg = SelectorConfig {
+            budget: 16,
+            sinks: 2,
+            ..SelectorConfig::with_budget(16)
+        };
+        let mut quest = QuestSelector::preprocess(&kv, cfg);
+        let g = m.geometry();
+        let queries = vec![vec![0.1; g.head_dim]; g.q_heads];
+        let sel = quest.select(0, &queries, &kv.layers[0]).unwrap();
+        assert_eq!(sel.len(), g.kv_heads);
+        for head in &sel {
+            assert!(head.len() <= 16, "selected {}", head.len());
+            assert!(head.windows(2).all(|w| w[0] < w[1]));
+            assert!(head.contains(&0) && head.contains(&1), "sinks kept");
+        }
+    }
+
+    #[test]
+    fn new_tokens_fully_retained() {
+        let (m, mut kv) = setup(32);
+        let cfg = SelectorConfig::with_budget(8);
+        let mut quest = QuestSelector::preprocess(&kv, cfg);
+        // Decode a few steps so the cache outgrows the prefill.
+        let emb = m.embed_tokens(&[1, 2, 3]);
+        for (i, r) in (0..3).enumerate() {
+            m.decode_step(emb.row(r), 32 + i, &mut kv);
+        }
+        let g = m.geometry();
+        let queries = vec![vec![0.0; g.head_dim]; g.q_heads];
+        let sel = quest.select(1, &queries, &kv.layers[1]).unwrap();
+        for head in &sel {
+            for p in 32..35 {
+                assert!(head.contains(&p), "generated {p} must be retained");
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_query_selects_matching_page() {
+        // Keys in page 3 (positions 48..64) are scored by an aligned
+        // query; the page containing the best-matching key must be chosen.
+        // Quest's min/max page bound is intentionally loose, so give the
+        // budget room for three pages; the aligned page must rank within.
+        let (m, kv) = setup(64);
+        let cfg = SelectorConfig {
+            budget: 48,
+            sinks: 0,
+            recent: 0,
+            ..SelectorConfig::with_budget(48)
+        };
+        let mut quest = QuestSelector::preprocess(&kv, cfg);
+        // Use an actual key from position 50 as the query direction.
+        let key50: Vec<f32> = match &kv.layers[0] {
+            spec_model::LayerKv::PerHead { keys, .. } => keys[0].row(50).to_vec(),
+            _ => unreachable!(),
+        };
+        let g = m.geometry();
+        let queries = vec![key50; g.q_heads];
+        let sel = quest.select(0, &queries, &kv.layers[0]).unwrap();
+        assert!(
+            sel[0].contains(&50),
+            "page containing the aligned key must be selected"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support MLA")]
+    fn rejects_mla_layout() {
+        let geom = SimGeometry::tiny(AttentionKind::Mla);
+        let m = Model::new(geom, 3);
+        let (kv, _) = m.prefill_tokens(&[1, 2, 3, 4], PrefillMode::Exact);
+        let _ = QuestSelector::preprocess(&kv, SelectorConfig::default());
+    }
+}

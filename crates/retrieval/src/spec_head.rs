@@ -1,0 +1,337 @@
+//! The SpeContext selection: mapping retrieval-head attention weights to a
+//! whole-model sparse plan *before* LLM inference (paper Section 4.3).
+//!
+//! Unlike the layer-wise baselines, SpeContext produces the complete
+//! selection for every layer and KV head from a single retrieval-head
+//! pass over the input, which is what removes the per-layer
+//! retrieve-and-load data dependency (Section 5.1). The mapping depends
+//! on the LLM's attention mechanism:
+//!
+//! * **MHA** (Fig. 5(b)): DLM head *i* selects for LLM KV head *i*.
+//! * **GQA** (Fig. 5(c)): element-wise max over each group's DLM heads
+//!   produces the group-level weights; top-k per KV head.
+//! * **MQA** (Fig. 5(d)): a single group over all heads.
+//! * **MLA** (Fig. 5(e)): per head like MHA; the selection gathers latent
+//!   `c` rows, which are up-projected per head after the gather.
+//!
+//! A batch-level mapping (one shared selection for all heads) is provided
+//! for the Fig. 5(a) comparison — head-level wins.
+
+use crate::common::{assemble_budgeted_selection, group_max_scores, SelectorConfig};
+use spec_model::{AttentionKind, RetrievalHead, RetrievalHeadState, SimGeometry, SparsePlan};
+use serde::{Deserialize, Serialize};
+
+/// Mapping granularity of retrieval-head weights onto the LLM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MappingLevel {
+    /// Per-head selection (the paper's choice).
+    Head,
+    /// One coarse selection shared by all heads (ablation of Fig. 5(a)).
+    Batch,
+}
+
+/// A whole-model selection produced before LLM inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecSelection {
+    /// Per-KV-head position lists (identical across layers).
+    pub per_head: Vec<Vec<usize>>,
+    /// Budget used.
+    pub budget: usize,
+}
+
+impl SpecSelection {
+    /// Builds the selection from head-level retrieval scores.
+    ///
+    /// `scores[h]` is the retrieval head's softmax distribution for DLM
+    /// head `h` over all cache positions; `geom` is the **LLM's**
+    /// geometry (the DLM always exposes one score vector per LLM query
+    /// head).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores.len()` differs from the LLM's query-head count.
+    pub fn from_head_scores(
+        scores: &[Vec<f32>],
+        geom: &SimGeometry,
+        cfg: &SelectorConfig,
+        level: MappingLevel,
+    ) -> Self {
+        assert_eq!(
+            scores.len(),
+            geom.q_heads,
+            "expected one score vector per LLM query head"
+        );
+        let seq_len = scores[0].len();
+        let per_head: Vec<Vec<usize>> = match level {
+            MappingLevel::Head => {
+                let group = match geom.attention {
+                    AttentionKind::Mha | AttentionKind::Mla => 1,
+                    AttentionKind::Gqa | AttentionKind::Mqa => geom.group_size(),
+                };
+                let grouped = group_max_scores(scores, group);
+                let kv_heads = model_kv_heads(geom);
+                assert_eq!(grouped.len(), kv_heads, "group mapping mismatch");
+                grouped
+                    .iter()
+                    .map(|s| assemble_budgeted_selection(s, seq_len, cfg).0)
+                    .collect()
+            }
+            MappingLevel::Batch => {
+                let pooled = group_max_scores(scores, scores.len());
+                let sel = assemble_budgeted_selection(&pooled[0], seq_len, cfg).0;
+                vec![sel; model_kv_heads(geom)]
+            }
+        };
+        Self {
+            per_head,
+            budget: cfg.budget,
+        }
+    }
+
+    /// Expands into a [`SparsePlan`] applying the selection to every layer.
+    pub fn to_plan(&self, layers: usize) -> SparsePlan {
+        SparsePlan {
+            layers: vec![Some(self.per_head.clone()); layers],
+        }
+    }
+
+    /// The union of all heads' positions (the set of KV entries that must
+    /// be resident on the GPU; per-head slots alias into it).
+    pub fn union_positions(&self) -> Vec<usize> {
+        let mut set: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        for h in &self.per_head {
+            set.extend(h.iter().copied());
+        }
+        set.into_iter().collect()
+    }
+}
+
+/// Number of KV-head-level selections the LLM needs.
+fn model_kv_heads(geom: &SimGeometry) -> usize {
+    match geom.attention {
+        // MLA gathers latent rows per (query) head.
+        AttentionKind::Mla => geom.kv_heads,
+        _ => geom.kv_heads,
+    }
+}
+
+/// Drives a retrieval head across a decode session: appends each token
+/// and produces the pre-inference selection for the next LLM step.
+#[derive(Debug, Clone)]
+pub struct SpecContextRetriever {
+    head: RetrievalHead,
+    state: RetrievalHeadState,
+    cfg: SelectorConfig,
+    level: MappingLevel,
+    /// Exponential moving average of observed embeddings — a stand-in for
+    /// the DLM's hidden-state input (EAGLE-3 feeds hidden features), which
+    /// varies slowly across adjacent tokens.
+    ema: Vec<f32>,
+}
+
+/// EMA decay for the context average.
+const EMA_DECAY: f32 = 0.9;
+
+fn norm(v: &[f32]) -> f32 {
+    v.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+impl SpecContextRetriever {
+    /// Creates a retriever around a pruned retrieval head.
+    pub fn new(head: RetrievalHead, cfg: SelectorConfig, level: MappingLevel) -> Self {
+        let state = head.new_state();
+        Self {
+            head,
+            state,
+            cfg,
+            level,
+            ema: Vec::new(),
+        }
+    }
+
+    /// Appends an embedded token to the head's key cache (run for every
+    /// prompt token during prefill and every generated token thereafter).
+    pub fn observe(&mut self, emb: &[f32]) {
+        if self.ema.is_empty() {
+            self.ema = emb.to_vec();
+        } else {
+            for (e, x) in self.ema.iter_mut().zip(emb) {
+                *e = EMA_DECAY * *e + (1.0 - EMA_DECAY) * x;
+            }
+        }
+        self.head.append(emb, &mut self.state);
+    }
+
+    /// Number of observed positions.
+    pub fn observed(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Produces the selection for the upcoming LLM step whose input
+    /// embedding is `query_emb` (the token about to be fed to the LLM).
+    ///
+    /// The effective retrieval query blends the token embedding with the
+    /// context EMA per `cfg.query_smoothing`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been observed yet.
+    pub fn select(&self, query_emb: &[f32], llm_geom: &SimGeometry) -> SpecSelection {
+        let lambda = self.cfg.query_smoothing.clamp(0.0, 1.0);
+        let blended: Vec<f32> = if lambda > 0.0 && !self.ema.is_empty() {
+            // Blend unit directions: the head RMS-norms its query, so only
+            // the direction matters, and the raw EMA norm is much smaller
+            // than a token embedding's.
+            let nq = norm(query_emb).max(1e-9);
+            let ne = norm(&self.ema).max(1e-9);
+            query_emb
+                .iter()
+                .zip(&self.ema)
+                .map(|(q, e)| (1.0 - lambda) * q / nq + lambda * e / ne)
+                .collect()
+        } else {
+            query_emb.to_vec()
+        };
+        let scores = self.head.head_scores(&blended, &self.state);
+        SpecSelection::from_head_scores(&scores, llm_geom, &self.cfg, self.level)
+    }
+
+    /// The selector configuration.
+    pub fn config(&self) -> &SelectorConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_model::{DistillOptions, Dlm, Model, PrefillMode};
+    use spec_tensor::stats;
+
+    fn head_and_model(kind: AttentionKind) -> (Model, RetrievalHead) {
+        let geom = SimGeometry::tiny(kind);
+        let m = Model::new(geom, 51);
+        let head = Dlm::distill(&m, DistillOptions::default()).to_retrieval_head();
+        (m, head)
+    }
+
+    fn fake_scores(heads: usize, n: usize, peak: usize) -> Vec<Vec<f32>> {
+        (0..heads)
+            .map(|h| {
+                let mut s = vec![0.01; n];
+                s[(peak + h) % n] = 0.9;
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn head_level_selection_differs_per_kv_head() {
+        let geom = SimGeometry::tiny(AttentionKind::Gqa);
+        let scores = fake_scores(geom.q_heads, 64, 10);
+        let cfg = SelectorConfig {
+            budget: 4,
+            sinks: 1,
+            recent: 1,
+            ..SelectorConfig::with_budget(4)
+        };
+        let sel = SpecSelection::from_head_scores(&scores, &geom, &cfg, MappingLevel::Head);
+        assert_eq!(sel.per_head.len(), geom.kv_heads);
+        // Heads peak at different positions -> different selections.
+        assert_ne!(sel.per_head[0], sel.per_head[1]);
+    }
+
+    #[test]
+    fn batch_level_selection_is_shared() {
+        let geom = SimGeometry::tiny(AttentionKind::Gqa);
+        let scores = fake_scores(geom.q_heads, 64, 10);
+        let cfg = SelectorConfig::with_budget(8);
+        let sel = SpecSelection::from_head_scores(&scores, &geom, &cfg, MappingLevel::Batch);
+        assert!(sel.per_head.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn gqa_group_max_pulls_in_each_members_peak() {
+        let geom = SimGeometry::tiny(AttentionKind::Gqa); // 4 q heads, 2 kv heads
+        let n = 32;
+        let mut scores = vec![vec![0.0; n]; geom.q_heads];
+        scores[0][5] = 0.9; // group 0 member
+        scores[1][9] = 0.8; // group 0 member
+        scores[2][20] = 0.7; // group 1
+        scores[3][21] = 0.6; // group 1
+        let cfg = SelectorConfig {
+            budget: 4,
+            sinks: 0,
+            recent: 0,
+            ..SelectorConfig::with_budget(4)
+        };
+        let sel = SpecSelection::from_head_scores(&scores, &geom, &cfg, MappingLevel::Head);
+        assert!(sel.per_head[0].contains(&5) && sel.per_head[0].contains(&9));
+        assert!(sel.per_head[1].contains(&20) && sel.per_head[1].contains(&21));
+    }
+
+    #[test]
+    fn plan_covers_every_layer() {
+        let geom = SimGeometry::tiny(AttentionKind::Mqa);
+        let scores = fake_scores(geom.q_heads, 16, 3);
+        let sel = SpecSelection::from_head_scores(
+            &scores,
+            &geom,
+            &SelectorConfig::with_budget(4),
+            MappingLevel::Head,
+        );
+        let plan = sel.to_plan(geom.layers);
+        assert_eq!(plan.layers.len(), geom.layers);
+        plan.validate(16, geom.kv_heads).unwrap();
+    }
+
+    #[test]
+    fn retriever_end_to_end_for_all_kinds() {
+        for kind in [
+            AttentionKind::Mha,
+            AttentionKind::Gqa,
+            AttentionKind::Mqa,
+            AttentionKind::Mla,
+        ] {
+            let (m, head) = head_and_model(kind);
+            let cfg = SelectorConfig {
+                budget: 8,
+                sinks: 2,
+                recent: 2,
+                ..SelectorConfig::with_budget(8)
+            };
+            let mut retr = SpecContextRetriever::new(head, cfg, MappingLevel::Head);
+            let tokens: Vec<usize> = (0..24).collect();
+            let emb = m.embed_tokens(&tokens);
+            for r in 0..emb.rows() {
+                retr.observe(emb.row(r));
+            }
+            let sel = retr.select(emb.row(23), m.geometry());
+            let plan = sel.to_plan(m.geometry().layers);
+            plan.validate(24, m.geometry().kv_heads)
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+
+            // The plan must run through the model.
+            let (mut kv, _) = m.prefill_embeddings(&emb, PrefillMode::Exact);
+            let out = m.decode_step_sparse(emb.row(0), 24, &mut kv, &plan);
+            assert!(out.logits.iter().all(|v| v.is_finite()), "{kind}");
+        }
+    }
+
+    #[test]
+    fn adjacent_step_selections_overlap_strongly() {
+        // Fig. 6(b): consecutive decode steps select similar positions.
+        let (m, head) = head_and_model(AttentionKind::Gqa);
+        let cfg = SelectorConfig::with_budget(16);
+        let mut retr = SpecContextRetriever::new(head, cfg, MappingLevel::Head);
+        let tokens: Vec<usize> = (0..48).map(|i| (i * 5) % 60).collect();
+        let emb = m.embed_tokens(&tokens);
+        for r in 0..emb.rows() {
+            retr.observe(emb.row(r));
+        }
+        let s1 = retr.select(emb.row(46), m.geometry());
+        let s2 = retr.select(emb.row(47), m.geometry());
+        let overlap = stats::overlap_rate(&s1.per_head[0], &s2.per_head[0]);
+        assert!(overlap > 0.5, "adjacent overlap {overlap}");
+    }
+}

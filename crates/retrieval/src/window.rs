@@ -1,0 +1,138 @@
+//! Permanent-eviction baselines: SlidingWindow and StreamingLLM.
+//!
+//! Both are input-agnostic, query-independent policies (paper Section 2.2):
+//! SlidingWindow keeps only the most recent `window` positions;
+//! StreamingLLM (Xiao et al., 2023) additionally pins the first `sinks`
+//! positions — the "attention sink" phenomenon.
+
+use spec_model::{LayerKv, LayerSelector};
+
+/// Keep only the last `window` positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlidingWindow {
+    /// Window width in tokens.
+    pub window: usize,
+}
+
+impl SlidingWindow {
+    /// Creates a sliding window of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self { window }
+    }
+}
+
+impl LayerSelector for SlidingWindow {
+    fn select(
+        &mut self,
+        _layer: usize,
+        _queries: &[Vec<f32>],
+        kv: &LayerKv,
+    ) -> Option<Vec<Vec<usize>>> {
+        let len = kv.seq_len();
+        let lo = len.saturating_sub(self.window);
+        let positions: Vec<usize> = (lo..len).collect();
+        Some(vec![positions; kv_heads(kv)])
+    }
+}
+
+/// StreamingLLM: attention sinks plus a sliding window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamingLlm {
+    /// Pinned initial positions.
+    pub sinks: usize,
+    /// Recent window width.
+    pub window: usize,
+}
+
+impl StreamingLlm {
+    /// Creates a StreamingLLM policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(sinks: usize, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self { sinks, window }
+    }
+}
+
+impl LayerSelector for StreamingLlm {
+    fn select(
+        &mut self,
+        _layer: usize,
+        _queries: &[Vec<f32>],
+        kv: &LayerKv,
+    ) -> Option<Vec<Vec<usize>>> {
+        let len = kv.seq_len();
+        let lo = len.saturating_sub(self.window);
+        let mut positions: Vec<usize> = (0..self.sinks.min(lo)).collect();
+        positions.extend(lo..len);
+        Some(vec![positions; kv_heads(kv)])
+    }
+}
+
+fn kv_heads(kv: &LayerKv) -> usize {
+    match kv {
+        LayerKv::PerHead { keys, .. } => keys.len(),
+        LayerKv::Latent { .. } => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_model::{AttentionKind, Model, PrefillMode, SimGeometry};
+
+    fn cache(n: usize) -> LayerKv {
+        let geom = SimGeometry::tiny(AttentionKind::Gqa);
+        let m = Model::new(geom, 5);
+        let toks: Vec<usize> = (0..n).collect();
+        let (kv, _) = m.prefill_tokens(&toks, PrefillMode::Exact);
+        kv.layers.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn sliding_window_keeps_tail() {
+        let kv = cache(10);
+        let mut w = SlidingWindow::new(3);
+        let sel = w.select(0, &[], &kv).unwrap();
+        assert_eq!(sel[0], vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn sliding_window_smaller_sequence() {
+        let kv = cache(2);
+        let mut w = SlidingWindow::new(5);
+        let sel = w.select(0, &[], &kv).unwrap();
+        assert_eq!(sel[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn streaming_keeps_sinks_and_tail() {
+        let kv = cache(12);
+        let mut s = StreamingLlm::new(2, 3);
+        let sel = s.select(0, &[], &kv).unwrap();
+        assert_eq!(sel[0], vec![0, 1, 9, 10, 11]);
+    }
+
+    #[test]
+    fn streaming_no_overlap_when_window_covers_sinks() {
+        let kv = cache(4);
+        let mut s = StreamingLlm::new(2, 10);
+        let sel = s.select(0, &[], &kv).unwrap();
+        assert_eq!(sel[0], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn all_heads_share_policy() {
+        let kv = cache(8);
+        let mut s = StreamingLlm::new(1, 2);
+        let sel = s.select(0, &[], &kv).unwrap();
+        assert!(sel.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,341 @@
+//! Continuous-batching request scheduler — the serving system of the
+//! paper's Fig. 3 ("Model, Requests → KV cache manager → hardware").
+//!
+//! Requests arrive over time; the scheduler admits them into the running
+//! batch whenever the memory model allows (weights + per-request KV under
+//! the system's placement policy), executes one decode iteration for the
+//! whole batch, retires finished requests, and repeats. Iteration latency
+//! comes from the same per-step dataflow timelines as the throughput
+//! benches, so scheduler results and Table-3 results are mutually
+//! consistent.
+
+use crate::serving::{ServingSim, SystemKind, Workload};
+use serde::{Deserialize, Serialize};
+
+/// One serving request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Request id (unique per run).
+    pub id: usize,
+    /// Prompt tokens.
+    pub input_len: usize,
+    /// Tokens to generate.
+    pub output_len: usize,
+    /// Arrival time, seconds.
+    pub arrival: f64,
+}
+
+/// A finished request with its timing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompletedRequest {
+    /// The request.
+    pub request: Request,
+    /// When decoding started (admission + prefill end).
+    pub start: f64,
+    /// When the last token was produced.
+    pub finish: f64,
+}
+
+impl CompletedRequest {
+    /// End-to-end latency (arrival to last token).
+    pub fn latency(&self) -> f64 {
+        self.finish - self.request.arrival
+    }
+
+    /// Queueing + prefill delay before decoding began.
+    pub fn time_to_first_token(&self) -> f64 {
+        self.start - self.request.arrival
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Hard cap on concurrent requests.
+    pub max_batch: usize,
+    /// Decode iterations between admission checks (1 = every step;
+    /// larger values model chunked admission).
+    pub admission_stride: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            admission_stride: 16,
+        }
+    }
+}
+
+/// A serving run's aggregate report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleReport {
+    /// Completed requests, in finish order.
+    pub completed: Vec<CompletedRequest>,
+    /// Total simulated time.
+    pub makespan: f64,
+    /// Output tokens per second over the whole run.
+    pub throughput: f64,
+    /// Mean end-to-end latency.
+    pub mean_latency: f64,
+    /// 95th-percentile latency.
+    pub p95_latency: f64,
+    /// Requests that could never be admitted (memory).
+    pub rejected: usize,
+}
+
+/// The continuous-batching simulator, bound to a system and a
+/// [`ServingSim`]'s model/device/budget.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    sim: ServingSim,
+    system: SystemKind,
+    cfg: SchedulerConfig,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    req: Request,
+    produced: usize,
+    start: f64,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for `system` on the given serving simulator.
+    pub fn new(sim: ServingSim, system: SystemKind, cfg: SchedulerConfig) -> Self {
+        Self { sim, system, cfg }
+    }
+
+    /// Runs the request trace to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` is empty or not sorted by arrival.
+    pub fn run(&self, requests: &[Request]) -> ScheduleReport {
+        assert!(!requests.is_empty(), "no requests");
+        assert!(
+            requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "requests must be sorted by arrival"
+        );
+        let mut queue: std::collections::VecDeque<Request> =
+            requests.iter().copied().collect();
+        let mut running: Vec<Running> = Vec::new();
+        let mut completed: Vec<CompletedRequest> = Vec::new();
+        let mut rejected = 0usize;
+        let mut now = 0.0f64;
+        let mut iter = 0usize;
+
+        while !queue.is_empty() || !running.is_empty() {
+            // Admission.
+            if iter % self.cfg.admission_stride == 0 {
+                while let Some(&head) = queue.front() {
+                    if head.arrival > now && running.is_empty() {
+                        now = head.arrival; // idle: jump to next arrival
+                    }
+                    if head.arrival > now || running.len() >= self.cfg.max_batch {
+                        break;
+                    }
+                    if !self.admissible(&running, &head) {
+                        if running.is_empty() {
+                            // Can never run, even alone.
+                            rejected += 1;
+                            queue.pop_front();
+                            continue;
+                        }
+                        break;
+                    }
+                    queue.pop_front();
+                    now += self.prefill_time(&head);
+                    running.push(Running {
+                        req: head,
+                        produced: 0,
+                        start: now,
+                    });
+                }
+            }
+            if running.is_empty() {
+                iter += 1;
+                continue;
+            }
+            // One decode iteration for the whole batch.
+            now += self.iteration_time(&running);
+            iter += 1;
+            for r in running.iter_mut() {
+                r.produced += 1;
+            }
+            running.retain(|r| {
+                if r.produced >= r.req.output_len {
+                    completed.push(CompletedRequest {
+                        request: r.req,
+                        start: r.start,
+                        finish: now,
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+
+        let total_tokens: usize = completed.iter().map(|c| c.request.output_len).sum();
+        let mut latencies: Vec<f64> = completed.iter().map(CompletedRequest::latency).collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mean_latency = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+        let p95_latency = latencies
+            .get(((latencies.len() as f64 * 0.95) as usize).min(latencies.len().saturating_sub(1)))
+            .copied()
+            .unwrap_or(0.0);
+        ScheduleReport {
+            makespan: now,
+            throughput: if now > 0.0 {
+                total_tokens as f64 / now
+            } else {
+                0.0
+            },
+            mean_latency,
+            p95_latency,
+            rejected,
+            completed,
+        }
+    }
+
+    /// Whether adding `req` to the running batch fits in GPU memory at
+    /// the *final* lengths (conservative admission).
+    fn admissible(&self, running: &[Running], req: &Request) -> bool {
+        let mm = self.sim.memory_model();
+        let max_len = running
+            .iter()
+            .map(|r| r.req.input_len + r.req.output_len)
+            .chain([req.input_len + req.output_len])
+            .max()
+            .unwrap_or(0);
+        let batch = running.len() + 1;
+        match self.system {
+            SystemKind::SpeContext => {
+                // Adaptive placement: admissible if full offload fits.
+                mm.m_part(batch, max_len, mm.layers, self.sim_budget()) <= mm.gpu_mem as f64
+            }
+            _ => mm.fits_all(batch, max_len),
+        }
+    }
+
+    fn sim_budget(&self) -> usize {
+        self.sim.budget()
+    }
+
+    fn prefill_time(&self, req: &Request) -> f64 {
+        self.sim
+            .throughput(self.system, &Workload::new(req.input_len, 1, 1))
+            .prefill_s
+    }
+
+    /// Iteration latency at the current batch composition: the per-step
+    /// dataflow timeline at the batch's mean sequence length.
+    fn iteration_time(&self, running: &[Running]) -> f64 {
+        let batch = running.len();
+        let mean_len: usize = running
+            .iter()
+            .map(|r| r.req.input_len + r.produced)
+            .sum::<usize>()
+            / batch;
+        self.sim.step_time(self.system, batch, mean_len, mean_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_hwsim::DeviceSpec;
+    use spec_model::ModelConfig;
+
+    fn sim() -> ServingSim {
+        ServingSim::new(
+            ModelConfig::deepseek_distill_llama_8b(),
+            DeviceSpec::a100_80g(),
+            2048,
+        )
+    }
+
+    fn trace(n: usize, spacing: f64) -> Vec<Request> {
+        (0..n)
+            .map(|i| Request {
+                id: i,
+                input_len: 2048,
+                output_len: 1024,
+                arrival: i as f64 * spacing,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_requests_complete_in_fifo_friendly_trace() {
+        let s = Scheduler::new(sim(), SystemKind::SpeContext, SchedulerConfig::default());
+        let report = s.run(&trace(8, 0.1));
+        assert_eq!(report.completed.len(), 8);
+        assert_eq!(report.rejected, 0);
+        assert!(report.throughput > 0.0);
+        for c in &report.completed {
+            assert!(c.finish > c.start);
+            assert!(c.start >= c.request.arrival);
+        }
+    }
+
+    #[test]
+    fn batching_system_outperforms_single_request_system() {
+        let reqs = trace(6, 0.01);
+        let ours = Scheduler::new(sim(), SystemKind::SpeContext, SchedulerConfig::default())
+            .run(&reqs);
+        let quest_cfg = SchedulerConfig {
+            max_batch: 1,
+            ..SchedulerConfig::default()
+        };
+        let quest = Scheduler::new(sim(), SystemKind::Quest, quest_cfg).run(&reqs);
+        assert!(
+            ours.throughput > quest.throughput,
+            "ours {} vs single-request {}",
+            ours.throughput,
+            quest.throughput
+        );
+        assert!(ours.mean_latency < quest.mean_latency);
+    }
+
+    #[test]
+    fn memory_pressure_limits_full_attention_batch() {
+        // Full attention at 33K final length cannot batch as deep as the
+        // sparse system: its makespan suffers.
+        let reqs: Vec<Request> = (0..8)
+            .map(|i| Request {
+                id: i,
+                input_len: 2048,
+                output_len: 31 * 1024,
+                arrival: 0.0,
+            })
+            .collect();
+        let full = Scheduler::new(sim(), SystemKind::FullFlashInfer, SchedulerConfig::default())
+            .run(&reqs);
+        let ours =
+            Scheduler::new(sim(), SystemKind::SpeContext, SchedulerConfig::default()).run(&reqs);
+        assert!(ours.throughput > full.throughput);
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_not_hung() {
+        let reqs = vec![Request {
+            id: 0,
+            input_len: 10_000_000, // cannot fit even alone
+            output_len: 10_000_000,
+            arrival: 0.0,
+        }];
+        let s = Scheduler::new(sim(), SystemKind::FullFlashInfer, SchedulerConfig::default());
+        let report = s.run(&reqs);
+        assert_eq!(report.rejected, 1);
+        assert!(report.completed.is_empty());
+    }
+
+    #[test]
+    fn p95_at_least_mean() {
+        let s = Scheduler::new(sim(), SystemKind::SpeContext, SchedulerConfig::default());
+        let report = s.run(&trace(10, 0.5));
+        assert!(report.p95_latency >= report.mean_latency * 0.5);
+    }
+}

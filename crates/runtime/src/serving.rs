@@ -1,0 +1,574 @@
+//! End-to-end throughput estimation: Table 3, Fig. 10, Fig. 11.
+//!
+//! A [`ServingSim`] binds a model config, a device and a KV budget;
+//! [`ServingSim::throughput`] then estimates tokens/second for one system
+//! on one workload by composing the prefill cost, the per-system
+//! preprocessing cost, and the per-step decode timelines of
+//! [`crate::dataflow`], integrated over the growing sequence length with
+//! the memory policy deciding layer placement at every point.
+
+use crate::adaptive::Thresholds;
+use crate::costs::{CostModel, PreprocessKind};
+use crate::dataflow::{step_timeline, DataflowKind, StepBreakdown, StepParams};
+use crate::memory::MemoryModel;
+use serde::{Deserialize, Serialize};
+use spec_hwsim::{DeviceSpec, EngineProfile};
+use spec_model::ModelConfig;
+
+/// The systems of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// HuggingFace eager full attention.
+    FullEager,
+    /// Full attention on FlashAttention kernels.
+    FullFlash,
+    /// Full attention on FlashInfer kernels.
+    FullFlashInfer,
+    /// Quest (paged dynamic selection).
+    Quest,
+    /// ClusterKV (clustered dynamic selection).
+    ClusterKv,
+    /// ShadowKV (quantized-key selection, V offload).
+    ShadowKv,
+    /// SpeContext (this paper).
+    SpeContext,
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SystemKind::FullEager => "Full Attn (Eager)",
+            SystemKind::FullFlash => "Full Attn (Flash Attn)",
+            SystemKind::FullFlashInfer => "Full Attn (FlashInfer)",
+            SystemKind::Quest => "Quest",
+            SystemKind::ClusterKv => "ClusterKV",
+            SystemKind::ShadowKv => "ShadowKV",
+            SystemKind::SpeContext => "SpeContext (Ours)",
+        };
+        f.write_str(s)
+    }
+}
+
+impl SystemKind {
+    /// All systems, in the paper's table order.
+    pub fn all() -> [SystemKind; 7] {
+        [
+            SystemKind::FullEager,
+            SystemKind::FullFlash,
+            SystemKind::FullFlashInfer,
+            SystemKind::Quest,
+            SystemKind::ClusterKv,
+            SystemKind::ShadowKv,
+            SystemKind::SpeContext,
+        ]
+    }
+
+    /// The engine profile each system runs on (SpeContext is built on
+    /// FlashInfer, Section 7.5.1).
+    pub fn profile(&self) -> EngineProfile {
+        match self {
+            SystemKind::FullEager => EngineProfile::eager(),
+            SystemKind::FullFlash => EngineProfile::flash_attention(),
+            SystemKind::FullFlashInfer | SystemKind::SpeContext => EngineProfile::flashinfer(),
+            _ => EngineProfile::flash_attention(),
+        }
+    }
+
+    /// Whether the system supports batched (multi-request) serving
+    /// (Quest and ClusterKV are single-request, Section 7.3.1).
+    pub fn supports_batching(&self) -> bool {
+        !matches!(self, SystemKind::Quest | SystemKind::ClusterKv)
+    }
+
+    /// Maximum batch the system's serving stack can schedule. HF eager
+    /// has no paged KV allocator and preallocates max-context buffers,
+    /// capping it at small batches (the paper's Table 3 runs it at 4).
+    pub fn max_batch(&self) -> usize {
+        match self {
+            SystemKind::FullEager => 4,
+            SystemKind::Quest | SystemKind::ClusterKv => 1,
+            _ => usize::MAX,
+        }
+    }
+}
+
+/// How the system places KV between GPU and CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemoryPolicy {
+    /// Everything on GPU; out-of-memory if it does not fit.
+    AllGpuOrOom,
+    /// Decided before inference from the final length: all GPU if it
+    /// fits, otherwise the entire KV cache on CPU (Challenge 3).
+    AllGpuOrFullOffload,
+    /// SpeContext's per-layer progressive offloading (Section 6).
+    Adaptive,
+}
+
+impl SystemKind {
+    /// Default memory policy per system.
+    pub fn default_policy(&self) -> MemoryPolicy {
+        match self {
+            SystemKind::SpeContext => MemoryPolicy::Adaptive,
+            SystemKind::FullEager | SystemKind::FullFlash | SystemKind::FullFlashInfer => {
+                MemoryPolicy::AllGpuOrOom
+            }
+            _ => MemoryPolicy::AllGpuOrFullOffload,
+        }
+    }
+}
+
+/// A `[input_len, output_len] × requests` workload (Table 3 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Prompt length per request.
+    pub input_len: usize,
+    /// Generated tokens per request.
+    pub output_len: usize,
+    /// Concurrent requests.
+    pub requests: usize,
+}
+
+impl Workload {
+    /// Convenience constructor.
+    pub fn new(input_len: usize, output_len: usize, requests: usize) -> Self {
+        Self {
+            input_len,
+            output_len,
+            requests,
+        }
+    }
+}
+
+/// The result of a throughput simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Output tokens per second (all requests combined); 0 when OOM.
+    pub tokens_per_s: f64,
+    /// Whether the configuration ran out of GPU memory.
+    pub oom: bool,
+    /// Prefill + preprocessing seconds.
+    pub prefill_s: f64,
+    /// Total decode seconds.
+    pub decode_s: f64,
+    /// Bytes moved over PCIe during decode.
+    pub transfer_bytes: f64,
+    /// Mean per-step breakdown at the midpoint sequence length.
+    pub mid_step: StepBreakdown,
+    /// The batch size simulated.
+    pub requests: usize,
+}
+
+impl ThroughputReport {
+    fn oom(requests: usize) -> Self {
+        Self {
+            tokens_per_s: 0.0,
+            oom: true,
+            prefill_s: 0.0,
+            decode_s: 0.0,
+            transfer_bytes: 0.0,
+            mid_step: StepBreakdown::default(),
+            requests,
+        }
+    }
+}
+
+/// The serving simulator.
+#[derive(Debug, Clone)]
+pub struct ServingSim {
+    cm: CostModel,
+    mm: MemoryModel,
+    dev: DeviceSpec,
+    budget: usize,
+    /// Elastic-loading reuse fraction used for SpeContext steps.
+    pub elastic_reuse: f32,
+}
+
+impl ServingSim {
+    /// Creates a simulator for a model on a device with a KV budget.
+    pub fn new(cfg: ModelConfig, dev: DeviceSpec, budget: usize) -> Self {
+        let mm = MemoryModel::new(&cfg, &dev);
+        Self {
+            cm: CostModel::new(cfg),
+            mm,
+            dev,
+            budget,
+            elastic_reuse: 0.85,
+        }
+    }
+
+    /// The memory model.
+    pub fn memory_model(&self) -> &MemoryModel {
+        &self.mm
+    }
+
+    /// The cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cm
+    }
+
+    /// The KV budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// One decode-iteration latency for `system` at batch `r`, total
+    /// sequence length `s`, with the prompt portion `prefill_len`
+    /// (governs the baselines' retained-generation growth). Placement
+    /// follows the system's default policy at this point.
+    pub fn step_time(&self, system: SystemKind, r: usize, s: usize, prefill_len: usize) -> f64 {
+        let cfg = self.cm.config();
+        let profile = system.profile();
+        let l_cpu = match system.default_policy() {
+            MemoryPolicy::AllGpuOrOom => 0,
+            MemoryPolicy::AllGpuOrFullOffload => {
+                if self.mm.fits_all(r, s) {
+                    0
+                } else {
+                    cfg.layers
+                }
+            }
+            MemoryPolicy::Adaptive => {
+                let th = Thresholds::compute(&self.mm, r, self.budget);
+                th.required_offload(s).unwrap_or(cfg.layers)
+            }
+        };
+        let generated = s.saturating_sub(prefill_len);
+        let (kind, s_att, candidates, candidate_bytes) =
+            self.system_step_shape(system, s, prefill_len, generated);
+        let params = StepParams {
+            r,
+            s_total: s,
+            s_attended: s_att,
+            candidates,
+            candidate_bytes,
+            l_cpu,
+            budget: self.budget,
+            reuse: self.elastic_reuse,
+        };
+        step_timeline(kind, &self.cm, &profile, &self.dev, &params).1.total
+    }
+
+    /// The per-system dataflow shape at a point in the generation.
+    fn system_step_shape(
+        &self,
+        system: SystemKind,
+        s: usize,
+        prefill_len: usize,
+        generated: usize,
+    ) -> (DataflowKind, usize, usize, f64) {
+        let cfg = self.cm.config();
+        match system {
+            SystemKind::FullEager | SystemKind::FullFlash | SystemKind::FullFlashInfer => {
+                (DataflowKind::PrefetchFullKv, s, 0, 0.0)
+            }
+            SystemKind::Quest => (
+                DataflowKind::FetchSparseKv,
+                (self.budget + generated).min(s),
+                prefill_len / 16,
+                4.0 * cfg.head_dim as f64,
+            ),
+            SystemKind::ClusterKv => (
+                DataflowKind::FetchSparseKv,
+                (self.budget + generated).min(s),
+                prefill_len / 16,
+                2.0 * cfg.head_dim as f64,
+            ),
+            SystemKind::ShadowKv => (
+                DataflowKind::PrefetchSparseV,
+                (self.budget + generated).min(s),
+                prefill_len,
+                cfg.head_dim as f64 / 2.0 + 4.0,
+            ),
+            SystemKind::SpeContext => (DataflowKind::SpeContext, self.budget.min(s), 0, 0.0),
+        }
+    }
+
+    /// Estimates throughput for `system` with its default memory policy.
+    pub fn throughput(&self, system: SystemKind, w: &Workload) -> ThroughputReport {
+        self.throughput_with_policy(system, w, system.default_policy())
+    }
+
+    /// Estimates throughput under an explicit memory policy (used by the
+    /// ablation of Fig. 11 and the Challenge-3 experiment of Fig. 2(a)).
+    pub fn throughput_with_policy(
+        &self,
+        system: SystemKind,
+        w: &Workload,
+        policy: MemoryPolicy,
+    ) -> ThroughputReport {
+        let cfg = self.cm.config();
+        let profile = system.profile();
+        let s_end = w.input_len + w.output_len;
+        let r = w.requests;
+
+        // --- OOM checks -------------------------------------------------
+        match policy {
+            MemoryPolicy::AllGpuOrOom => {
+                let mut needed = self.mm.m_all(r, s_end);
+                if system == SystemKind::FullEager {
+                    needed += self.mm.eager_prefill_scores_bytes(r, w.input_len);
+                }
+                if needed > self.mm.gpu_mem as f64 {
+                    return ThroughputReport::oom(r);
+                }
+            }
+            MemoryPolicy::AllGpuOrFullOffload | MemoryPolicy::Adaptive => {
+                // Even full offload needs the model weights resident.
+                if self.mm.static_bytes()
+                    + 4.0 * (self.budget * r) as f64
+                        * (self.mm.kv_heads * self.mm.head_dim) as f64
+                    > self.mm.gpu_mem as f64
+                {
+                    return ThroughputReport::oom(r);
+                }
+            }
+        }
+
+        // --- prefill + preprocessing ------------------------------------
+        let mut prefill_s = profile.op_time(self.cm.prefill(r, w.input_len), &self.dev);
+        let preprocess = match system {
+            SystemKind::Quest => PreprocessKind::Paging,
+            SystemKind::ClusterKv => PreprocessKind::Clustering {
+                iters: 15,
+                tokens_per_cluster: 16,
+            },
+            SystemKind::ShadowKv => PreprocessKind::Quantization,
+            _ => PreprocessKind::None,
+        };
+        prefill_s += profile.op_time(self.cm.preprocess(r, w.input_len, preprocess), &self.dev);
+        if system == SystemKind::SpeContext {
+            prefill_s +=
+                profile.op_time(self.cm.retrieval_head_prefill(r, w.input_len), &self.dev);
+        }
+
+        // --- decode integration ------------------------------------------
+        let thresholds = Thresholds::compute(&self.mm, r, self.budget);
+        let full_offload_decided = policy == MemoryPolicy::AllGpuOrFullOffload
+            && !self.mm.fits_all(r, s_end);
+
+        let l_cpu_at = |s: usize| -> Option<usize> {
+            match policy {
+                MemoryPolicy::AllGpuOrOom => Some(0),
+                MemoryPolicy::AllGpuOrFullOffload => {
+                    Some(if full_offload_decided { cfg.layers } else { 0 })
+                }
+                MemoryPolicy::Adaptive => thresholds.required_offload(s).or(Some(cfg.layers)),
+            }
+        };
+
+        let step_at = |s: usize| -> StepBreakdown {
+            let l_cpu = l_cpu_at(s).unwrap_or(cfg.layers);
+            let generated = s.saturating_sub(w.input_len);
+            let (kind, s_att, candidates, candidate_bytes) =
+                self.system_step_shape(system, s, w.input_len, generated);
+            let params = StepParams {
+                r,
+                s_total: s,
+                s_attended: s_att,
+                candidates,
+                candidate_bytes,
+                l_cpu,
+                budget: self.budget,
+                reuse: self.elastic_reuse,
+            };
+            step_timeline(kind, &self.cm, &profile, &self.dev, &params).1
+        };
+
+        // Sample points: stride plus adaptive-threshold crossings.
+        let mut samples: Vec<usize> = Vec::new();
+        let stride = (w.output_len / 48).max(1);
+        let mut s = w.input_len;
+        while s < s_end {
+            samples.push(s);
+            s += stride;
+        }
+        samples.push(s_end);
+        if policy == MemoryPolicy::Adaptive {
+            for &t in &thresholds.values {
+                let t = t.max(0) as usize;
+                if t > w.input_len && t < s_end {
+                    samples.push(t);
+                    samples.push(t + 1);
+                }
+            }
+        }
+        samples.sort_unstable();
+        samples.dedup();
+
+        // Trapezoidal integration of step time over the token axis.
+        let mut decode_s = 0.0;
+        let mut transfer_bytes = 0.0;
+        let mut prev: Option<(usize, StepBreakdown)> = None;
+        for &sp in &samples {
+            let bd = step_at(sp);
+            if let Some((s0, bd0)) = prev {
+                let n = (sp - s0) as f64;
+                decode_s += 0.5 * (bd0.total + bd.total) * n;
+                transfer_bytes += 0.5 * (bd0.bytes_transferred + bd.bytes_transferred) * n;
+            }
+            prev = Some((sp, bd));
+        }
+        let mid_step = step_at(w.input_len + w.output_len / 2);
+
+        let total = prefill_s + decode_s;
+        ThroughputReport {
+            tokens_per_s: (r * w.output_len) as f64 / total,
+            oom: false,
+            prefill_s,
+            decode_s,
+            transfer_bytes,
+            mid_step,
+            requests: r,
+        }
+    }
+
+    /// Finds the batch size maximizing throughput among `candidates`
+    /// (single-request systems only consider 1).
+    pub fn best_batch(
+        &self,
+        system: SystemKind,
+        input_len: usize,
+        output_len: usize,
+        candidates: &[usize],
+    ) -> ThroughputReport {
+        let cap = system.max_batch();
+        let mut cands: Vec<usize> = candidates.iter().copied().filter(|&r| r <= cap).collect();
+        if cands.is_empty() {
+            cands.push(cap.min(candidates.iter().copied().min().unwrap_or(1)));
+        }
+        cands
+            .iter()
+            .map(|&r| self.throughput(system, &Workload::new(input_len, output_len, r)))
+            .max_by(|a, b| {
+                a.tokens_per_s
+                    .partial_cmp(&b.tokens_per_s)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("at least one candidate")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud_sim() -> ServingSim {
+        ServingSim::new(
+            ModelConfig::deepseek_distill_llama_8b(),
+            DeviceSpec::a100_80g(),
+            2048,
+        )
+    }
+
+    #[test]
+    fn engine_profiles_rank_on_full_attention() {
+        let sim = cloud_sim();
+        let w = Workload::new(2048, 16 * 1024, 4);
+        let eager = sim.throughput(SystemKind::FullEager, &w);
+        let flash = sim.throughput(SystemKind::FullFlash, &w);
+        let fi = sim.throughput(SystemKind::FullFlashInfer, &w);
+        assert!(!eager.oom && !flash.oom && !fi.oom);
+        assert!(eager.tokens_per_s < flash.tokens_per_s);
+        assert!(flash.tokens_per_s < fi.tokens_per_s);
+    }
+
+    #[test]
+    fn eager_ooms_at_16k_batch4_like_table3() {
+        let sim = cloud_sim();
+        let w = Workload::new(16 * 1024, 2048, 4);
+        assert!(sim.throughput(SystemKind::FullEager, &w).oom);
+    }
+
+    #[test]
+    fn specontext_beats_flashinfer_in_reasoning_scenario() {
+        // Table 3 [2k,16k]/[2k,32k]: long generation favors SpeContext.
+        let sim = cloud_sim();
+        let w = Workload::new(2048, 32 * 1024, 8);
+        let fi = sim.throughput(SystemKind::FullFlashInfer, &w);
+        let ours = sim.throughput(SystemKind::SpeContext, &w);
+        assert!(
+            ours.tokens_per_s > fi.tokens_per_s,
+            "ours {} vs flashinfer {}",
+            ours.tokens_per_s,
+            fi.tokens_per_s
+        );
+    }
+
+    #[test]
+    fn specontext_scales_to_larger_batches() {
+        // The sparse budget frees memory: batch 32 fits for ours where
+        // full attention cannot hold 32 requests of 34K tokens.
+        let sim = cloud_sim();
+        let w = Workload::new(2048, 32 * 1024, 32);
+        let ours = sim.throughput(SystemKind::SpeContext, &w);
+        assert!(!ours.oom);
+        let fi = sim.throughput(SystemKind::FullFlashInfer, &w);
+        assert!(fi.oom, "full attention at batch 32 x 34K must OOM");
+    }
+
+    #[test]
+    fn best_batch_single_request_systems_stay_at_one() {
+        let sim = cloud_sim();
+        let rep = sim.best_batch(SystemKind::Quest, 2048, 4096, &[1, 4, 8]);
+        assert_eq!(rep.requests, 1);
+    }
+
+    #[test]
+    fn offload_cliff_matches_challenge3() {
+        // Fig. 2(a): a predetermined policy collapses when the workload
+        // no longer fits (120K -> 128K at batch 4), while adaptive
+        // placement degrades gracefully.
+        // With the 30% runtime buffer, 4 requests fit entirely on the
+        // 80GB GPU up to ~107K tokens (Alg. 1's S_T_0); 96K fits, 112K
+        // spills. The paper's 120K/128K anecdote ignores the runtime
+        // buffer, shifting the boundary but not the cliff shape.
+        let sim = cloud_sim();
+        let fits = Workload::new(96 * 1024, 2048, 4);
+        let spills = Workload::new(112 * 1024, 2048, 4);
+        let pre_fits =
+            sim.throughput_with_policy(SystemKind::FullFlashInfer, &fits, MemoryPolicy::AllGpuOrFullOffload);
+        let pre_spills =
+            sim.throughput_with_policy(SystemKind::FullFlashInfer, &spills, MemoryPolicy::AllGpuOrFullOffload);
+        assert!(
+            pre_spills.tokens_per_s < 0.35 * pre_fits.tokens_per_s,
+            "cliff expected: {} -> {}",
+            pre_fits.tokens_per_s,
+            pre_spills.tokens_per_s
+        );
+        let ada_spills =
+            sim.throughput_with_policy(SystemKind::SpeContext, &spills, MemoryPolicy::Adaptive);
+        assert!(ada_spills.tokens_per_s > pre_spills.tokens_per_s);
+    }
+
+    #[test]
+    fn edge_device_supports_specontext_generation() {
+        let sim = ServingSim::new(
+            ModelConfig::reasoning_llama3_2_1b(),
+            DeviceSpec::rtx4060_laptop_4g(),
+            2048,
+        );
+        let w = Workload::new(2048, 16 * 1024, 1);
+        let ours = sim.throughput(SystemKind::SpeContext, &w);
+        assert!(!ours.oom);
+        assert!(ours.tokens_per_s > 1.0);
+        // Eager with full offload is far slower (Fig. 10(b)).
+        let eager = sim.throughput_with_policy(
+            SystemKind::FullEager,
+            &w,
+            MemoryPolicy::AllGpuOrFullOffload,
+        );
+        assert!(ours.tokens_per_s > 2.0 * eager.tokens_per_s);
+    }
+
+    #[test]
+    fn transfer_bytes_track_elastic_reuse() {
+        let mut sim = cloud_sim();
+        let w = Workload::new(100 * 1024, 8 * 1024, 16); // forces offload
+        sim.elastic_reuse = 0.0;
+        let full = sim.throughput(SystemKind::SpeContext, &w);
+        sim.elastic_reuse = 0.9;
+        let elastic = sim.throughput(SystemKind::SpeContext, &w);
+        assert!(elastic.transfer_bytes < 0.2 * full.transfer_bytes);
+        assert!(elastic.tokens_per_s >= full.tokens_per_s);
+    }
+}

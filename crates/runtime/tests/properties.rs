@@ -1,0 +1,138 @@
+//! Property tests for the runtime's dataflow, memory and serving models.
+
+use proptest::prelude::*;
+use spec_hwsim::{DeviceSpec, EngineProfile};
+use spec_model::ModelConfig;
+use spec_runtime::adaptive::Thresholds;
+use spec_runtime::costs::CostModel;
+use spec_runtime::dataflow::{step_timeline, DataflowKind, StepParams};
+use spec_runtime::memory::MemoryModel;
+use spec_runtime::serving::{ServingSim, SystemKind, Workload};
+
+fn params(s: usize, s_att: usize, l_cpu: usize, reuse: f32) -> StepParams {
+    StepParams {
+        r: 4,
+        s_total: s,
+        s_attended: s_att.min(s),
+        candidates: s / 16,
+        candidate_bytes: 512.0,
+        l_cpu,
+        budget: 2048,
+        reuse,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Step latency is monotone in attended length for every paradigm.
+    #[test]
+    fn step_latency_monotone_in_attended(
+        s_att in 512usize..8192,
+        extra in 1usize..8192,
+        l_cpu in 0usize..33,
+    ) {
+        let cm = CostModel::new(ModelConfig::llama3_1_8b());
+        let dev = DeviceSpec::a100_80g();
+        let prof = EngineProfile::flashinfer();
+        for kind in [
+            DataflowKind::PrefetchFullKv,
+            DataflowKind::FetchSparseKv,
+            DataflowKind::PrefetchSparseKv,
+            DataflowKind::PrefetchSparseV,
+            DataflowKind::SpeContext,
+        ] {
+            let s = 32 * 1024;
+            let (_, a) = step_timeline(kind, &cm, &prof, &dev, &params(s, s_att, l_cpu, 0.5));
+            let (_, b) = step_timeline(kind, &cm, &prof, &dev, &params(s, s_att + extra, l_cpu, 0.5));
+            prop_assert!(b.total >= a.total - 1e-9, "{kind}: {} < {}", b.total, a.total);
+        }
+    }
+
+    /// More elastic reuse never increases SpeContext's step latency or
+    /// transfer volume.
+    #[test]
+    fn elastic_reuse_never_hurts(
+        reuse_lo in 0.0f32..0.5,
+        gap in 0.01f32..0.5,
+        l_cpu in 1usize..33,
+    ) {
+        let cm = CostModel::new(ModelConfig::llama3_1_8b());
+        let dev = DeviceSpec::a100_80g();
+        let prof = EngineProfile::flashinfer();
+        let s = 32 * 1024;
+        let (_, low) = step_timeline(
+            DataflowKind::SpeContext, &cm, &prof, &dev, &params(s, 2048, l_cpu, reuse_lo));
+        let (_, high) = step_timeline(
+            DataflowKind::SpeContext, &cm, &prof, &dev, &params(s, 2048, l_cpu, reuse_lo + gap));
+        prop_assert!(high.total <= low.total + 1e-9);
+        prop_assert!(high.bytes_transferred <= low.bytes_transferred + 1e-6);
+    }
+
+    /// Memory model: M_part is non-increasing in offloaded layers and
+    /// thresholds are consistent with it at every i.
+    #[test]
+    fn memory_model_and_thresholds_consistent(
+        r in 1usize..33,
+        budget in 256usize..4096,
+    ) {
+        let mm = MemoryModel::new(&ModelConfig::llama3_1_8b(), &DeviceSpec::a100_80g());
+        let th = Thresholds::compute(&mm, r, budget);
+        for i in 1..=mm.layers {
+            prop_assert!(th.values[i] >= th.values[i - 1], "thresholds non-decreasing");
+            let s = th.values[i];
+            if s > 0 {
+                prop_assert!(mm.m_part(r, s as usize, i, budget) <= mm.gpu_mem as f64);
+            }
+        }
+        // required_offload inverts the thresholds.
+        for s in [1024usize, 16 * 1024, 64 * 1024] {
+            if let Some(req) = th.required_offload(s) {
+                prop_assert!(mm.m_part(r, s, req, budget) <= mm.gpu_mem as f64);
+                if req > 0 {
+                    prop_assert!(mm.m_part(r, s, req - 1, budget) > mm.gpu_mem as f64);
+                }
+            }
+        }
+    }
+
+    /// Serving throughput decreases with output length for every system
+    /// (longer generations cannot be faster per token).
+    #[test]
+    fn throughput_monotone_in_output(out_a in 2048usize..8192, extra in 1024usize..16384) {
+        let sim = ServingSim::new(
+            ModelConfig::deepseek_distill_llama_8b(),
+            DeviceSpec::a100_80g(),
+            2048,
+        );
+        for sys in [SystemKind::FullFlashInfer, SystemKind::ShadowKv, SystemKind::SpeContext] {
+            let a = sim.throughput(sys, &Workload::new(2048, out_a, 4));
+            let b = sim.throughput(sys, &Workload::new(2048, out_a + extra, 4));
+            if !a.oom && !b.oom {
+                prop_assert!(
+                    b.tokens_per_s <= a.tokens_per_s * 1.02,
+                    "{sys}: {} -> {}",
+                    a.tokens_per_s,
+                    b.tokens_per_s
+                );
+            }
+        }
+    }
+
+    /// SpeContext's advantage over FlashInfer grows with generation
+    /// length (the long-context-reasoning claim).
+    #[test]
+    fn ours_advantage_grows_with_generation(base in 4096usize..8192) {
+        let sim = ServingSim::new(
+            ModelConfig::deepseek_distill_llama_8b(),
+            DeviceSpec::a100_80g(),
+            2048,
+        );
+        let ratio = |out: usize| {
+            let fi = sim.throughput(SystemKind::FullFlashInfer, &Workload::new(2048, out, 4));
+            let us = sim.throughput(SystemKind::SpeContext, &Workload::new(2048, out, 4));
+            us.tokens_per_s / fi.tokens_per_s.max(1e-9)
+        };
+        prop_assert!(ratio(base * 4) >= ratio(base) * 0.98);
+    }
+}

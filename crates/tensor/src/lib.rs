@@ -1,0 +1,33 @@
+//! Minimal f32 tensor kernels for the SpeContext reproduction.
+//!
+//! This crate is the numerical substrate for everything else in the
+//! workspace: the transformer simulator (`spec-model`), the retrieval
+//! algorithms (`spec-retrieval`) and the workload scorers all run on the
+//! dense [`Matrix`] type and the kernels defined here.
+//!
+//! The kernels are deliberately simple, allocation-explicit and single
+//! threaded: the goal of the reproduction is *architectural fidelity*
+//! (which tokens get selected, how much data moves), not raw FLOPS.
+//!
+//! # Example
+//!
+//! ```
+//! use spec_tensor::{Matrix, ops};
+//!
+//! let q = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+//! let k = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+//! let scores = q.matmul(&k.transposed());
+//! let weights = ops::softmax_rows(&scores);
+//! assert!((weights.get(0, 0) - weights.get(1, 1)).abs() < 1e-6);
+//! ```
+
+pub mod kmeans;
+pub mod matrix;
+pub mod ops;
+pub mod quant;
+pub mod rng;
+pub mod stats;
+pub mod topk;
+
+pub use matrix::Matrix;
+pub use rng::SimRng;

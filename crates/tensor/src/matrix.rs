@@ -1,0 +1,458 @@
+//! Dense row-major `f32` matrix.
+//!
+//! [`Matrix`] is the only tensor type in the workspace. Higher-rank tensors
+//! (per-head attention states, batched activations) are represented as
+//! collections of matrices by the callers, which keeps every kernel easy to
+//! audit.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense row-major matrix of `f32` values.
+///
+/// # Example
+///
+/// ```
+/// use spec_tensor::Matrix;
+///
+/// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 2);
+/// assert_eq!(m.get(1, 0), 3.0);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let len = rows
+            .checked_mul(cols)
+            .expect("matrix shape overflows usize");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "inconsistent row length");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the `(rows, cols)` shape pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow the underlying row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row index out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterates over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Returns a new matrix containing only the rows whose indices appear in
+    /// `indices`, in the given order. This is the `torch.gather`-style
+    /// primitive used to materialize a sparse KV selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            assert!(src < self.rows, "gather index {src} out of bounds");
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Appends a row to the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != cols` (unless the matrix is empty, in which
+    /// case the row defines the column count).
+    pub fn push_row(&mut self, row: &[f32]) {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = row.len();
+        }
+        assert_eq!(row.len(), self.cols, "row length mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transposed(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// In-place scalar multiplication.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Element-wise addition. Returns a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "add shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Element-wise maximum of two matrices. Used for the GQA group-level
+    /// reduction of attention weights (paper Fig. 5(c)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn elementwise_max(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "max shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a.max(*b))
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), self.cols, "matvec shape mismatch");
+        self.iter_rows()
+            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Vector-matrix product `x * self` (treating `x` as a row vector):
+    /// `out[j] = sum_i x[i] * self[i][j]`. Equivalent to
+    /// `self.transposed().matvec(x)` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn vecmat(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.rows, "vecmat shape mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (xi, row) in x.iter().zip(self.iter_rows()) {
+            if *xi == 0.0 {
+                continue;
+            }
+            for (o, w) in out.iter_mut().zip(row) {
+                *o += xi * w;
+            }
+        }
+        out
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Default for Matrix {
+    fn default() -> Self {
+        Matrix {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        }
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_right_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent row length")]
+    fn from_rows_rejects_ragged() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let id = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let m = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        assert_eq!(id.matmul(&m), m);
+        assert_eq!(m.matmul(&id), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let b = Matrix::from_rows(&[&[4.0], &[5.0], &[6.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (1, 1));
+        assert_eq!(c.get(0, 0), 32.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.transposed().transposed(), m);
+        assert_eq!(m.transposed().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn gather_rows_selects_and_orders() {
+        let m = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+        let g = m.gather_rows(&[3, 1]);
+        assert_eq!(g.row(0), &[3.0]);
+        assert_eq!(g.row(1), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn gather_rows_rejects_oob() {
+        let m = Matrix::zeros(2, 1);
+        let _ = m.gather_rows(&[2]);
+    }
+
+    #[test]
+    fn push_row_grows() {
+        let mut m = Matrix::default();
+        m.push_row(&[1.0, 2.0]);
+        m.push_row(&[3.0, 4.0]);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn elementwise_max_picks_larger() {
+        let a = Matrix::from_rows(&[&[1.0, 5.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 3.0]]);
+        let m = a.elementwise_max(&b);
+        assert_eq!(m.row(0), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let v = vec![5.0, 6.0];
+        let got = m.matvec(&v);
+        assert_eq!(got, vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn scale_multiplies_all() {
+        let mut m = Matrix::from_rows(&[&[1.0, -2.0]]);
+        m.scale(2.0);
+        assert_eq!(m.row(0), &[2.0, -4.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let m = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+}

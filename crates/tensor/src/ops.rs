@@ -1,0 +1,248 @@
+//! Neural-network kernels: softmax, RMSNorm, SiLU, rotary embeddings.
+
+use crate::Matrix;
+
+/// Numerically stable softmax over a single slice, in place.
+///
+/// An all-`-inf` row becomes the uniform distribution, which matches how a
+/// fully masked attention row is conventionally handled.
+pub fn softmax_inplace(xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        let u = 1.0 / xs.len() as f32;
+        xs.iter_mut().for_each(|v| *v = u);
+        return;
+    }
+    let mut sum = 0.0;
+    for v in xs.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in xs.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// Softmax applied independently to each row of a matrix.
+///
+/// # Example
+///
+/// ```
+/// use spec_tensor::{Matrix, ops};
+/// let m = Matrix::from_rows(&[&[0.0, 0.0]]);
+/// let s = ops::softmax_rows(&m);
+/// assert!((s.get(0, 0) - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        softmax_inplace(out.row_mut(r));
+    }
+    out
+}
+
+/// Root-mean-square layer normalization (no bias), as used by Llama-family
+/// models. `eps` guards against division by zero.
+pub fn rmsnorm(xs: &[f32], weight: &[f32], eps: f32) -> Vec<f32> {
+    assert_eq!(xs.len(), weight.len(), "rmsnorm length mismatch");
+    let ms = xs.iter().map(|v| v * v).sum::<f32>() / xs.len().max(1) as f32;
+    let inv = 1.0 / (ms + eps).sqrt();
+    xs.iter().zip(weight).map(|(x, w)| x * inv * w).collect()
+}
+
+/// SiLU (sigmoid-weighted linear unit) activation.
+#[inline]
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// Applies SiLU element-wise, in place.
+pub fn silu_inplace(xs: &mut [f32]) {
+    for v in xs.iter_mut() {
+        *v = silu(*v);
+    }
+}
+
+/// Rotary position embedding applied to one head vector at `pos`.
+///
+/// `theta_base` is the RoPE base (10 000 for Llama-family models);
+/// `scale` is the YaRN-style context-extension factor applied to the
+/// position (a scale of `s` lets a model trained to length `T` address
+/// positions up to `s*T`). `scale = 1.0` is vanilla RoPE.
+///
+/// # Panics
+///
+/// Panics if the vector length is odd.
+pub fn rope_inplace(xs: &mut [f32], pos: usize, theta_base: f32, scale: f32) {
+    assert!(xs.len() % 2 == 0, "rope requires an even head dimension");
+    let half = xs.len() / 2;
+    let p = pos as f32 / scale;
+    for i in 0..half {
+        let freq = theta_base.powf(-2.0 * i as f32 / xs.len() as f32);
+        let angle = p * freq;
+        let (sin, cos) = angle.sin_cos();
+        let (a, b) = (xs[2 * i], xs[2 * i + 1]);
+        xs[2 * i] = a * cos - b * sin;
+        xs[2 * i + 1] = a * sin + b * cos;
+    }
+}
+
+/// Causal mask applied to a score row: positions greater than `pos` are set
+/// to `-inf` so softmax assigns them zero probability.
+pub fn causal_mask_row(scores: &mut [f32], pos: usize) {
+    for (i, v) in scores.iter_mut().enumerate() {
+        if i > pos {
+            *v = f32::NEG_INFINITY;
+        }
+    }
+}
+
+/// Scaled dot-product attention weights for a single query against a key
+/// matrix (`keys` is `len x dim`): `softmax(q K^T / sqrt(dim))`.
+///
+/// # Panics
+///
+/// Panics if `query.len() != keys.cols()`.
+pub fn attention_weights(query: &[f32], keys: &Matrix) -> Vec<f32> {
+    assert_eq!(query.len(), keys.cols(), "query/key dim mismatch");
+    let scale = 1.0 / (query.len() as f32).sqrt();
+    let mut scores: Vec<f32> = keys
+        .iter_rows()
+        .map(|k| crate::matrix::dot(query, k) * scale)
+        .collect();
+    softmax_inplace(&mut scores);
+    scores
+}
+
+/// Weighted sum of value rows: `sum_i w[i] * values.row(i)`.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != values.rows()`.
+pub fn weighted_sum(weights: &[f32], values: &Matrix) -> Vec<f32> {
+    assert_eq!(weights.len(), values.rows(), "weights/values mismatch");
+    let mut out = vec![0.0; values.cols()];
+    for (w, row) in weights.iter().zip(values.iter_rows()) {
+        if *w == 0.0 {
+            continue;
+        }
+        for (o, v) in out.iter_mut().zip(row) {
+            *o += w * v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut xs = vec![1.0, 2.0, 3.0];
+        softmax_inplace(&mut xs);
+        let sum: f32 = xs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(xs[2] > xs[1] && xs[1] > xs[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = vec![1.0, 2.0, 3.0];
+        let mut b = vec![101.0, 102.0, 103.0];
+        softmax_inplace(&mut a);
+        softmax_inplace(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_all_masked_row() {
+        let mut xs = vec![f32::NEG_INFINITY; 4];
+        softmax_inplace(&mut xs);
+        assert!(xs.iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn softmax_empty_is_noop() {
+        let mut xs: Vec<f32> = vec![];
+        softmax_inplace(&mut xs);
+        assert!(xs.is_empty());
+    }
+
+    #[test]
+    fn rmsnorm_unit_weight_normalizes() {
+        let xs = vec![3.0, 4.0];
+        let w = vec![1.0, 1.0];
+        let out = rmsnorm(&xs, &w, 1e-6);
+        let rms = (out.iter().map(|v| v * v).sum::<f32>() / 2.0).sqrt();
+        assert!((rms - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn silu_zero_is_zero() {
+        assert_eq!(silu(0.0), 0.0);
+        assert!(silu(10.0) > 9.9);
+        assert!(silu(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rope_preserves_norm() {
+        let mut xs = vec![1.0, 2.0, 3.0, 4.0];
+        let norm_before: f32 = xs.iter().map(|v| v * v).sum();
+        rope_inplace(&mut xs, 17, 10_000.0, 1.0);
+        let norm_after: f32 = xs.iter().map(|v| v * v).sum();
+        assert!((norm_before - norm_after).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rope_position_zero_is_identity() {
+        let mut xs = vec![1.0, 2.0, 3.0, 4.0];
+        let orig = xs.clone();
+        rope_inplace(&mut xs, 0, 10_000.0, 1.0);
+        for (a, b) in xs.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rope_scale_stretches_positions() {
+        // With scale s, position s*p should equal unscaled position p.
+        let mut a = vec![1.0, 0.5, -0.25, 2.0];
+        let mut b = a.clone();
+        rope_inplace(&mut a, 8, 10_000.0, 4.0);
+        rope_inplace(&mut b, 2, 10_000.0, 1.0);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn causal_mask_zeroes_future() {
+        let mut scores = vec![1.0; 5];
+        causal_mask_row(&mut scores, 2);
+        softmax_inplace(&mut scores);
+        assert_eq!(scores[3], 0.0);
+        assert_eq!(scores[4], 0.0);
+        assert!((scores[..3].iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn attention_weights_prefer_aligned_key() {
+        let keys = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[-1.0, 0.0]]);
+        let w = attention_weights(&[1.0, 0.0], &keys);
+        assert!(w[0] > w[1] && w[1] > w[2]);
+        assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_sum_selects_row_with_unit_weight() {
+        let values = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let out = weighted_sum(&[0.0, 1.0], &values);
+        assert_eq!(out, vec![3.0, 4.0]);
+    }
+}

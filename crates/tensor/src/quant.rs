@@ -1,0 +1,226 @@
+//! Block quantization of key vectors.
+//!
+//! The ShadowKV baseline (Sun et al., 2024) quantizes the key cache to a
+//! low bit width and scores queries against the quantized keys. This module
+//! provides symmetric per-vector int8 and int4 quantization with an
+//! absmax scale, plus a fused quantized dot product so retrieval can score
+//! without materializing the dequantized vector.
+
+use serde::{Deserialize, Serialize};
+
+/// Bit width of a quantized vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BitWidth {
+    /// Signed 8-bit, range [-127, 127].
+    Int8,
+    /// Signed 4-bit, range [-7, 7] packed two per byte.
+    Int4,
+}
+
+impl BitWidth {
+    /// Maximum representable magnitude.
+    pub fn max_level(self) -> f32 {
+        match self {
+            BitWidth::Int8 => 127.0,
+            BitWidth::Int4 => 7.0,
+        }
+    }
+
+    /// Bytes required to store `len` quantized elements (excluding scale).
+    pub fn storage_bytes(self, len: usize) -> usize {
+        match self {
+            BitWidth::Int8 => len,
+            BitWidth::Int4 => len.div_ceil(2),
+        }
+    }
+}
+
+/// A symmetrically quantized vector: `value[i] ≈ scale * level[i]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantVec {
+    width: BitWidth,
+    scale: f32,
+    len: usize,
+    packed: Vec<u8>,
+}
+
+impl QuantVec {
+    /// Quantizes `xs` at the given bit width with an absmax scale.
+    pub fn quantize(xs: &[f32], width: BitWidth) -> Self {
+        let absmax = xs.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let scale = if absmax == 0.0 {
+            1.0
+        } else {
+            absmax / width.max_level()
+        };
+        let inv = 1.0 / scale;
+        let levels: Vec<i8> = xs
+            .iter()
+            .map(|&v| {
+                let q = (v * inv).round();
+                q.clamp(-width.max_level(), width.max_level()) as i8
+            })
+            .collect();
+        let packed = match width {
+            BitWidth::Int8 => levels.iter().map(|&l| l as u8).collect(),
+            BitWidth::Int4 => {
+                let mut out = Vec::with_capacity(levels.len().div_ceil(2));
+                for pair in levels.chunks(2) {
+                    let lo = (pair[0] as u8) & 0x0F;
+                    let hi = if pair.len() > 1 {
+                        ((pair[1] as u8) & 0x0F) << 4
+                    } else {
+                        0
+                    };
+                    out.push(lo | hi);
+                }
+                out
+            }
+        };
+        Self {
+            width,
+            scale,
+            len: xs.len(),
+            packed,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit width used.
+    pub fn width(&self) -> BitWidth {
+        self.width
+    }
+
+    /// Bytes consumed by the packed representation plus scale.
+    pub fn storage_bytes(&self) -> usize {
+        self.packed.len() + std::mem::size_of::<f32>()
+    }
+
+    /// Integer level at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn level(&self, i: usize) -> i8 {
+        assert!(i < self.len, "quant index out of bounds");
+        match self.width {
+            BitWidth::Int8 => self.packed[i] as i8,
+            BitWidth::Int4 => {
+                let byte = self.packed[i / 2];
+                let nib = if i % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+                // Sign-extend the 4-bit value.
+                ((nib << 4) as i8) >> 4
+            }
+        }
+    }
+
+    /// Reconstructs the approximate f32 vector.
+    pub fn dequantize(&self) -> Vec<f32> {
+        (0..self.len)
+            .map(|i| self.level(i) as f32 * self.scale)
+            .collect()
+    }
+
+    /// Dot product of a float query against this quantized vector without
+    /// materializing the dequantized values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != self.len()`.
+    pub fn dot(&self, query: &[f32]) -> f32 {
+        assert_eq!(query.len(), self.len, "quant dot length mismatch");
+        let mut acc = 0.0;
+        for (i, &q) in query.iter().enumerate() {
+            acc += q * self.level(i) as f32;
+        }
+        acc * self.scale
+    }
+}
+
+/// Maximum absolute round-trip error of absmax quantization for a vector
+/// with the given absolute maximum: half a level.
+pub fn max_roundtrip_error(absmax: f32, width: BitWidth) -> f32 {
+    if absmax == 0.0 {
+        0.0
+    } else {
+        0.5 * absmax / width.max_level()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int8_roundtrip_is_tight() {
+        let xs = vec![0.5, -1.0, 0.25, 0.99, -0.01];
+        let q = QuantVec::quantize(&xs, BitWidth::Int8);
+        let back = q.dequantize();
+        let bound = max_roundtrip_error(1.0, BitWidth::Int8) + 1e-6;
+        for (a, b) in xs.iter().zip(&back) {
+            assert!((a - b).abs() <= bound, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn int4_roundtrip_within_bound() {
+        let xs = vec![0.7, -0.7, 0.1, -0.35, 0.0, 0.349];
+        let q = QuantVec::quantize(&xs, BitWidth::Int4);
+        let back = q.dequantize();
+        let bound = max_roundtrip_error(0.7, BitWidth::Int4) + 1e-6;
+        for (a, b) in xs.iter().zip(&back) {
+            assert!((a - b).abs() <= bound, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn int4_packs_two_per_byte() {
+        let xs = vec![1.0; 8];
+        let q = QuantVec::quantize(&xs, BitWidth::Int4);
+        assert_eq!(q.storage_bytes(), 4 + 4);
+        let q8 = QuantVec::quantize(&xs, BitWidth::Int8);
+        assert_eq!(q8.storage_bytes(), 8 + 4);
+    }
+
+    #[test]
+    fn odd_length_int4_roundtrips() {
+        let xs = vec![0.3, -0.6, 0.9];
+        let q = QuantVec::quantize(&xs, BitWidth::Int4);
+        assert_eq!(q.dequantize().len(), 3);
+        assert!(q.level(2) > 0);
+    }
+
+    #[test]
+    fn negative_levels_sign_extend() {
+        let xs = vec![-1.0, 1.0];
+        let q = QuantVec::quantize(&xs, BitWidth::Int4);
+        assert_eq!(q.level(0), -7);
+        assert_eq!(q.level(1), 7);
+    }
+
+    #[test]
+    fn quantized_dot_close_to_exact() {
+        let xs: Vec<f32> = (0..64).map(|i| ((i * 37 % 13) as f32 - 6.0) / 6.0).collect();
+        let query: Vec<f32> = (0..64).map(|i| ((i * 17 % 7) as f32 - 3.0) / 3.0).collect();
+        let exact: f32 = xs.iter().zip(&query).map(|(a, b)| a * b).sum();
+        let q = QuantVec::quantize(&xs, BitWidth::Int8);
+        assert!((q.dot(&query) - exact).abs() < 0.15, "{}", q.dot(&query));
+    }
+
+    #[test]
+    fn zero_vector_quantizes_to_zero() {
+        let q = QuantVec::quantize(&[0.0; 5], BitWidth::Int4);
+        assert!(q.dequantize().iter().all(|&v| v == 0.0));
+        assert_eq!(q.dot(&[1.0; 5]), 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Statistics over selections and score vectors.
+//!
+//! These are the measurement tools behind the paper's similarity analyses:
+//! overlap rate between adjacent-step selections (Fig. 6b), hit rate of
+//! DLM-selected tokens against teacher-important tokens (Fig. 5a), and the
+//! usual summary statistics.
+
+use std::collections::HashSet;
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+/// Population variance; `0.0` for slices shorter than 2.
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32
+}
+
+/// Pearson correlation coefficient. Returns `0.0` when either input is
+/// constant (correlation undefined).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(xs: &[f32], ys: &[f32]) -> f32 {
+    assert_eq!(xs.len(), ys.len(), "pearson length mismatch");
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// `|a ∩ b| / |a|`: the fraction of `a` that also appears in `b`.
+///
+/// This is the paper's **hit rate** (Fig. 5a): the fraction of
+/// teacher-important tokens that the retrieval head also selects.
+/// Returns `1.0` when `a` is empty (nothing to hit).
+pub fn hit_rate(a: &[usize], b: &[usize]) -> f32 {
+    if a.is_empty() {
+        return 1.0;
+    }
+    let set: HashSet<usize> = b.iter().copied().collect();
+    a.iter().filter(|i| set.contains(i)).count() as f32 / a.len() as f32
+}
+
+/// Jaccard index `|a ∩ b| / |a ∪ b|`. Returns `1.0` when both are empty.
+pub fn jaccard(a: &[usize], b: &[usize]) -> f32 {
+    let sa: HashSet<usize> = a.iter().copied().collect();
+    let sb: HashSet<usize> = b.iter().copied().collect();
+    let union = sa.union(&sb).count();
+    if union == 0 {
+        return 1.0;
+    }
+    sa.intersection(&sb).count() as f32 / union as f32
+}
+
+/// Overlap rate between two equal-budget selections:
+/// `|a ∩ b| / |a|` with `|a| == |b|` (Fig. 6b's adjacent-generation
+/// overlap). Falls back to [`hit_rate`] semantics when budgets differ.
+pub fn overlap_rate(a: &[usize], b: &[usize]) -> f32 {
+    hit_rate(a, b)
+}
+
+/// KL divergence `D(p || q)` between two distributions given as
+/// (not necessarily normalized) non-negative weight vectors.
+/// Zero entries in `p` contribute nothing; zero entries in `q` where
+/// `p > 0` are smoothed by `eps` to keep the result finite.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn kl_divergence(p: &[f32], q: &[f32], eps: f32) -> f32 {
+    assert_eq!(p.len(), q.len(), "kl length mismatch");
+    let sp: f32 = p.iter().sum();
+    let sq: f32 = q.iter().sum();
+    if sp <= 0.0 || sq <= 0.0 {
+        return 0.0;
+    }
+    let mut kl = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        let pn = pi / sp;
+        if pn <= 0.0 {
+            continue;
+        }
+        let qn = (qi / sq).max(eps);
+        kl += pn * (pn / qn).ln();
+    }
+    kl.max(0.0)
+}
+
+/// Geometric mean of positive values; `0.0` if any value is non-positive
+/// or the slice is empty. Used to aggregate normalized scores.
+pub fn geometric_mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() || xs.iter().any(|&v| v <= 0.0) {
+        return 0.0;
+    }
+    (xs.iter().map(|v| v.ln()).sum::<f32>() / xs.len() as f32).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_known() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-6);
+        assert!((variance(&xs) - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_positive() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &ys) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_constant_input_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_counts_intersection() {
+        assert!((hit_rate(&[1, 2, 3, 4], &[3, 4, 5, 6]) - 0.5).abs() < 1e-6);
+        assert_eq!(hit_rate(&[], &[1]), 1.0);
+        assert_eq!(hit_rate(&[1], &[]), 0.0);
+    }
+
+    #[test]
+    fn jaccard_extremes() {
+        assert_eq!(jaccard(&[1, 2], &[1, 2]), 1.0);
+        assert_eq!(jaccard(&[1], &[2]), 0.0);
+        assert_eq!(jaccard(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn kl_zero_for_identical() {
+        let p = [0.2, 0.3, 0.5];
+        assert!(kl_divergence(&p, &p, 1e-9) < 1e-6);
+    }
+
+    #[test]
+    fn kl_positive_for_different() {
+        let p = [0.9, 0.1];
+        let q = [0.1, 0.9];
+        assert!(kl_divergence(&p, &q, 1e-9) > 0.5);
+    }
+
+    #[test]
+    fn geometric_mean_known() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-5);
+        assert_eq!(geometric_mean(&[1.0, 0.0]), 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Top-k selection and sorting helpers.
+//!
+//! Retrieval algorithms rank KV positions by an importance score and keep
+//! the best `k`. These helpers centralize the tie-breaking convention used
+//! throughout the workspace: **larger score wins; equal scores break toward
+//! the smaller index**, which makes every algorithm deterministic and
+//! directly comparable.
+
+/// Returns the indices of the `k` largest values in `scores`,
+/// ordered by descending score (ties toward the smaller index).
+///
+/// If `k >= scores.len()`, all indices are returned.
+///
+/// # Example
+///
+/// ```
+/// use spec_tensor::topk::top_k_indices;
+/// let idx = top_k_indices(&[0.1, 0.9, 0.5], 2);
+/// assert_eq!(idx, vec![1, 2]);
+/// ```
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let k = k.min(scores.len());
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    // Partial selection: select_nth puts the k largest in the prefix.
+    if k < scores.len() {
+        idx.select_nth_unstable_by(k, |&a, &b| cmp_desc(scores, a, b));
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(|&a, &b| cmp_desc(scores, a, b));
+    idx
+}
+
+/// Returns the indices of the `k` largest values, sorted ascending by
+/// index rather than by score. This is the canonical form for KV position
+/// sets (position order is what the GPU-resident cache layout uses).
+pub fn top_k_positions(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut idx = top_k_indices(scores, k);
+    idx.sort_unstable();
+    idx
+}
+
+fn cmp_desc(scores: &[f32], a: usize, b: usize) -> std::cmp::Ordering {
+    scores[b]
+        .partial_cmp(&scores[a])
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then_with(|| a.cmp(&b))
+}
+
+/// Full argsort, descending by score with ties toward smaller index.
+pub fn argsort_desc(scores: &[f32]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_unstable_by(|&a, &b| cmp_desc(scores, a, b));
+    idx
+}
+
+/// Sum of the `k` largest values (the "attention mass" captured by an
+/// oracle top-k selection; used for Fig. 5(a)-style accumulation curves).
+pub fn top_k_mass(scores: &[f32], k: usize) -> f32 {
+    top_k_indices(scores, k).iter().map(|&i| scores[i]).sum()
+}
+
+/// The attention mass captured by an arbitrary selection of positions.
+///
+/// # Panics
+///
+/// Panics if any index is out of bounds.
+pub fn selection_mass(scores: &[f32], selection: &[usize]) -> f32 {
+    selection.iter().map(|&i| scores[i]).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_largest() {
+        let idx = top_k_indices(&[1.0, 5.0, 3.0, 4.0], 2);
+        assert_eq!(idx, vec![1, 3]);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        assert!(top_k_indices(&[1.0, 2.0], 0).is_empty());
+    }
+
+    #[test]
+    fn k_exceeding_len_returns_all() {
+        let idx = top_k_indices(&[2.0, 1.0], 10);
+        assert_eq!(idx, vec![0, 1]);
+    }
+
+    #[test]
+    fn ties_break_toward_smaller_index() {
+        let idx = top_k_indices(&[1.0, 1.0, 1.0], 2);
+        assert_eq!(idx, vec![0, 1]);
+    }
+
+    #[test]
+    fn positions_are_sorted_ascending() {
+        let pos = top_k_positions(&[0.0, 9.0, 0.0, 8.0, 7.0], 3);
+        assert_eq!(pos, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn argsort_desc_full_order() {
+        let order = argsort_desc(&[0.5, 2.0, 1.0]);
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn top_k_mass_matches_manual_sum() {
+        let scores = [0.1, 0.4, 0.2, 0.3];
+        assert!((top_k_mass(&scores, 2) - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn selection_mass_counts_selected_only() {
+        let scores = [0.25, 0.5, 0.25];
+        assert!((selection_mass(&scores, &[0, 2]) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn handles_nan_without_panicking() {
+        let idx = top_k_indices(&[f32::NAN, 1.0, 2.0], 2);
+        assert_eq!(idx.len(), 2);
+    }
+}

@@ -1,0 +1,252 @@
+//! Synthetic LongWriter benchmark: long-generation tasks scored on the
+//! six dimensions of the paper's Table 4.
+//!
+//! The paper scores generations with GPT-4o on relevance, accuracy,
+//! coherence, clarity, breadth & depth, and reading experience. Without a
+//! judge model we compute mechanical proxies with the same *comparative*
+//! semantics: all six reward staying close to the dense-attention
+//! reference generation and penalize degenerate output. Scores are on
+//! the paper's 0–5 scale.
+
+use serde::{Deserialize, Serialize};
+use spec_model::Model;
+use spec_tensor::{stats, Matrix, SimRng};
+
+/// A long-generation task: a short planted prompt and a generation
+/// length (the LongWriter regime: ~100-token instruction, long output).
+#[derive(Debug, Clone)]
+pub struct LongWriterTask {
+    /// Prompt embeddings.
+    pub prompt: Matrix,
+    /// Tokens to generate.
+    pub gen_len: usize,
+}
+
+impl LongWriterTask {
+    /// Builds a task with a `prompt_len`-token prompt.
+    pub fn build(model: &Model, prompt_len: usize, gen_len: usize, rng: &mut SimRng) -> Self {
+        let vocab = model.geometry().vocab;
+        let tokens: Vec<usize> = (0..prompt_len).map(|_| rng.below(vocab)).collect();
+        Self {
+            prompt: model.embed_tokens(&tokens),
+            gen_len,
+        }
+    }
+}
+
+/// The six Table-4 dimensions plus their average, 0–5 scale.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LongWriterScores {
+    /// Agreement of generated tokens with the dense reference.
+    pub relevance: f32,
+    /// Logit fidelity to the dense reference (cosine).
+    pub accuracy: f32,
+    /// Absence of degenerate repetition (distinct bigrams).
+    pub coherence: f32,
+    /// Confidence of the output distribution (low entropy).
+    pub clarity: f32,
+    /// Vocabulary coverage of the generation.
+    pub breadth_depth: f32,
+    /// Geometric mean of coherence and clarity.
+    pub reading_experience: f32,
+}
+
+impl LongWriterScores {
+    /// The average column of Table 4.
+    pub fn average(&self) -> f32 {
+        (self.relevance
+            + self.accuracy
+            + self.coherence
+            + self.clarity
+            + self.breadth_depth
+            + self.reading_experience)
+            / 6.0
+    }
+}
+
+/// Inputs to the scorer: what the run generated and what the dense
+/// reference generated.
+#[derive(Debug, Clone)]
+pub struct GenerationRecord<'a> {
+    /// Generated token ids.
+    pub tokens: &'a [usize],
+    /// Per-step logits of the run.
+    pub logits: &'a [Vec<f32>],
+    /// Dense-reference token ids (same length).
+    pub reference_tokens: &'a [usize],
+    /// Dense-reference logits.
+    pub reference_logits: &'a [Vec<f32>],
+}
+
+/// Scores a generation against its dense reference.
+///
+/// # Panics
+///
+/// Panics if the record's token/logit lengths disagree.
+pub fn score_generation(rec: &GenerationRecord<'_>) -> LongWriterScores {
+    assert_eq!(rec.tokens.len(), rec.logits.len(), "tokens/logits mismatch");
+    assert_eq!(
+        rec.reference_tokens.len(),
+        rec.reference_logits.len(),
+        "reference mismatch"
+    );
+    let n = rec.tokens.len().min(rec.reference_tokens.len());
+    if n == 0 {
+        return LongWriterScores::default();
+    }
+
+    // Relevance: token agreement with the reference.
+    let agree = rec
+        .tokens
+        .iter()
+        .zip(rec.reference_tokens)
+        .filter(|(a, b)| a == b)
+        .count() as f32
+        / n as f32;
+    let relevance = 5.0 * agree;
+
+    // Accuracy: mean logit cosine similarity to the reference.
+    let mut cos_sum = 0.0;
+    for (a, b) in rec.logits.iter().zip(rec.reference_logits).take(n) {
+        cos_sum += cosine(a, b).max(0.0);
+    }
+    let accuracy = 5.0 * cos_sum / n as f32;
+
+    // Coherence: distinct-bigram fraction (degenerate loops score low).
+    let coherence = 5.0 * distinct_bigram_fraction(rec.tokens);
+
+    // Clarity: normalized negentropy of the output distributions.
+    let mut clar_sum = 0.0;
+    for l in rec.logits.iter().take(n) {
+        clar_sum += 1.0 - normalized_entropy(l);
+    }
+    let clarity = 5.0 * clar_sum / n as f32;
+
+    // Breadth & depth: unique-token coverage, saturating at 50%.
+    let unique: std::collections::HashSet<usize> = rec.tokens.iter().copied().collect();
+    let coverage = (unique.len() as f32 / n as f32 / 0.5).min(1.0);
+    let breadth_depth = 5.0 * coverage;
+
+    let reading_experience = 5.0
+        * stats::geometric_mean(&[(coherence / 5.0).max(1e-4), (clarity / 5.0).max(1e-4)]);
+
+    LongWriterScores {
+        relevance,
+        accuracy,
+        coherence,
+        clarity,
+        breadth_depth,
+        reading_experience,
+    }
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|v| v * v).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|v| v * v).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+fn distinct_bigram_fraction(tokens: &[usize]) -> f32 {
+    if tokens.len() < 2 {
+        return 1.0;
+    }
+    let bigrams: std::collections::HashSet<(usize, usize)> =
+        tokens.windows(2).map(|w| (w[0], w[1])).collect();
+    bigrams.len() as f32 / (tokens.len() - 1) as f32
+}
+
+fn normalized_entropy(logits: &[f32]) -> f32 {
+    if logits.len() < 2 {
+        return 0.0;
+    }
+    let mut p = logits.to_vec();
+    spec_tensor::ops::softmax_inplace(&mut p);
+    let h: f32 = p
+        .iter()
+        .filter(|&&x| x > 0.0)
+        .map(|&x| -x * x.ln())
+        .sum();
+    h / (logits.len() as f32).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_model::{AttentionKind, SimGeometry};
+
+    #[test]
+    fn identical_runs_score_maximally_on_fidelity() {
+        let tokens = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        let logits: Vec<Vec<f32>> = (0..8)
+            .map(|i| (0..16).map(|j| if j == i { 5.0 } else { 0.0 }).collect())
+            .collect();
+        let rec = GenerationRecord {
+            tokens: &tokens,
+            logits: &logits,
+            reference_tokens: &tokens,
+            reference_logits: &logits,
+        };
+        let s = score_generation(&rec);
+        assert!((s.relevance - 5.0).abs() < 1e-4);
+        assert!((s.accuracy - 5.0).abs() < 1e-4);
+        assert!(s.average() > 3.0);
+    }
+
+    #[test]
+    fn divergent_tokens_reduce_relevance() {
+        let a = vec![1, 2, 3, 4];
+        let b = vec![9, 9, 9, 9];
+        let la: Vec<Vec<f32>> = vec![vec![1.0, 0.0, 0.0]; 4];
+        let lb: Vec<Vec<f32>> = vec![vec![0.0, 1.0, 0.0]; 4];
+        let rec = GenerationRecord {
+            tokens: &a,
+            logits: &la,
+            reference_tokens: &b,
+            reference_logits: &lb,
+        };
+        let s = score_generation(&rec);
+        assert_eq!(s.relevance, 0.0);
+        assert!(s.accuracy < 1.0);
+    }
+
+    #[test]
+    fn repetition_tanks_coherence() {
+        let looping = vec![1, 2, 1, 2, 1, 2, 1, 2, 1, 2];
+        let varied: Vec<usize> = (0..10).collect();
+        let logits = vec![vec![0.0; 8]; 10];
+        let rec_loop = GenerationRecord {
+            tokens: &looping,
+            logits: &logits,
+            reference_tokens: &looping,
+            reference_logits: &logits,
+        };
+        let rec_var = GenerationRecord {
+            tokens: &varied,
+            logits: &logits,
+            reference_tokens: &varied,
+            reference_logits: &logits,
+        };
+        assert!(
+            score_generation(&rec_loop).coherence < score_generation(&rec_var).coherence
+        );
+    }
+
+    #[test]
+    fn task_builder_produces_prompt() {
+        let m = Model::new(SimGeometry::tiny(AttentionKind::Gqa), 7);
+        let t = LongWriterTask::build(&m, 24, 64, &mut SimRng::seed(1));
+        assert_eq!(t.prompt.rows(), 24);
+        assert_eq!(t.gen_len, 64);
+    }
+
+    #[test]
+    fn entropy_bounds() {
+        assert!(normalized_entropy(&[1.0, 1.0, 1.0]) > 0.99);
+        assert!(normalized_entropy(&[100.0, 0.0, 0.0]) < 0.05);
+    }
+}

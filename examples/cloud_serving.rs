@@ -1,0 +1,64 @@
+//! Cloud serving walkthrough: estimate multi-request throughput for every
+//! system on an A100-80GB, the Table-3 setting.
+//!
+//! Run with `cargo run --release --example cloud_serving`.
+
+use specontext::core::report::{throughput_cell, Table};
+use specontext::hwsim::DeviceSpec;
+use specontext::model::ModelConfig;
+use specontext::runtime::serving::{ServingSim, SystemKind, Workload};
+
+fn main() {
+    let cfg = ModelConfig::deepseek_distill_llama_8b();
+    let dev = DeviceSpec::a100_80g();
+    let sim = ServingSim::new(cfg.clone(), dev, 2048);
+
+    // The paper's long-context reasoning workload: short prompt, long
+    // chain-of-thought generation.
+    let w = Workload::new(2048, 32 * 1024, 16);
+    println!(
+        "workload: {} requests x [{} in, {} out] on {}\n",
+        w.requests, w.input_len, w.output_len, cfg.name
+    );
+
+    let mut table = Table::new(
+        "throughput (each system at its supported batch <= 16)",
+        &["system", "batch", "tokens/s", "prefill s", "decode s", "PCIe GB"],
+    );
+    for sys in SystemKind::all() {
+        // Quest/ClusterKV are single-request systems; HF eager caps at 4.
+        let r = w.requests.min(sys.max_batch());
+        let rep = sim.throughput(sys, &Workload::new(w.input_len, w.output_len, r));
+        table.push_row(vec![
+            sys.to_string(),
+            r.to_string(),
+            if rep.oom {
+                "OOM".into()
+            } else {
+                format!("{:.1}", rep.tokens_per_s)
+            },
+            format!("{:.1}", rep.prefill_s),
+            format!("{:.1}", rep.decode_s),
+            format!("{:.2}", rep.transfer_bytes / 1e9),
+        ]);
+    }
+    println!("{table}");
+
+    // Batch scaling: the sparse budget frees GPU memory for more requests.
+    let eager = sim
+        .throughput(SystemKind::FullEager, &Workload::new(2048, 32 * 1024, 4))
+        .tokens_per_s;
+    let mut scaling = Table::new(
+        "SpeContext batch scaling (tokens/s, speedup vs eager@4)",
+        &["batch", "cell"],
+    );
+    for r in [4usize, 8, 16, 32, 64] {
+        let rep = sim.throughput(SystemKind::SpeContext, &Workload::new(2048, 32 * 1024, r));
+        let speedup = if eager > 0.0 { rep.tokens_per_s / eager } else { 0.0 };
+        scaling.push_row(vec![
+            r.to_string(),
+            throughput_cell(rep.tokens_per_s, rep.requests, speedup),
+        ]);
+    }
+    println!("{scaling}");
+}

@@ -1,0 +1,60 @@
+//! LongBench-style accuracy evaluation across retrieval systems.
+//!
+//! A compact version of the Fig. 8 experiment: four synthetic tasks with
+//! planted evidence, five systems, two budgets, shared instances.
+//!
+//! Run with `cargo run --release --example longbench_eval`.
+
+use specontext::core::engine::{Engine, EngineConfig};
+use specontext::core::evaluate::{longbench_matrix, EvalSystem, LongBenchOptions};
+use specontext::core::report::Table;
+use specontext::model::{ModelConfig, PrefillMode};
+use specontext::workloads::longbench::TaskKind;
+
+fn main() {
+    let cfg = ModelConfig::llama3_1_8b();
+    let engine = Engine::build(EngineConfig {
+        geometry: cfg.sim_geometry(),
+        budget: 128,
+        prefill_mode: PrefillMode::Windowed {
+            window: 96,
+            sinks: 4,
+        },
+        ..EngineConfig::default()
+    });
+
+    let systems = [
+        EvalSystem::StreamingLlm,
+        EvalSystem::Quest,
+        EvalSystem::ClusterKv,
+        EvalSystem::ShadowKv,
+        EvalSystem::SpeContext,
+        EvalSystem::Full,
+    ];
+    let budgets = [64usize, 256];
+
+    for kind in TaskKind::all() {
+        let opt = LongBenchOptions {
+            instances: 4,
+            prefill_mode: PrefillMode::Windowed {
+                window: 96,
+                sinks: 4,
+            },
+            strength: 2.5,
+            ..LongBenchOptions::new(kind, 1024, 0)
+        };
+        let scores = longbench_matrix(&engine, &systems, &budgets, &opt);
+        let mut table = Table::new(
+            format!("{} (context 1024, score x100)", kind.paper_name()),
+            &["system", "B=64", "B=256"],
+        );
+        for (si, sys) in systems.iter().enumerate() {
+            table.push_row(vec![
+                sys.to_string(),
+                format!("{:.1}", scores[si][0] * 100.0),
+                format!("{:.1}", scores[si][1] * 100.0),
+            ]);
+        }
+        println!("{table}");
+    }
+}

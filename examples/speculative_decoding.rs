@@ -1,0 +1,40 @@
+//! Speculative decoding with the distilled LM as the draft model —
+//! combining SpeContext's sparsity with EAGLE-style speculation from the
+//! same distilled model.
+//!
+//! Run with `cargo run --release --example speculative_decoding`.
+
+use specontext::core::report::Table;
+use specontext::model::{AttentionKind, DistillOptions, Dlm, Model, PrefillMode, SimGeometry};
+use specontext::runtime::spec_decode::SpeculativeDecoder;
+
+fn main() {
+    let teacher = Model::new(SimGeometry::tiny(AttentionKind::Gqa), 2024);
+    let dlm = Dlm::distill(&teacher, DistillOptions::default());
+
+    let prompt: Vec<usize> = (0..48).map(|i| (i * 11) % 60).collect();
+    let (kv, out) = teacher.prefill_tokens(&prompt, PrefillMode::Exact);
+    let first = Model::argmax_token(&out.logits);
+
+    let mut table = Table::new(
+        "speculative decoding (64 tokens, dense verification)",
+        &["draft len", "rounds", "accepted/drafted", "acceptance", "tok/round"],
+    );
+    for draft_len in [1usize, 2, 4, 8] {
+        let mut kv_run = kv.clone();
+        let dec = SpeculativeDecoder::new(&teacher, &dlm, draft_len);
+        let res = dec.generate(&mut kv_run, None, first, 64);
+        table.push_row(vec![
+            draft_len.to_string(),
+            res.rounds.to_string(),
+            format!("{}/{}", res.accepted, res.drafted),
+            format!("{:.2}", res.acceptance_rate()),
+            format!("{:.2}", res.tokens_per_round()),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Output is provably identical to greedy decoding — speculation only\n\
+         changes how much target-model work each round can batch."
+    );
+}

@@ -1,0 +1,35 @@
+//! SpeContext — efficient long-context reasoning with speculative context
+//! sparsity (paper reproduction).
+//!
+//! This facade crate re-exports the full public API. Start with
+//! [`core::engine::Engine`] for generation with speculative sparsity, or
+//! see the `examples/` directory:
+//!
+//! * `quickstart` — build an engine, prefill, generate;
+//! * `longbench_eval` — accuracy of every retrieval system on the
+//!   synthetic LongBench tasks;
+//! * `cloud_serving` — Table-3-style throughput estimation on an A100;
+//! * `edge_deployment` — adaptive memory management on an 8GB laptop GPU.
+//!
+//! ```
+//! use specontext::core::engine::{Engine, EngineConfig};
+//!
+//! let engine = Engine::build(EngineConfig {
+//!     budget: 16,
+//!     ..EngineConfig::default()
+//! });
+//! let mut session = engine.session();
+//! session.prefill_tokens(&(0..32).collect::<Vec<_>>());
+//! let out = session.generate(4);
+//! assert_eq!(out.tokens.len(), 4);
+//! ```
+
+pub use specontext_core as core;
+
+pub use spec_hwsim as hwsim;
+pub use spec_kvcache as kvcache;
+pub use spec_model as model;
+pub use spec_retrieval as retrieval;
+pub use spec_runtime as runtime;
+pub use spec_tensor as tensor;
+pub use spec_workloads as workloads;
