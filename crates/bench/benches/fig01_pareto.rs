@@ -10,12 +10,12 @@ use spec_bench::{emit, sim_engine, to_sim};
 use spec_hwsim::DeviceSpec;
 use spec_model::{ModelConfig, PrefillMode};
 use spec_runtime::serving::{ServingSim, SystemKind, Workload};
+use spec_workloads::longbench::TaskKind;
 use specontext_core::evaluate::{
     longbench_matrix, longwriter_scores, EvalSystem, LongBenchOptions, LongWriterOptions,
 };
 use specontext_core::pareto::{pareto_frontier, ParetoPoint};
 use specontext_core::report::{f2, Table};
-use spec_workloads::longbench::TaskKind;
 
 fn main() {
     let cfg = ModelConfig::llama3_1_8b();
@@ -133,7 +133,11 @@ fn main() {
                 p.label.clone(),
                 f2(p.accuracy),
                 f2(p.throughput),
-                if frontier.contains(&i) { "*".into() } else { "".into() },
+                if frontier.contains(&i) {
+                    "*".into()
+                } else {
+                    "".into()
+                },
             ]);
         }
         let slug = if panel.starts_with("a") {

@@ -59,7 +59,11 @@ fn retention_growth() {
     let profile = EngineProfile::flash_attention();
     let mut table = Table::new(
         "Fig. 2(a)-2 — step latency growth with generated tokens (budget 2048)",
-        &["generated", "baseline ms (B+gen attended)", "ours ms (B attended)"],
+        &[
+            "generated",
+            "baseline ms (B+gen attended)",
+            "ours ms (B attended)",
+        ],
     );
     for gen in [0usize, 4096, 8192, 16 * 1024, 32 * 1024] {
         let base = StepParams {
@@ -90,11 +94,7 @@ fn retention_growth() {
 
 /// Challenge 3: the predetermined-offload cliff vs adaptive management.
 fn offload_cliff() {
-    let sim = ServingSim::new(
-        ModelConfig::llama3_1_8b(),
-        DeviceSpec::a100_80g(),
-        2048,
-    );
+    let sim = ServingSim::new(ModelConfig::llama3_1_8b(), DeviceSpec::a100_80g(), 2048);
     let mut table = Table::new(
         "Fig. 2(a)-3 — offload cliff at batch 4 (tokens/s)",
         &["context", "predetermined", "adaptive (ours)"],
@@ -113,8 +113,7 @@ fn offload_cliff() {
             &w,
             MemoryPolicy::AllGpuOrFullOffload,
         );
-        let ada =
-            sim.throughput_with_policy(SystemKind::SpeContext, &w, MemoryPolicy::Adaptive);
+        let ada = sim.throughput_with_policy(SystemKind::SpeContext, &w, MemoryPolicy::Adaptive);
         table.push_row(vec![
             format!("{}K", s / 1024),
             f2(pre.tokens_per_s),

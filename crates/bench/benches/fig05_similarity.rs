@@ -8,12 +8,12 @@
 
 use spec_bench::{emit, sim_engine, to_sim};
 use spec_model::{ModelConfig, PrefillMode, SparsePlan};
+use spec_retrieval::common::SelectorConfig;
 use spec_retrieval::oracle::{selection_hit_rate, selection_mass};
 use spec_retrieval::spec_head::{MappingLevel, SpecSelection};
-use spec_retrieval::common::SelectorConfig;
 use spec_tensor::SimRng;
-use specontext_core::report::{f2, Table};
 use spec_workloads::context::ContextBuilder;
+use specontext_core::report::{f2, Table};
 
 fn main() {
     let cfg = ModelConfig::llama3_1_8b();
@@ -26,13 +26,7 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 5(a) — retrieval-head quality vs budget (attention mass | hit rate)",
-        &[
-            "budget",
-            "head mass",
-            "batch mass",
-            "head hit",
-            "batch hit",
-        ],
+        &["budget", "head mass", "batch mass", "head hit", "batch hit"],
     );
 
     // Shared instances: context + dense trace once per instance.

@@ -7,12 +7,12 @@
 use spec_bench::{emit, sim_engine, to_sim};
 use spec_hwsim::{DeviceSpec, EngineProfile};
 use spec_model::ModelConfig;
+use spec_model::PrefillMode;
 use spec_runtime::costs::CostModel;
 use spec_runtime::exec::{generate_free_running, DecodeStrategy};
-use spec_model::PrefillMode;
 use spec_tensor::{stats, SimRng};
-use specontext_core::report::{f2, Table};
 use spec_workloads::context::ContextBuilder;
+use specontext_core::report::{f2, Table};
 
 fn main() {
     prefetch_vs_compute();

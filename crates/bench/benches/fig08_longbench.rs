@@ -8,9 +8,9 @@
 
 use spec_bench::{emit, sim_engine, to_sim, SIM_SCALE};
 use spec_model::{ModelConfig, PrefillMode};
+use spec_workloads::longbench::TaskKind;
 use specontext_core::evaluate::{longbench_matrix, EvalSystem, LongBenchOptions};
 use specontext_core::report::Table;
-use spec_workloads::longbench::TaskKind;
 
 fn main() {
     let budgets = [512usize, 1024, 2048, 4096];
@@ -43,8 +43,8 @@ fn main() {
         );
         for (si, system) in systems.iter().enumerate() {
             let mut cells = vec![system.to_string()];
-            for bi in 0..budgets.len() {
-                cells.push(format!("{:.1}", scores[si][bi] * 100.0));
+            for score in scores[si].iter().take(budgets.len()) {
+                cells.push(format!("{:.1}", score * 100.0));
             }
             table.push_row(cells);
         }

@@ -82,11 +82,7 @@ fn main() {
     }
 }
 
-fn push_detail(
-    table: &mut Table,
-    name: &str,
-    s: &spec_workloads::longwriter::LongWriterScores,
-) {
+fn push_detail(table: &mut Table, name: &str, s: &spec_workloads::longwriter::LongWriterScores) {
     table.push_row(vec![
         name.to_string(),
         f2(s.relevance as f64),

@@ -42,7 +42,11 @@ fn cloud() {
         let mut cells = vec![shape_label(inp, out)];
         for sys in systems {
             let rep = sim.throughput(sys, &w);
-            cells.push(if rep.oom { "OOM".into() } else { f2(rep.tokens_per_s) });
+            cells.push(if rep.oom {
+                "OOM".into()
+            } else {
+                f2(rep.tokens_per_s)
+            });
         }
         table.push_row(cells);
     }
@@ -66,12 +70,24 @@ fn edge() {
         // (nothing fits in 4GB alongside the model).
         for sys in [SystemKind::FullEager, SystemKind::FullFlash] {
             let rep = sim.throughput_with_policy(sys, &w, MemoryPolicy::AllGpuOrFullOffload);
-            cells.push(if rep.oom { "OOM".into() } else { f2(rep.tokens_per_s) });
+            cells.push(if rep.oom {
+                "OOM".into()
+            } else {
+                f2(rep.tokens_per_s)
+            });
         }
         let shadow = sim.throughput(SystemKind::ShadowKv, &w);
-        cells.push(if shadow.oom { "OOM".into() } else { f2(shadow.tokens_per_s) });
+        cells.push(if shadow.oom {
+            "OOM".into()
+        } else {
+            f2(shadow.tokens_per_s)
+        });
         let ours = sim.throughput(SystemKind::SpeContext, &w);
-        cells.push(if ours.oom { "OOM".into() } else { f2(ours.tokens_per_s) });
+        cells.push(if ours.oom {
+            "OOM".into()
+        } else {
+            f2(ours.tokens_per_s)
+        });
         table.push_row(cells);
     }
     emit(&table, "fig10b_edge_single");

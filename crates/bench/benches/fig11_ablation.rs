@@ -30,7 +30,11 @@ fn main() {
         let hf = ablation_best_batch(AblationStage::Hf, &cfg, &dev, inp, out, 2048, &[4]);
         let mut cells = vec![shape_label(inp, out)];
         cells.push(throughput_cell(hf.tokens_per_s, hf.requests, 1.0));
-        for stage in [AblationStage::C1, AblationStage::C1C2, AblationStage::C1C2C3] {
+        for stage in [
+            AblationStage::C1,
+            AblationStage::C1C2,
+            AblationStage::C1C2C3,
+        ] {
             let rep = ablation_best_batch(stage, &cfg, &dev, inp, out, 2048, &batches);
             let speedup = if hf.tokens_per_s > 0.0 {
                 rep.tokens_per_s / hf.tokens_per_s
@@ -56,7 +60,11 @@ fn main() {
         let batch = full.requests;
         let mut cells = vec![shape_label(inp, out), batch.to_string()];
         let mut c1_tput = 0.0;
-        for stage in [AblationStage::C1, AblationStage::C1C2, AblationStage::C1C2C3] {
+        for stage in [
+            AblationStage::C1,
+            AblationStage::C1C2,
+            AblationStage::C1C2C3,
+        ] {
             let rep = ablation_throughput(stage, &cfg, &dev, &Workload::new(inp, out, batch), 2048);
             if stage == AblationStage::C1 {
                 c1_tput = rep.tokens_per_s;

@@ -10,9 +10,9 @@
 //! in the printed tables are the paper's. Throughput experiments use the
 //! models' **real** geometry on the hardware simulator — no scaling.
 
+use spec_model::{ModelConfig, PrefillMode, SimGeometry};
 use specontext_core::engine::{Engine, EngineConfig};
 use specontext_core::report::Table;
-use spec_model::{ModelConfig, PrefillMode, SimGeometry};
 
 /// Paper-to-sim division factor for contexts and budgets.
 pub const SIM_SCALE: usize = 8;

@@ -69,11 +69,9 @@ pub fn ablation_throughput(
             sim.throughput_with_policy(SystemKind::FullEager, w, MemoryPolicy::AllGpuOrFullOffload)
         }
         AblationStage::C1 => c1_throughput(cfg, dev, w, budget),
-        AblationStage::C1C2 => sim.throughput_with_policy(
-            SystemKind::SpeContext,
-            w,
-            MemoryPolicy::AllGpuOrFullOffload,
-        ),
+        AblationStage::C1C2 => {
+            sim.throughput_with_policy(SystemKind::SpeContext, w, MemoryPolicy::AllGpuOrFullOffload)
+        }
         AblationStage::C1C2C3 => {
             sim.throughput_with_policy(SystemKind::SpeContext, w, MemoryPolicy::Adaptive)
         }
@@ -213,15 +211,8 @@ mod tests {
         let batches = [4usize, 8, 16, 32];
         let mut prev = 0.0;
         for stage in AblationStage::all() {
-            let rep = ablation_best_batch(
-                stage,
-                &cfg,
-                &dev,
-                w.input_len,
-                w.output_len,
-                2048,
-                &batches,
-            );
+            let rep =
+                ablation_best_batch(stage, &cfg, &dev, w.input_len, w.output_len, 2048, &batches);
             assert!(!rep.oom, "{stage} OOM");
             assert!(
                 rep.tokens_per_s > prev,

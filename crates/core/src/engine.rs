@@ -1,8 +1,6 @@
 //! The SpeContext engine and session API.
 
-use spec_model::{
-    DistillOptions, Dlm, Model, ModelKv, PrefillMode, SimGeometry, StepOutput,
-};
+use spec_model::{DistillOptions, Dlm, Model, ModelKv, PrefillMode, SimGeometry, StepOutput};
 use spec_retrieval::common::SelectorConfig;
 use spec_retrieval::spec_head::SpecContextRetriever;
 use spec_retrieval::MappingLevel;
@@ -175,10 +173,7 @@ impl Session<'_> {
     }
 
     fn generate_inner(&mut self, steps: usize, traced: bool) -> GenerationResult {
-        let last = self
-            .last_output
-            .as_ref()
-            .expect("prefill before generate");
+        let last = self.last_output.as_ref().expect("prefill before generate");
         let first_token = Model::argmax_token(&last.logits);
         let first = self
             .engine

@@ -216,7 +216,12 @@ pub fn longwriter_scores(
     opt: &LongWriterOptions,
 ) -> LongWriterScores {
     let model = engine.model();
-    let task = LongWriterTask::build(model, opt.prompt_len, opt.gen_len, &mut SimRng::seed(opt.seed));
+    let task = LongWriterTask::build(
+        model,
+        opt.prompt_len,
+        opt.gen_len,
+        &mut SimRng::seed(opt.seed),
+    );
 
     // Dense reference.
     let (ref_tokens, ref_logits) = run_generation(model, engine, EvalSystem::Full, &task, opt);
@@ -259,9 +264,9 @@ fn run_generation(
         EvalSystem::Quest => {
             DecodeStrategy::LayerWise(Box::new(QuestSelector::preprocess(&kv, sel_cfg)))
         }
-        EvalSystem::ClusterKv => DecodeStrategy::LayerWise(Box::new(ClusterKvSelector::preprocess(
-            &kv, sel_cfg, opt.seed,
-        ))),
+        EvalSystem::ClusterKv => DecodeStrategy::LayerWise(Box::new(
+            ClusterKvSelector::preprocess(&kv, sel_cfg, opt.seed),
+        )),
         EvalSystem::ShadowKv => {
             DecodeStrategy::LayerWise(Box::new(ShadowKvSelector::preprocess(&kv, sel_cfg)))
         }
@@ -306,10 +311,7 @@ mod tests {
         let e = engine();
         let full = longbench_accuracy(&e, EvalSystem::Full, &opts(48));
         let ours = longbench_accuracy(&e, EvalSystem::SpeContext, &opts(48));
-        assert!(
-            ours >= full - 0.3,
-            "ours {ours} too far below full {full}"
-        );
+        assert!(ours >= full - 0.3, "ours {ours} too far below full {full}");
     }
 
     #[test]

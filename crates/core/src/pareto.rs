@@ -82,11 +82,7 @@ mod tests {
 
     #[test]
     fn frontier_dominates_all_discarded() {
-        let pts = vec![
-            p("a", 0.9, 5.0),
-            p("weak", 0.5, 1.0),
-            p("b", 0.6, 8.0),
-        ];
+        let pts = vec![p("a", 0.9, 5.0), p("weak", 0.5, 1.0), p("b", 0.6, 8.0)];
         let f = pareto_frontier(&pts);
         for i in 0..pts.len() {
             if !f.contains(&i) {

@@ -80,10 +80,7 @@ impl EventSim {
     ) -> OpHandle {
         assert!(stream.0 < self.stream_free.len(), "unknown stream");
         assert!(duration >= 0.0, "negative duration");
-        let dep_end = deps
-            .iter()
-            .map(|h| self.end_of(*h))
-            .fold(0.0f64, f64::max);
+        let dep_end = deps.iter().map(|h| self.end_of(*h)).fold(0.0f64, f64::max);
         let start = self.stream_free[stream.0].max(dep_end);
         let end = start + duration;
         self.stream_free[stream.0] = end;

@@ -18,14 +18,14 @@
 //! involved, so results are exactly reproducible.
 
 pub mod cost;
-pub mod energy;
-pub mod gantt;
 pub mod device;
+pub mod energy;
 pub mod event;
+pub mod gantt;
 pub mod transfer;
 
 pub use cost::{EngineProfile, KernelCost};
-pub use energy::EnergyModel;
 pub use device::DeviceSpec;
+pub use energy::EnergyModel;
 pub use event::{EventSim, OpRecord, StreamId};
 pub use transfer::TransferEngine;

@@ -112,10 +112,7 @@ impl PageTable {
 
     /// Expands a page selection into token positions, ascending.
     pub fn expand_pages(&self, pages: &[usize]) -> Vec<usize> {
-        let mut out: Vec<usize> = pages
-            .iter()
-            .flat_map(|&p| self.page_range(p))
-            .collect();
+        let mut out: Vec<usize> = pages.iter().flat_map(|&p| self.page_range(p)).collect();
         out.sort_unstable();
         out.dedup();
         out

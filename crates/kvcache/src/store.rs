@@ -65,7 +65,10 @@ impl KvStore {
     /// Panics if `layers == 0` or `bytes_per_token_layer == 0`.
     pub fn new(layers: usize, bytes_per_token_layer: u64) -> Self {
         assert!(layers > 0, "store requires at least one layer");
-        assert!(bytes_per_token_layer > 0, "bytes per token must be positive");
+        assert!(
+            bytes_per_token_layer > 0,
+            "bytes per token must be positive"
+        );
         Self {
             placement: vec![MemoryTier::Gpu; layers],
             bytes_per_token_layer,

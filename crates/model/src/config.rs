@@ -377,7 +377,7 @@ impl SimGeometry {
         if self.q_heads == 0 || self.kv_heads == 0 {
             return Err("head counts must be positive".into());
         }
-        if self.q_heads % self.kv_heads != 0 {
+        if !self.q_heads.is_multiple_of(self.kv_heads) {
             return Err(format!(
                 "q_heads {} must be a multiple of kv_heads {}",
                 self.q_heads, self.kv_heads
@@ -399,7 +399,7 @@ impl SimGeometry {
         if self.attention == AttentionKind::Mla && self.mla_latent == 0 {
             return Err("MLA requires mla_latent > 0".into());
         }
-        if self.head_dim % 2 != 0 {
+        if !self.head_dim.is_multiple_of(2) {
             return Err("head_dim must be even for RoPE".into());
         }
         Ok(())

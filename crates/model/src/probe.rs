@@ -83,8 +83,8 @@ pub fn probe_direction(model: &Model, iters: usize) -> Probe {
         v = next;
     }
     let av = a.matvec(&v);
-    let alignment = v.iter().zip(&av).map(|(x, y)| x * y).sum::<f32>()
-        / (geom.layers * geom.q_heads) as f32;
+    let alignment =
+        v.iter().zip(&av).map(|(x, y)| x * y).sum::<f32>() / (geom.layers * geom.q_heads) as f32;
     Probe {
         direction: v,
         alignment,

@@ -51,10 +51,7 @@ impl Sampler {
                 assert!(k >= 1, "top-k requires k >= 1");
                 assert!(temperature > 0.0, "temperature must be positive");
                 let keep = spec_tensor::topk::top_k_indices(logits, k);
-                let mut probs: Vec<f32> = keep
-                    .iter()
-                    .map(|&i| logits[i] / temperature)
-                    .collect();
+                let mut probs: Vec<f32> = keep.iter().map(|&i| logits[i] / temperature).collect();
                 ops::softmax_inplace(&mut probs);
                 keep[draw(&probs, rng)]
             }

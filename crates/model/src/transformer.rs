@@ -544,8 +544,7 @@ mod tests {
             let x = emb.row(5).to_vec();
             let dense = m.decode_step(&x, 10, &mut kv_a);
             let all: Vec<usize> = (0..=10).collect();
-            let plan =
-                SparsePlan::uniform(m.geometry().layers, m.geometry().kv_heads, all);
+            let plan = SparsePlan::uniform(m.geometry().layers, m.geometry().kv_heads, all);
             let sparse = m.decode_step_sparse(&x, 10, &mut kv_b, &plan);
             for (a, b) in dense.logits.iter().zip(&sparse.logits) {
                 assert!((a - b).abs() < 1e-5, "{kind}: {a} vs {b}");
@@ -640,7 +639,7 @@ mod tests {
         let emb = seq_embeddings(&m, 4);
         let (mut kv, _) = m.prefill_embeddings(&emb, PrefillMode::Exact);
         assert_eq!(kv.seq_len(), 4);
-        m.decode_step(&emb.row(0).to_vec(), 4, &mut kv);
+        m.decode_step(emb.row(0), 4, &mut kv);
         assert_eq!(kv.seq_len(), 5);
     }
 

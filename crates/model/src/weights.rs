@@ -26,7 +26,12 @@ impl SemanticChannel {
     /// Samples a channel for the geometry.
     pub fn sample(geom: &SimGeometry, rng: &mut SimRng) -> Self {
         let mut direction = rng.normal_vec(geom.hidden, 1.0);
-        let norm = direction.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-9);
+        let norm = direction
+            .iter()
+            .map(|v| v * v)
+            .sum::<f32>()
+            .sqrt()
+            .max(1e-9);
         direction.iter_mut().for_each(|v| *v /= norm);
         let d = geom.head_dim;
         let head_vectors = (0..geom.kv_heads)
@@ -183,12 +188,16 @@ impl ModelWeights {
         Self {
             embedding: rng.fork(1).normal_matrix(geom.vocab, geom.hidden, emb_std),
             layers: (0..geom.layers)
-                .map(|l| LayerWeights::init(geom, &mut rng.fork(1000 + l as u64), semantic.as_ref()))
+                .map(|l| {
+                    LayerWeights::init(geom, &mut rng.fork(1000 + l as u64), semantic.as_ref())
+                })
                 .collect(),
             norm_final: vec![1.0; geom.hidden],
-            lm_head: rng
-                .fork(2)
-                .normal_matrix(geom.hidden, geom.vocab, 1.0 / (geom.hidden as f32).sqrt()),
+            lm_head: rng.fork(2).normal_matrix(
+                geom.hidden,
+                geom.vocab,
+                1.0 / (geom.hidden as f32).sqrt(),
+            ),
             semantic,
         }
     }
@@ -223,10 +232,7 @@ mod tests {
         assert_eq!(l.wq.len(), geom.q_heads);
         assert_eq!(l.wk.len(), geom.kv_heads);
         assert_eq!(l.wq[0].shape(), (geom.hidden, geom.head_dim));
-        assert_eq!(
-            l.wo.shape(),
-            (geom.q_heads * geom.head_dim, geom.hidden)
-        );
+        assert_eq!(l.wo.shape(), (geom.q_heads * geom.head_dim, geom.hidden));
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //! (paper Fig. 8), at the cost of a much heavier preprocessing step.
 
 use crate::common::{group_max_scores, SelectorConfig};
+use spec_model::{LayerKv, LayerSelector, ModelKv};
 use spec_tensor::kmeans::{kmeans, KMeans, KMeansConfig};
 use spec_tensor::SimRng;
-use spec_model::{LayerKv, LayerSelector, ModelKv};
 use std::collections::BTreeSet;
 
 /// The ClusterKV selector. Build with [`ClusterKvSelector::preprocess`].

@@ -225,7 +225,12 @@ mod tests {
 
     #[test]
     fn group_max_pools_within_groups() {
-        let qs = vec![vec![1.0, 0.0], vec![0.0, 2.0], vec![5.0, 0.0], vec![0.0, 3.0]];
+        let qs = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 2.0],
+            vec![5.0, 0.0],
+            vec![0.0, 3.0],
+        ];
         let pooled = group_max_scores(&qs, 2);
         assert_eq!(pooled.len(), 2);
         assert_eq!(pooled[0], vec![1.0, 2.0]);

@@ -135,7 +135,11 @@ mod tests {
         let g = m.geometry();
         // Two correlated query sets (adjacent layers of a real model).
         let q1: Vec<Vec<f32>> = (0..g.q_heads)
-            .map(|h| (0..g.head_dim).map(|d| ((h * 7 + d) as f32 * 0.3).sin()).collect())
+            .map(|h| {
+                (0..g.head_dim)
+                    .map(|d| ((h * 7 + d) as f32 * 0.3).sin())
+                    .collect()
+            })
             .collect();
         let q2: Vec<Vec<f32>> = q1
             .iter()

@@ -58,7 +58,12 @@ pub fn selection_mass(trace: &StepTrace, selection: &[Vec<usize>], group: usize)
 
 /// Hit rate of a selection against the oracle top-`k` of a dense trace,
 /// averaged over layers and query heads.
-pub fn selection_hit_rate(trace: &StepTrace, selection: &[Vec<usize>], group: usize, k: usize) -> f32 {
+pub fn selection_hit_rate(
+    trace: &StepTrace,
+    selection: &[Vec<usize>],
+    group: usize,
+    k: usize,
+) -> f32 {
     let mut total = 0.0;
     let mut count = 0;
     for (layer_w, layer_p) in trace.attn.iter().zip(&trace.positions) {

@@ -164,10 +164,11 @@ mod tests {
 
     #[test]
     fn aligned_query_selects_matching_page() {
-        // Keys in page 3 (positions 48..64) are scored by an aligned
-        // query; the page containing the best-matching key must be chosen.
-        // Quest's min/max page bound is intentionally loose, so give the
-        // budget room for three pages; the aligned page must rank within.
+        // Score all keys of head 0 with a query aligned to one of them
+        // (the key at position 50); the page containing the best-matching
+        // key must be chosen. Quest's min/max page bound is intentionally
+        // loose, so give the budget room for three pages; the
+        // best-matching page must rank within.
         let (m, kv) = setup(64);
         let cfg = SelectorConfig {
             budget: 48,
@@ -176,17 +177,29 @@ mod tests {
             ..SelectorConfig::with_budget(48)
         };
         let mut quest = QuestSelector::preprocess(&kv, cfg);
-        // Use an actual key from position 50 as the query direction.
-        let key50: Vec<f32> = match &kv.layers[0] {
-            spec_model::LayerKv::PerHead { keys, .. } => keys[0].row(50).to_vec(),
+        // Use an actual key from position 50 as the query direction, and
+        // find which position actually scores highest under it.
+        let (query, best_pos) = match &kv.layers[0] {
+            spec_model::LayerKv::PerHead { keys, .. } => {
+                let q: Vec<f32> = keys[0].row(50).to_vec();
+                let best = (0..keys[0].rows())
+                    .max_by(|&a, &b| {
+                        let dot = |r: usize| -> f32 {
+                            q.iter().zip(keys[0].row(r)).map(|(x, y)| x * y).sum()
+                        };
+                        dot(a).total_cmp(&dot(b))
+                    })
+                    .unwrap();
+                (q, best)
+            }
             _ => unreachable!(),
         };
         let g = m.geometry();
-        let queries = vec![key50; g.q_heads];
+        let queries = vec![query; g.q_heads];
         let sel = quest.select(0, &queries, &kv.layers[0]).unwrap();
         assert!(
-            sel[0].contains(&50),
-            "page containing the aligned key must be selected"
+            sel[0].contains(&best_pos),
+            "page containing the best-matching key (position {best_pos}) must be selected"
         );
     }
 

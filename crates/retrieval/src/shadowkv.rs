@@ -9,8 +9,8 @@
 //! model (Fig. 7(d)) accounts for.
 
 use crate::common::{assemble_baseline_selection, group_max_scores, SelectorConfig};
-use spec_tensor::quant::{BitWidth, QuantVec};
 use spec_model::{LayerKv, LayerSelector, ModelKv};
+use spec_tensor::quant::{BitWidth, QuantVec};
 
 /// The ShadowKV selector. Build with [`ShadowKvSelector::preprocess`].
 #[derive(Debug, Clone)]

@@ -18,8 +18,8 @@
 //! for the Fig. 5(a) comparison — head-level wins.
 
 use crate::common::{assemble_budgeted_selection, group_max_scores, SelectorConfig};
-use spec_model::{AttentionKind, RetrievalHead, RetrievalHeadState, SimGeometry, SparsePlan};
 use serde::{Deserialize, Serialize};
+use spec_model::{AttentionKind, RetrievalHead, RetrievalHeadState, SimGeometry, SparsePlan};
 
 /// Mapping granularity of retrieval-head weights onto the LLM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

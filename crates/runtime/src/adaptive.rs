@@ -45,9 +45,7 @@ impl Thresholds {
     /// (the smallest `i` with `s < S_T_i`), or `None` if even full
     /// offload cannot host the sequence.
     pub fn required_offload(&self, s: usize) -> Option<usize> {
-        self.values
-            .iter()
-            .position(|&t| (s as i64) < t)
+        self.values.iter().position(|&t| (s as i64) < t)
     }
 }
 
@@ -93,9 +91,7 @@ impl AdaptiveManager {
     /// Returns the offload events triggered, in order.
     pub fn advance_to(&mut self, s: usize) -> Vec<OffloadEvent> {
         let mut events = Vec::new();
-        while self.l_cpu < self.layers
-            && s as i64 >= self.thresholds.values[self.l_cpu]
-        {
+        while self.l_cpu < self.layers && s as i64 >= self.thresholds.values[self.l_cpu] {
             let layer = self.layers - self.l_cpu - 1;
             self.l_cpu += 1;
             events.push(OffloadEvent {

@@ -86,7 +86,12 @@ impl CostModel {
     /// (pages, centroids or quantized keys) per KV head, plus top-k.
     /// `bytes_per_candidate` covers the metadata read (e.g. two page
     /// vectors = `2·2·D`, an int4 key = `D/2`).
-    pub fn retrieval_op(&self, r: usize, candidates: usize, bytes_per_candidate: f64) -> KernelCost {
+    pub fn retrieval_op(
+        &self,
+        r: usize,
+        candidates: usize,
+        bytes_per_candidate: f64,
+    ) -> KernelCost {
         let r = r as f64;
         let c = candidates as f64;
         let heads = self.cfg.kv_heads as f64;
@@ -146,7 +151,9 @@ impl CostModel {
         let ffn = 2.0 * r * s_f * 3.0 * h * self.cfg.ffn_dim as f64;
         let attn = 2.0 * 2.0 * r * self.qd() * s_f * s_f / 2.0; // causal half
         let weight_bytes = 2.0
-            * (h * self.qd() + 2.0 * h * self.kvd() + self.qd() * h
+            * (h * self.qd()
+                + 2.0 * h * self.kvd()
+                + self.qd() * h
                 + 3.0 * h * self.cfg.ffn_dim as f64);
         KernelCost {
             flops: l * (proj + ffn + attn),
@@ -177,7 +184,10 @@ impl CostModel {
                 launches: l,
             },
             // Lloyd iterations: iters × k × n × d multiply-adds.
-            PreprocessKind::Clustering { iters, tokens_per_cluster } => {
+            PreprocessKind::Clustering {
+                iters,
+                tokens_per_cluster,
+            } => {
                 let k = (s_f / tokens_per_cluster as f64).max(1.0);
                 KernelCost {
                     flops: r * l * heads * iters as f64 * k * s_f * d * 2.0,
@@ -266,10 +276,7 @@ mod tests {
             full_step += p.op_time(c.layer_attention(1, 32 * 1024, 1.0), &dev);
             full_step += p.op_time(c.layer_ffn(1), &dev);
         }
-        assert!(
-            head < 0.25 * full_step,
-            "head {head} vs step {full_step}"
-        );
+        assert!(head < 0.25 * full_step, "head {head} vs step {full_step}");
     }
 
     #[test]

@@ -129,12 +129,8 @@ pub fn step_timeline(
                 } else {
                     0.0
                 };
-                let fetch = sim.submit(
-                    format!("L{l}.kv_prefetch"),
-                    COPY,
-                    dev.pcie_time(bytes),
-                    &[],
-                );
+                let fetch =
+                    sim.submit(format!("L{l}.kv_prefetch"), COPY, dev.pcie_time(bytes), &[]);
                 bd.transfer += dev.pcie_time(bytes);
                 bd.bytes_transferred += bytes;
                 let deps: Vec<_> = prev_attn.into_iter().chain([fetch]).collect();
@@ -164,7 +160,11 @@ pub fn step_timeline(
                 let ft = sim.submit(
                     format!("L{l}.kv_fetch"),
                     COPY,
-                    if bytes > 0.0 { dev.pcie_time(bytes) } else { 0.0 },
+                    if bytes > 0.0 {
+                        dev.pcie_time(bytes)
+                    } else {
+                        0.0
+                    },
                     &[re],
                 );
                 if bytes > 0.0 {
@@ -195,7 +195,11 @@ pub fn step_timeline(
                 let next_fetch = sim.submit(
                     format!("L{l}.kv_prefetch"),
                     COPY,
-                    if bytes > 0.0 { dev.pcie_time(bytes) } else { 0.0 },
+                    if bytes > 0.0 {
+                        dev.pcie_time(bytes)
+                    } else {
+                        0.0
+                    },
                     &[re],
                 );
                 if bytes > 0.0 {
@@ -232,7 +236,11 @@ pub fn step_timeline(
                 let vf = sim.submit(
                     format!("L{l}.v_fetch"),
                     COPY,
-                    if bytes > 0.0 { dev.pcie_time(bytes) } else { 0.0 },
+                    if bytes > 0.0 {
+                        dev.pcie_time(bytes)
+                    } else {
+                        0.0
+                    },
                     &[re],
                 );
                 if bytes > 0.0 {
@@ -265,7 +273,11 @@ pub fn step_timeline(
                 let ft = sim.submit(
                     format!("L{l}.kv_prefetch"),
                     COPY,
-                    if bytes > 0.0 { dev.pcie_time(bytes) } else { 0.0 },
+                    if bytes > 0.0 {
+                        dev.pcie_time(bytes)
+                    } else {
+                        0.0
+                    },
                     &[head],
                 );
                 if bytes > 0.0 {
@@ -275,10 +287,10 @@ pub fn step_timeline(
                 fetches.push(ft);
             }
             let mut prev = Some(head);
-            for l in 0..layers {
+            for (l, &fetch) in fetches.iter().enumerate() {
                 let deps: Vec<_> = prev.into_iter().collect();
                 let pj = sim.submit(format!("L{l}.proj"), COMPUTE, proj_t, &deps);
-                let at = sim.submit(format!("L{l}.attn"), COMPUTE, attn_t, &[pj, fetches[l]]);
+                let at = sim.submit(format!("L{l}.attn"), COMPUTE, attn_t, &[pj, fetch]);
                 let ff = sim.submit(format!("L{l}.ffn"), COMPUTE, ffn_t, &[at]);
                 bd.attention += attn_t;
                 bd.other_compute += proj_t + ffn_t;
@@ -342,9 +354,7 @@ mod tests {
             }
         }
         // Full-KV prefetch is the worst (it moves the entire cache).
-        assert!(
-            totals[&DataflowKind::PrefetchFullKv] > totals[&DataflowKind::FetchSparseKv]
-        );
+        assert!(totals[&DataflowKind::PrefetchFullKv] > totals[&DataflowKind::FetchSparseKv]);
     }
 
     #[test]

@@ -20,8 +20,8 @@ pub mod costs;
 pub mod dataflow;
 pub mod exec;
 pub mod memory;
-pub mod serving;
 pub mod scheduler;
+pub mod serving;
 pub mod spec_decode;
 
 pub use adaptive::{AdaptiveManager, Thresholds};

@@ -77,8 +77,7 @@ impl MemoryModel {
         self.static_bytes()
             + self.kv_token_layer_bytes()
                 * r
-                * ((l_gpu + 1 + self.alpha) as f64 * seq_len as f64
-                    + l_cpu as f64 * budget as f64)
+                * ((l_gpu + 1 + self.alpha) as f64 * seq_len as f64 + l_cpu as f64 * budget as f64)
     }
 
     /// Whether everything fits on the GPU at this batch and length.

@@ -110,15 +110,19 @@ impl Scheduler {
     ///
     /// # Panics
     ///
-    /// Panics if `requests` is empty or not sorted by arrival.
+    /// Panics if `requests` is empty or not sorted by arrival, or if
+    /// the config's `admission_stride` is zero.
     pub fn run(&self, requests: &[Request]) -> ScheduleReport {
         assert!(!requests.is_empty(), "no requests");
+        assert!(
+            self.cfg.admission_stride > 0,
+            "admission_stride must be positive"
+        );
         assert!(
             requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
             "requests must be sorted by arrival"
         );
-        let mut queue: std::collections::VecDeque<Request> =
-            requests.iter().copied().collect();
+        let mut queue: std::collections::VecDeque<Request> = requests.iter().copied().collect();
         let mut running: Vec<Running> = Vec::new();
         let mut completed: Vec<CompletedRequest> = Vec::new();
         let mut rejected = 0usize;
@@ -127,7 +131,7 @@ impl Scheduler {
 
         while !queue.is_empty() || !running.is_empty() {
             // Admission.
-            if iter % self.cfg.admission_stride == 0 {
+            if iter.is_multiple_of(self.cfg.admission_stride) {
                 while let Some(&head) = queue.front() {
                     if head.arrival > now && running.is_empty() {
                         now = head.arrival; // idle: jump to next arrival
@@ -283,8 +287,8 @@ mod tests {
     #[test]
     fn batching_system_outperforms_single_request_system() {
         let reqs = trace(6, 0.01);
-        let ours = Scheduler::new(sim(), SystemKind::SpeContext, SchedulerConfig::default())
-            .run(&reqs);
+        let ours =
+            Scheduler::new(sim(), SystemKind::SpeContext, SchedulerConfig::default()).run(&reqs);
         let quest_cfg = SchedulerConfig {
             max_batch: 1,
             ..SchedulerConfig::default()
@@ -311,8 +315,12 @@ mod tests {
                 arrival: 0.0,
             })
             .collect();
-        let full = Scheduler::new(sim(), SystemKind::FullFlashInfer, SchedulerConfig::default())
-            .run(&reqs);
+        let full = Scheduler::new(
+            sim(),
+            SystemKind::FullFlashInfer,
+            SchedulerConfig::default(),
+        )
+        .run(&reqs);
         let ours =
             Scheduler::new(sim(), SystemKind::SpeContext, SchedulerConfig::default()).run(&reqs);
         assert!(ours.throughput > full.throughput);
@@ -326,7 +334,11 @@ mod tests {
             output_len: 10_000_000,
             arrival: 0.0,
         }];
-        let s = Scheduler::new(sim(), SystemKind::FullFlashInfer, SchedulerConfig::default());
+        let s = Scheduler::new(
+            sim(),
+            SystemKind::FullFlashInfer,
+            SchedulerConfig::default(),
+        );
         let report = s.run(&reqs);
         assert_eq!(report.rejected, 1);
         assert!(report.completed.is_empty());

@@ -245,7 +245,9 @@ impl ServingSim {
             budget: self.budget,
             reuse: self.elastic_reuse,
         };
-        step_timeline(kind, &self.cm, &profile, &self.dev, &params).1.total
+        step_timeline(kind, &self.cm, &profile, &self.dev, &params)
+            .1
+            .total
     }
 
     /// The per-system dataflow shape at a point in the generation.
@@ -315,8 +317,7 @@ impl ServingSim {
             MemoryPolicy::AllGpuOrFullOffload | MemoryPolicy::Adaptive => {
                 // Even full offload needs the model weights resident.
                 if self.mm.static_bytes()
-                    + 4.0 * (self.budget * r) as f64
-                        * (self.mm.kv_heads * self.mm.head_dim) as f64
+                    + 4.0 * (self.budget * r) as f64 * (self.mm.kv_heads * self.mm.head_dim) as f64
                     > self.mm.gpu_mem as f64
                 {
                     return ThroughputReport::oom(r);
@@ -337,14 +338,13 @@ impl ServingSim {
         };
         prefill_s += profile.op_time(self.cm.preprocess(r, w.input_len, preprocess), &self.dev);
         if system == SystemKind::SpeContext {
-            prefill_s +=
-                profile.op_time(self.cm.retrieval_head_prefill(r, w.input_len), &self.dev);
+            prefill_s += profile.op_time(self.cm.retrieval_head_prefill(r, w.input_len), &self.dev);
         }
 
         // --- decode integration ------------------------------------------
         let thresholds = Thresholds::compute(&self.mm, r, self.budget);
-        let full_offload_decided = policy == MemoryPolicy::AllGpuOrFullOffload
-            && !self.mm.fits_all(r, s_end);
+        let full_offload_decided =
+            policy == MemoryPolicy::AllGpuOrFullOffload && !self.mm.fits_all(r, s_end);
 
         let l_cpu_at = |s: usize| -> Option<usize> {
             match policy {
@@ -525,10 +525,16 @@ mod tests {
         let sim = cloud_sim();
         let fits = Workload::new(96 * 1024, 2048, 4);
         let spills = Workload::new(112 * 1024, 2048, 4);
-        let pre_fits =
-            sim.throughput_with_policy(SystemKind::FullFlashInfer, &fits, MemoryPolicy::AllGpuOrFullOffload);
-        let pre_spills =
-            sim.throughput_with_policy(SystemKind::FullFlashInfer, &spills, MemoryPolicy::AllGpuOrFullOffload);
+        let pre_fits = sim.throughput_with_policy(
+            SystemKind::FullFlashInfer,
+            &fits,
+            MemoryPolicy::AllGpuOrFullOffload,
+        );
+        let pre_spills = sim.throughput_with_policy(
+            SystemKind::FullFlashInfer,
+            &spills,
+            MemoryPolicy::AllGpuOrFullOffload,
+        );
         assert!(
             pre_spills.tokens_per_s < 0.35 * pre_fits.tokens_per_s,
             "cliff expected: {} -> {}",

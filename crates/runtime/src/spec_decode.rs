@@ -104,10 +104,10 @@ impl<'a> SpeculativeDecoder<'a> {
             let draft_base = dlm_kv.seq_len();
             for _ in 0..self.draft_len {
                 let emb = self.dlm.model().embed_tokens(&[dlm_tok]);
-                let out =
-                    self.dlm
-                        .model()
-                        .decode_step(emb.row(0), dlm_kv.seq_len(), &mut dlm_kv);
+                let out = self
+                    .dlm
+                    .model()
+                    .decode_step(emb.row(0), dlm_kv.seq_len(), &mut dlm_kv);
                 dlm_tok = Model::argmax_token(&out.logits);
                 drafts.push(dlm_tok);
             }
@@ -241,11 +241,7 @@ mod tests {
         let (teacher, dlm, mut kv, first) = setup();
         let head = dlm.to_retrieval_head();
         let cfg = spec_retrieval::common::SelectorConfig::with_budget(20);
-        let mut retr = SpecContextRetriever::new(
-            head,
-            cfg,
-            spec_retrieval::MappingLevel::Head,
-        );
+        let mut retr = SpecContextRetriever::new(head, cfg, spec_retrieval::MappingLevel::Head);
         // Observe the prompt.
         let tokens: Vec<usize> = (0..24).map(|i| (i * 5) % 60).collect();
         let emb = teacher.embed_tokens(&tokens);

@@ -67,10 +67,10 @@ pub fn kmeans(points: &Matrix, config: KMeansConfig, rng: &mut SimRng) -> KMeans
             .map(|(i, _)| i)
             .unwrap_or(0);
         centroid_rows.push(next);
-        for i in 0..n {
+        for (i, d2) in dist2.iter_mut().enumerate() {
             let d = sq_dist(points.row(i), points.row(next));
-            if d < dist2[i] {
-                dist2[i] = d;
+            if d < *d2 {
+                *d2 = d;
             }
         }
     }
@@ -83,16 +83,15 @@ pub fn kmeans(points: &Matrix, config: KMeansConfig, rng: &mut SimRng) -> KMeans
         iterations = it + 1;
         // Assignment step.
         let mut new_inertia = 0.0;
-        for i in 0..n {
+        for (i, slot) in assignments.iter_mut().enumerate() {
             let (best, d) = nearest_centroid(points.row(i), &centroids);
-            assignments[i] = best;
+            *slot = best;
             new_inertia += d;
         }
         // Update step.
         let mut sums = Matrix::zeros(k, dim);
         let mut counts = vec![0usize; k];
-        for i in 0..n {
-            let c = assignments[i];
+        for (i, &c) in assignments.iter().enumerate() {
             counts[c] += 1;
             let row = points.row(i);
             let dst = sums.row_mut(c);
@@ -100,8 +99,8 @@ pub fn kmeans(points: &Matrix, config: KMeansConfig, rng: &mut SimRng) -> KMeans
                 *d += v;
             }
         }
-        for c in 0..k {
-            if counts[c] == 0 {
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
                 // Re-seed an empty cluster at the farthest point.
                 let far = (0..n)
                     .max_by(|&a, &b| {
@@ -113,7 +112,7 @@ pub fn kmeans(points: &Matrix, config: KMeansConfig, rng: &mut SimRng) -> KMeans
                 centroids.row_mut(c).copy_from_slice(points.row(far));
                 continue;
             }
-            let inv = 1.0 / counts[c] as f32;
+            let inv = 1.0 / count as f32;
             let src = sums.row(c).to_vec();
             for (d, v) in centroids.row_mut(c).iter_mut().zip(src) {
                 *d = v * inv;

@@ -20,7 +20,7 @@ use std::fmt;
 /// assert_eq!(m.cols(), 2);
 /// assert_eq!(m.get(1, 0), 3.0);
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -326,16 +326,6 @@ impl Matrix {
     /// True if the matrix has no elements.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
-    }
-}
-
-impl Default for Matrix {
-    fn default() -> Self {
-        Matrix {
-            rows: 0,
-            cols: 0,
-            data: Vec::new(),
-        }
     }
 }
 

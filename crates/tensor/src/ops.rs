@@ -77,7 +77,10 @@ pub fn silu_inplace(xs: &mut [f32]) {
 ///
 /// Panics if the vector length is odd.
 pub fn rope_inplace(xs: &mut [f32], pos: usize, theta_base: f32, scale: f32) {
-    assert!(xs.len() % 2 == 0, "rope requires an even head dimension");
+    assert!(
+        xs.len().is_multiple_of(2),
+        "rope requires an even head dimension"
+    );
     let half = xs.len() / 2;
     let p = pos as f32 / scale;
     for i in 0..half {

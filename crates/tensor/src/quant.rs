@@ -117,7 +117,11 @@ impl QuantVec {
             BitWidth::Int8 => self.packed[i] as i8,
             BitWidth::Int4 => {
                 let byte = self.packed[i / 2];
-                let nib = if i % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+                let nib = if i.is_multiple_of(2) {
+                    byte & 0x0F
+                } else {
+                    byte >> 4
+                };
                 // Sign-extend the 4-bit value.
                 ((nib << 4) as i8) >> 4
             }
@@ -210,7 +214,9 @@ mod tests {
 
     #[test]
     fn quantized_dot_close_to_exact() {
-        let xs: Vec<f32> = (0..64).map(|i| ((i * 37 % 13) as f32 - 6.0) / 6.0).collect();
+        let xs: Vec<f32> = (0..64)
+            .map(|i| ((i * 37 % 13) as f32 - 6.0) / 6.0)
+            .collect();
         let query: Vec<f32> = (0..64).map(|i| ((i * 17 % 7) as f32 - 3.0) / 3.0).collect();
         let exact: f32 = xs.iter().zip(&query).map(|(a, b)| a * b).sum();
         let q = QuantVec::quantize(&xs, BitWidth::Int8);

@@ -125,10 +125,7 @@ impl TaskInstance {
     /// Scores the answer-step trace in `[0, 1]` per the task's metric.
     pub fn score(&self, trace: &StepTrace) -> f32 {
         let (gold, distractor) = self.group_saliences(trace);
-        let found_gold = gold
-            .iter()
-            .filter(|&&s| s >= SALIENCE_THRESHOLD)
-            .count();
+        let found_gold = gold.iter().filter(|&&s| s >= SALIENCE_THRESHOLD).count();
         let found_distract = distractor
             .iter()
             .filter(|&&s| s >= SALIENCE_THRESHOLD)

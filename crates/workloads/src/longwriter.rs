@@ -127,8 +127,8 @@ pub fn score_generation(rec: &GenerationRecord<'_>) -> LongWriterScores {
     let coverage = (unique.len() as f32 / n as f32 / 0.5).min(1.0);
     let breadth_depth = 5.0 * coverage;
 
-    let reading_experience = 5.0
-        * stats::geometric_mean(&[(coherence / 5.0).max(1e-4), (clarity / 5.0).max(1e-4)]);
+    let reading_experience =
+        5.0 * stats::geometric_mean(&[(coherence / 5.0).max(1e-4), (clarity / 5.0).max(1e-4)]);
 
     LongWriterScores {
         relevance,
@@ -166,11 +166,7 @@ fn normalized_entropy(logits: &[f32]) -> f32 {
     }
     let mut p = logits.to_vec();
     spec_tensor::ops::softmax_inplace(&mut p);
-    let h: f32 = p
-        .iter()
-        .filter(|&&x| x > 0.0)
-        .map(|&x| -x * x.ln())
-        .sum();
+    let h: f32 = p.iter().filter(|&&x| x > 0.0).map(|&x| -x * x.ln()).sum();
     h / (logits.len() as f32).ln()
 }
 
@@ -231,9 +227,7 @@ mod tests {
             reference_tokens: &varied,
             reference_logits: &logits,
         };
-        assert!(
-            score_generation(&rec_loop).coherence < score_generation(&rec_var).coherence
-        );
+        assert!(score_generation(&rec_loop).coherence < score_generation(&rec_var).coherence);
     }
 
     #[test]

@@ -74,11 +74,7 @@ impl NeedleTask {
         for (x, m) in emb.row_mut(q).iter_mut().zip(builder.probe()) {
             *x += builder.strength * m;
         }
-        NeedleInstance {
-            emb,
-            needle,
-            depth,
-        }
+        NeedleInstance { emb, needle, depth }
     }
 }
 

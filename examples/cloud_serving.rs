@@ -23,7 +23,14 @@ fn main() {
 
     let mut table = Table::new(
         "throughput (each system at its supported batch <= 16)",
-        &["system", "batch", "tokens/s", "prefill s", "decode s", "PCIe GB"],
+        &[
+            "system",
+            "batch",
+            "tokens/s",
+            "prefill s",
+            "decode s",
+            "PCIe GB",
+        ],
     );
     for sys in SystemKind::all() {
         // Quest/ClusterKV are single-request systems; HF eager caps at 4.
@@ -54,7 +61,11 @@ fn main() {
     );
     for r in [4usize, 8, 16, 32, 64] {
         let rep = sim.throughput(SystemKind::SpeContext, &Workload::new(2048, 32 * 1024, r));
-        let speedup = if eager > 0.0 { rep.tokens_per_s / eager } else { 0.0 };
+        let speedup = if eager > 0.0 {
+            rep.tokens_per_s / eager
+        } else {
+            0.0
+        };
         scaling.push_row(vec![
             r.to_string(),
             throughput_cell(rep.tokens_per_s, rep.requests, speedup),

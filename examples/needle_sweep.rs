@@ -35,11 +35,22 @@ fn main() {
     let depths = [0.0f32, 0.2, 0.4, 0.6, 0.8, 1.0];
     let mut table = Table::new(
         "needle retrieval by depth (1=found), context 1024, budget 64",
-        &["depth", "SpeContext", "StreamingLLM", "SlidingWindow", "Full"],
+        &[
+            "depth",
+            "SpeContext",
+            "StreamingLLM",
+            "SlidingWindow",
+            "Full",
+        ],
     );
     for &depth in &depths {
         let mut row = vec![format!("{depth:.1}")];
-        let inst = task.build(model, &builder, depth, &mut SimRng::seed(1000 + (depth * 10.0) as u64));
+        let inst = task.build(
+            model,
+            &builder,
+            depth,
+            &mut SimRng::seed(1000 + (depth * 10.0) as u64),
+        );
         let n = inst.emb.rows();
         let q = inst.emb.row(n - 1).to_vec();
         let prefill = || {
@@ -92,5 +103,9 @@ fn main() {
 }
 
 fn found(b: bool) -> String {
-    if b { "1".into() } else { "0".into() }
+    if b {
+        "1".into()
+    } else {
+        "0".into()
+    }
 }

@@ -48,8 +48,7 @@ fn main() {
             100.0 * t.reuse_fraction()
         );
     }
-    let mean_overlap: f32 =
-        out.overlaps.iter().sum::<f32>() / out.overlaps.len().max(1) as f32;
+    let mean_overlap: f32 = out.overlaps.iter().sum::<f32>() / out.overlaps.len().max(1) as f32;
     println!("adjacent-step selection overlap: {mean_overlap:.2}");
 
     // 4. Paper-scale facts from the real geometry (no forward pass).

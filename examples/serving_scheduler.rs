@@ -48,8 +48,7 @@ fn main() {
         SystemKind::ShadowKv,
         SystemKind::SpeContext,
     ] {
-        let report =
-            Scheduler::new(sim.clone(), system, SchedulerConfig::default()).run(&requests);
+        let report = Scheduler::new(sim.clone(), system, SchedulerConfig::default()).run(&requests);
         table.push_row(vec![
             system.to_string(),
             format!("{:.1}", report.throughput),

@@ -18,7 +18,13 @@ fn main() {
 
     let mut table = Table::new(
         "speculative decoding (64 tokens, dense verification)",
-        &["draft len", "rounds", "accepted/drafted", "acceptance", "tok/round"],
+        &[
+            "draft len",
+            "rounds",
+            "accepted/drafted",
+            "acceptance",
+            "tok/round",
+        ],
     );
     for draft_len in [1usize, 2, 4, 8] {
         let mut kv_run = kv.clone();

@@ -3,9 +3,7 @@
 //! system.
 
 use proptest::prelude::*;
-use specontext::model::{
-    AttentionKind, DistillOptions, Dlm, Model, PrefillMode, SimGeometry,
-};
+use specontext::model::{AttentionKind, DistillOptions, Dlm, Model, PrefillMode, SimGeometry};
 use specontext::retrieval::clusterkv::ClusterKvSelector;
 use specontext::retrieval::common::SelectorConfig;
 use specontext::retrieval::quest::QuestSelector;

@@ -27,12 +27,7 @@ fn speculative_sparsity_tracks_dense_accuracy() {
         strength: 4.0,
         ..LongBenchOptions::new(TaskKind::TwoWikiMqa, 160, 0)
     };
-    let m = longbench_matrix(
-        &e,
-        &[EvalSystem::SpeContext, EvalSystem::Full],
-        &[48],
-        &opt,
-    );
+    let m = longbench_matrix(&e, &[EvalSystem::SpeContext, EvalSystem::Full], &[48], &opt);
     let (ours, full) = (m[0][0], m[1][0]);
     assert!(full > 0.5, "dense baseline too weak: {full}");
     assert!(ours >= full - 0.25, "ours {ours} vs full {full}");

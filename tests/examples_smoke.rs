@@ -1,0 +1,58 @@
+//! Smoke tests for the `examples/` directory.
+//!
+//! Compilation of all seven examples is gated by `cargo build --examples`
+//! in CI; these tests additionally exercise the quickstart example's flow
+//! in-process so `cargo test` catches runtime regressions of the paths
+//! the examples walk (engine build, prefill, generate, transfer stats,
+//! and the paper-scale config math).
+
+use specontext::core::engine::{Engine, EngineConfig};
+use specontext::model::{AttentionKind, ModelConfig, SimGeometry};
+
+/// The quickstart example, end to end, with its printed quantities
+/// asserted instead of printed.
+#[test]
+fn quickstart_flow_end_to_end() {
+    let engine = Engine::build(EngineConfig {
+        geometry: SimGeometry::tiny(AttentionKind::Gqa),
+        budget: 48,
+        ..EngineConfig::default()
+    });
+
+    // The retrieval head must be a strict parameter subset of the DLM.
+    let head_params = engine.dlm().to_retrieval_head().param_count_non_embedding();
+    let dlm_params = engine.dlm().param_count_non_embedding();
+    assert!(head_params > 0);
+    assert!(
+        head_params < dlm_params,
+        "pruned head ({head_params}) must be smaller than the DLM ({dlm_params})"
+    );
+
+    let mut session = engine.session();
+    let prompt: Vec<usize> = (0..96).map(|i| (i * 13) % 60).collect();
+    session.prefill_tokens(&prompt);
+    assert_eq!(session.seq_len(), 96);
+
+    let out = session.generate(24);
+    assert_eq!(out.tokens.len(), 24);
+    let transfer = out.transfer.expect("speculative path reports transfers");
+    assert!(transfer.fetched_entries > 0);
+    assert!((0.0..=1.0).contains(&transfer.reuse_fraction()));
+    assert!(out.overlaps.iter().all(|o| (0.0..=1.0 + 1e-6).contains(o)));
+}
+
+/// The paper-scale facts quoted by the quickstart example stay sane.
+#[test]
+fn paper_scale_facts_are_plausible() {
+    let cfg = ModelConfig::llama3_1_8b();
+    let kv_gb = cfg.kv_bytes_total(32 * 1024) as f64 / 1e9;
+    assert!(
+        (1.0..64.0).contains(&kv_gb),
+        "32K-context KV cache of {kv_gb:.2} GB is outside the plausible range"
+    );
+    let head_mb = cfg.retrieval_head_params() as f64 * 2.0 / 1e6;
+    assert!(
+        head_mb < 1024.0,
+        "retrieval head of {head_mb:.0} MB is not lightweight"
+    );
+}

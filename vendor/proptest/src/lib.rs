@@ -1,0 +1,464 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The build environment has no crates.io access, so this stub implements
+//! the slice of proptest's surface the workspace's property tests use:
+//! the [`proptest!`] macro, [`Strategy`] with `prop_map`, range and tuple
+//! strategies, `any::<T>()`, `prop::collection::{vec, btree_set}`, and
+//! [`ProptestConfig`]. Inputs are generated from a deterministic RNG
+//! seeded per test (stable across runs and machines). There is **no
+//! shrinking**: a failing case panics with the values, which the
+//! deterministic seeding makes reproducible.
+
+use rand::{Rng as _, SeedableRng as _};
+
+/// Deterministic input source handed to strategies.
+pub struct TestRunner {
+    rng: rand::rngs::StdRng,
+}
+
+impl TestRunner {
+    /// A runner whose stream is derived from the test's name, so every
+    /// test sees a stable but distinct sequence.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            rng: rand::rngs::StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// The raw RNG (used by strategy impls).
+    pub fn rng(&mut self) -> &mut rand::rngs::StdRng {
+        &mut self.rng
+    }
+}
+
+/// Run-time configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                gen_inclusive_int(runner, lo as u64, hi as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32);
+
+fn gen_inclusive_int(runner: &mut TestRunner, lo: u64, hi: u64) -> u64 {
+    assert!(lo <= hi, "empty inclusive range");
+    if lo == 0 && hi == u64::MAX {
+        return runner.rng().gen();
+    }
+    lo + runner.rng().gen_range(0..hi - lo + 1)
+}
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+/// Strategy for "any value of `T`" (`proptest::arbitrary::any`).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Returns the [`Any`] strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        runner.rng().gen()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        runner.rng().gen()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        runner.rng().gen()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        runner.rng().gen::<u64>() as usize
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.generate(runner),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+}
+
+// ---------------------------------------------------------------------------
+// Collection strategies
+// ---------------------------------------------------------------------------
+
+/// A collection size specification (`proptest::collection::SizeRange`).
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, runner: &mut TestRunner) -> usize {
+        gen_inclusive_int(runner, self.lo as u64, self.hi as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// The `proptest::prelude::prop` namespace.
+pub mod prop {
+    /// Collection strategies (`prop::collection`).
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRunner};
+
+        /// Strategy producing `Vec`s whose elements come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// The strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let n = self.size.sample(runner);
+                (0..n).map(|_| self.element.generate(runner)).collect()
+            }
+        }
+
+        /// Strategy producing `BTreeSet`s whose elements come from
+        /// `element`. Sizes above the number of distinct values the
+        /// element strategy can produce saturate at whatever dedup leaves.
+        pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            BTreeSetStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// The strategy returned by [`btree_set`].
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = std::collections::BTreeSet<S::Value>;
+
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let target = self.size.sample(runner);
+                let mut set = std::collections::BTreeSet::new();
+                // Bounded attempts so element domains smaller than the
+                // requested size cannot loop forever.
+                let mut attempts = 0;
+                while set.len() < target && attempts < 10 * (target + 1) {
+                    set.insert(self.element.generate(runner));
+                    attempts += 1;
+                }
+                set
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Defines property tests (subset of `proptest::proptest!`).
+///
+/// Each body runs `config.cases` times with fresh inputs from the per-test
+/// deterministic stream. `prop_assert!` failures panic immediately (no
+/// shrinking), carrying the formatted message.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (
+        @with_config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut runner = $crate::TestRunner::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut runner);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a property (panics on failure; no shrinking in this stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality of a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Asserts inequality of a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = TestRunner::from_name("ranges");
+        for _ in 0..500 {
+            let v = (3usize..9).generate(&mut r);
+            assert!((3..9).contains(&v));
+            let f = (-2.0f32..2.0).generate(&mut r);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut r = TestRunner::from_name("vecs");
+        let s = prop::collection::vec(0usize..10, 2..5);
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!((2..5).contains(&v.len()));
+        }
+        let exact = prop::collection::vec(0usize..10, 7);
+        assert_eq!(exact.generate(&mut r).len(), 7);
+    }
+
+    #[test]
+    fn btree_set_within_budget() {
+        let mut r = TestRunner::from_name("sets");
+        let s = prop::collection::btree_set(0usize..64, 0..=8);
+        for _ in 0..100 {
+            let set = s.generate(&mut r);
+            assert!(set.len() <= 8);
+            assert!(set.iter().all(|&x| x < 64));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut r = TestRunner::from_name("map");
+        let s = (0usize..5).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            let v = s.generate(&mut r);
+            assert!(v % 2 == 0 && v < 10);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_generates_inputs(x in 0usize..10, flip in any::<bool>()) {
+            prop_assert!(x < 10);
+            let _ = flip;
+        }
+    }
+}

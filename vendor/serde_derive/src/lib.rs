@@ -1,0 +1,404 @@
+//! Offline `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde stub.
+//!
+//! The build environment has no crates.io access, so this macro is written
+//! against `proc_macro` alone — no `syn`, no `quote`. It parses the small
+//! grammar the workspace actually uses (non-generic named structs, tuple
+//! structs, and enums with unit / struct / tuple variants, none with
+//! `#[serde(...)]` attributes) and emits impls of the stub's value-based
+//! `serde::Serialize` / `serde::Deserialize` traits.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a parsed `struct` or `enum` item.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// Derives the stub `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the stub `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive stub does not support generic types (deriving on `{name}`)");
+    }
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_top_level_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::TupleStruct { name, arity: 0 },
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    }
+}
+
+/// Advances `i` past any `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a delimited token stream on top-level commas.
+fn split_on_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = vec![Vec::new()];
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => out.push(Vec::new()),
+            _ => out.last_mut().unwrap().push(tt),
+        }
+    }
+    out.retain(|part| !part.is_empty());
+    out
+}
+
+/// Field names of a `{ ... }` struct body, in declaration order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_on_commas(stream)
+        .into_iter()
+        .map(|part| {
+            let mut i = 0;
+            skip_attrs_and_vis(&part, &mut i);
+            match part.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    split_on_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_on_commas(stream)
+        .into_iter()
+        .map(|part| {
+            let mut i = 0;
+            skip_attrs_and_vis(&part, &mut i);
+            let name = match part.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected variant name, found {other:?}"),
+            };
+            i += 1;
+            let kind = match part.get(i) {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(count_top_level_fields(g.stream()))
+                }
+                // `Variant = 3` style discriminants are not used here.
+                other => panic!("unsupported variant body for `{name}`: {other:?}"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = match arity {
+                0 => "::serde::Value::Null".to_string(),
+                1 => "::serde::Serialize::serialize(&self.0)".to_string(),
+                n => {
+                    let items = (0..*n)
+                        .map(|k| format!("::serde::Serialize::serialize(&self.{k})"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("::serde::Value::Seq(vec![{items}])")
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),")
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::serialize({f}))"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![\
+                                   (\"{vn}\".to_string(), ::serde::Value::Map(vec![{entries}]))]),"
+                            )
+                        }
+                        VariantKind::Tuple(arity) => {
+                            let binds = (0..*arity)
+                                .map(|k| format!("x{k}"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::serialize(x0)".to_string()
+                            } else {
+                                let items = (0..*arity)
+                                    .map(|k| format!("::serde::Serialize::serialize(x{k})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ");
+                                format!("::serde::Value::Seq(vec![{items}])")
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Map(vec![\
+                                   (\"{vn}\".to_string(), {inner})]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::deserialize(v.get_field(\"{f}\")?)?,"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{\n{inits}\n}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = match arity {
+                0 => format!("Ok({name})"),
+                1 => format!("Ok({name}(::serde::Deserialize::deserialize(v)?))"),
+                n => {
+                    let items = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::deserialize(&items[{k}])?"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!(
+                        "match v {{\n\
+                             ::serde::Value::Seq(items) if items.len() == {n} => \
+                                 Ok({name}({items})),\n\
+                             _ => Err(::serde::Error::new(\
+                                 \"expected {n}-element sequence for {name}\")),\n\
+                         }}"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),", vn = v.name))
+                .collect::<Vec<_>>()
+                .join("\n");
+            let tagged_arms = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Named(fields) => {
+                            let inits = fields
+                                .iter()
+                                .map(|f| format!(
+                                    "{f}: ::serde::Deserialize::deserialize(\
+                                         inner.get_field(\"{f}\")?)?,"
+                                ))
+                                .collect::<Vec<_>>()
+                                .join("\n");
+                            Some(format!(
+                                "\"{vn}\" => Ok({name}::{vn} {{\n{inits}\n}}),"
+                            ))
+                        }
+                        VariantKind::Tuple(arity) => {
+                            let body = if *arity == 1 {
+                                format!(
+                                    "Ok({name}::{vn}(::serde::Deserialize::deserialize(inner)?))"
+                                )
+                            } else {
+                                let items = (0..*arity)
+                                    .map(|k| format!(
+                                        "::serde::Deserialize::deserialize(&items[{k}])?"
+                                    ))
+                                    .collect::<Vec<_>>()
+                                    .join(", ");
+                                format!(
+                                    "match inner {{\n\
+                                         ::serde::Value::Seq(items) if items.len() == {arity} => \
+                                             Ok({name}::{vn}({items})),\n\
+                                         _ => Err(::serde::Error::new(\
+                                             \"expected {arity}-element sequence for {name}::{vn}\")),\n\
+                                     }}"
+                                )
+                            };
+                            Some(format!("\"{vn}\" => {{ {body} }}"))
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::Error::new(format!(\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, inner) = &entries[0];\n\
+                                 let _ = inner;\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => Err(::serde::Error::new(format!(\
+                                         \"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::Error::new(\
+                                 \"expected string or single-key map for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
