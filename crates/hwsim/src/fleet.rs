@@ -1,0 +1,116 @@
+//! Fleet construction: the device-level view of a serving cluster.
+//!
+//! A fleet is an ordered list of [`DeviceSpec`]s, one per replica slot.
+//! The `spec_serve` cluster simulator binds one serving engine to each
+//! device; heterogeneous fleets (e.g. A100 nodes backed by cheaper 4090
+//! spill capacity) are just mixed lists. The builder keeps construction
+//! declarative and the ordering deterministic, which matters because
+//! router policies break ties by replica index.
+
+use crate::device::DeviceSpec;
+
+/// Declarative builder for replica device lists.
+///
+/// # Example
+///
+/// ```
+/// use spec_hwsim::{DeviceSpec, Fleet};
+/// let devices = Fleet::new()
+///     .with(DeviceSpec::a100_80g(), 2)
+///     .with(DeviceSpec::rtx4090(), 2)
+///     .build();
+/// assert_eq!(devices.len(), 4);
+/// assert_eq!(devices[0].name, "A100-80GB");
+/// assert_eq!(devices[3].name, "RTX4090-24GB");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Fleet {
+    devices: Vec<DeviceSpec>,
+}
+
+impl Fleet {
+    /// An empty fleet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `count` replicas of `spec`.
+    pub fn with(mut self, spec: DeviceSpec, count: usize) -> Self {
+        self.devices.extend(std::iter::repeat_n(spec, count));
+        self
+    }
+
+    /// The device list, in replica order.
+    pub fn build(self) -> Vec<DeviceSpec> {
+        self.devices
+    }
+
+    /// Number of replica slots so far.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether no replica slot has been added.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Total GPU memory across the fleet, bytes.
+    pub fn total_gpu_mem(&self) -> u64 {
+        self.devices.iter().map(|d| d.gpu_mem_bytes).sum()
+    }
+
+    /// Total peak FP16 throughput across the fleet, FLOP/s.
+    pub fn total_flops(&self) -> f64 {
+        self.devices.iter().map(|d| d.gpu_flops).sum()
+    }
+}
+
+/// `count` identical replicas — the common homogeneous cluster.
+pub fn homogeneous(spec: DeviceSpec, count: usize) -> Vec<DeviceSpec> {
+    Fleet::new().with(spec, count).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_repeats_the_spec() {
+        let f = homogeneous(DeviceSpec::a100_80g(), 3);
+        assert_eq!(f.len(), 3);
+        assert!(f.iter().all(|d| d.name == "A100-80GB"));
+    }
+
+    #[test]
+    fn mixed_fleet_preserves_declaration_order() {
+        let f = Fleet::new()
+            .with(DeviceSpec::a100_80g(), 1)
+            .with(DeviceSpec::rtx4090(), 2)
+            .with(DeviceSpec::h100_80g(), 1)
+            .build();
+        let names: Vec<&str> = f.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["A100-80GB", "RTX4090-24GB", "RTX4090-24GB", "H100-80GB"]
+        );
+    }
+
+    #[test]
+    fn aggregates_sum_over_devices() {
+        let fleet = Fleet::new()
+            .with(DeviceSpec::a100_80g(), 2)
+            .with(DeviceSpec::rtx4090(), 1);
+        assert_eq!(
+            fleet.total_gpu_mem(),
+            2 * DeviceSpec::a100_80g().gpu_mem_bytes + DeviceSpec::rtx4090().gpu_mem_bytes
+        );
+        assert!(fleet.total_flops() > DeviceSpec::a100_80g().gpu_flops);
+        assert!(!fleet.is_empty());
+    }
+
+    #[test]
+    fn empty_fleet_builds_empty() {
+        assert!(Fleet::new().build().is_empty());
+    }
+}

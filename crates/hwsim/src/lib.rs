@@ -21,6 +21,7 @@ pub mod cost;
 pub mod device;
 pub mod energy;
 pub mod event;
+pub mod fleet;
 pub mod gantt;
 pub mod transfer;
 
@@ -28,4 +29,5 @@ pub use cost::{EngineProfile, KernelCost};
 pub use device::DeviceSpec;
 pub use energy::EnergyModel;
 pub use event::{EventSim, OpRecord, StreamId};
+pub use fleet::Fleet;
 pub use transfer::TransferEngine;

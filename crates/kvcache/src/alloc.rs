@@ -59,6 +59,16 @@ impl BlockAllocator {
         }
     }
 
+    /// KV bytes one token costs under this allocator.
+    pub fn bytes_per_token(&self) -> u64 {
+        self.bytes_per_token
+    }
+
+    /// The total KV capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
     /// Bytes currently held.
     pub fn used_bytes(&self) -> u64 {
         self.used

@@ -27,4 +27,7 @@ pub mod spec_decode;
 pub use adaptive::{AdaptiveManager, Thresholds};
 pub use dataflow::{DataflowKind, StepBreakdown};
 pub use memory::MemoryModel;
-pub use serving::{MemoryPolicy, ServingSim, SystemKind, ThroughputReport, Workload};
+pub use scheduler::{
+    BatchState, CompletedRequest, Request, ScheduleReport, Scheduler, SchedulerConfig,
+};
+pub use serving::{MemoryPolicy, ServingSim, StepCache, SystemKind, ThroughputReport, Workload};

@@ -9,8 +9,10 @@
 //! benches, so scheduler results and Table-3 results are mutually
 //! consistent.
 
-use crate::serving::{ServingSim, SystemKind, Workload};
+use crate::serving::{ServingSim, StepCache, SystemKind, Workload};
 use serde::{Deserialize, Serialize};
+use spec_tensor::PercentileSummary;
+use std::collections::VecDeque;
 
 /// One serving request.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,6 +48,11 @@ impl CompletedRequest {
     pub fn time_to_first_token(&self) -> f64 {
         self.start - self.request.arrival
     }
+
+    /// Mean time between output tokens over the decode span.
+    pub fn time_between_tokens(&self) -> f64 {
+        (self.finish - self.start) / self.request.output_len.max(1) as f64
+    }
 }
 
 /// Scheduler configuration.
@@ -76,12 +83,49 @@ pub struct ScheduleReport {
     pub makespan: f64,
     /// Output tokens per second over the whole run.
     pub throughput: f64,
-    /// Mean end-to-end latency.
-    pub mean_latency: f64,
-    /// 95th-percentile latency.
-    pub p95_latency: f64,
+    /// End-to-end latency percentiles (arrival → last token).
+    pub latency: PercentileSummary,
+    /// Time-to-first-token percentiles (arrival → decode start), the
+    /// same definition the `spec_serve` SLO accounting uses, so
+    /// single-node and cluster reports are directly comparable.
+    pub ttft: PercentileSummary,
+    /// Time-between-tokens percentiles (decode span / output tokens).
+    pub tbt: PercentileSummary,
     /// Requests that could never be admitted (memory).
     pub rejected: usize,
+}
+
+impl ScheduleReport {
+    /// Builds the aggregate report from a run's raw outcome.
+    pub fn from_completed(
+        completed: Vec<CompletedRequest>,
+        makespan: f64,
+        rejected: usize,
+    ) -> Self {
+        let total_tokens: usize = completed.iter().map(|c| c.request.output_len).sum();
+        let latencies: Vec<f64> = completed.iter().map(CompletedRequest::latency).collect();
+        let ttfts: Vec<f64> = completed
+            .iter()
+            .map(CompletedRequest::time_to_first_token)
+            .collect();
+        let tbts: Vec<f64> = completed
+            .iter()
+            .map(CompletedRequest::time_between_tokens)
+            .collect();
+        Self {
+            makespan,
+            throughput: if makespan > 0.0 {
+                total_tokens as f64 / makespan
+            } else {
+                0.0
+            },
+            latency: PercentileSummary::from_samples(&latencies),
+            ttft: PercentileSummary::from_samples(&ttfts),
+            tbt: PercentileSummary::from_samples(&tbts),
+            rejected,
+            completed,
+        }
+    }
 }
 
 /// The continuous-batching simulator, bound to a system and a
@@ -100,10 +144,131 @@ struct Running {
     start: f64,
 }
 
+/// The incremental state of one continuous-batching engine: wait queue,
+/// running batch, completions and the local clock.
+///
+/// [`Scheduler::run`] drives a `BatchState` to completion over a whole
+/// trace; the `spec_serve` cluster simulator instead drives one per
+/// replica, event by event, feeding arrivals in as its router assigns
+/// them. Both paths execute the identical [`Scheduler::step`] code, so a
+/// 1-replica cluster reproduces `Scheduler::run` bit-for-bit.
+#[derive(Debug, Clone, Default)]
+pub struct BatchState {
+    queue: VecDeque<Request>,
+    running: Vec<Running>,
+    completed: Vec<CompletedRequest>,
+    rejected: usize,
+    now: f64,
+    iter: usize,
+    /// Whether the admission sweep for the current iteration already
+    /// closed (hit a future arrival, a full batch, or an empty queue).
+    sweep_done: bool,
+    last_arrival: f64,
+}
+
+impl BatchState {
+    /// An empty engine at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues an arrived request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `req` arrives earlier than a previously pushed request
+    /// (arrivals must be fed in nondecreasing order).
+    pub fn push(&mut self, req: Request) {
+        assert!(
+            req.arrival >= self.last_arrival,
+            "requests must be pushed in arrival order ({} after {})",
+            req.arrival,
+            self.last_arrival
+        );
+        self.last_arrival = req.arrival;
+        self.queue.push_back(req);
+    }
+
+    /// Whether any request is still queued or decoding.
+    pub fn has_work(&self) -> bool {
+        !self.queue.is_empty() || !self.running.is_empty()
+    }
+
+    /// The engine's local clock, seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Queued (not yet admitted) requests.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests currently decoding.
+    pub fn running_len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Queued + running requests — the router's load signal.
+    pub fn outstanding(&self) -> usize {
+        self.queue.len() + self.running.len()
+    }
+
+    /// The requests currently decoding, in admission order.
+    pub fn running_requests(&self) -> impl Iterator<Item = &Request> {
+        self.running.iter().map(|r| &r.req)
+    }
+
+    /// The requests waiting for admission, in arrival order.
+    pub fn queued_requests(&self) -> impl Iterator<Item = &Request> {
+        self.queue.iter()
+    }
+
+    /// Total KV tokens this engine is committed to at final lengths
+    /// (queued + running), the router's memory-pressure signal.
+    pub fn demand_tokens(&self) -> usize {
+        self.queue
+            .iter()
+            .chain(self.running.iter().map(|r| &r.req))
+            .map(|q| q.input_len + q.output_len)
+            .sum()
+    }
+
+    /// Requests finished so far, in finish order.
+    pub fn completed(&self) -> &[CompletedRequest] {
+        &self.completed
+    }
+
+    /// Requests rejected so far (could never be admitted, even alone).
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// Consumes the state into `(completed, rejected)`.
+    pub fn into_outcome(self) -> (Vec<CompletedRequest>, usize) {
+        (self.completed, self.rejected)
+    }
+}
+
 impl Scheduler {
     /// Creates a scheduler for `system` on the given serving simulator.
     pub fn new(sim: ServingSim, system: SystemKind, cfg: SchedulerConfig) -> Self {
         Self { sim, system, cfg }
+    }
+
+    /// The underlying serving simulator.
+    pub fn sim(&self) -> &ServingSim {
+        &self.sim
+    }
+
+    /// The system being scheduled.
+    pub fn system(&self) -> SystemKind {
+        self.system
+    }
+
+    /// The scheduling configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.cfg
     }
 
     /// Runs the request trace to completion.
@@ -115,92 +280,99 @@ impl Scheduler {
     pub fn run(&self, requests: &[Request]) -> ScheduleReport {
         assert!(!requests.is_empty(), "no requests");
         assert!(
-            self.cfg.admission_stride > 0,
-            "admission_stride must be positive"
-        );
-        assert!(
             requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
             "requests must be sorted by arrival"
         );
-        let mut queue: std::collections::VecDeque<Request> = requests.iter().copied().collect();
-        let mut running: Vec<Running> = Vec::new();
-        let mut completed: Vec<CompletedRequest> = Vec::new();
-        let mut rejected = 0usize;
-        let mut now = 0.0f64;
-        let mut iter = 0usize;
-
-        while !queue.is_empty() || !running.is_empty() {
-            // Admission.
-            if iter.is_multiple_of(self.cfg.admission_stride) {
-                while let Some(&head) = queue.front() {
-                    if head.arrival > now && running.is_empty() {
-                        now = head.arrival; // idle: jump to next arrival
-                    }
-                    if head.arrival > now || running.len() >= self.cfg.max_batch {
-                        break;
-                    }
-                    if !self.admissible(&running, &head) {
-                        if running.is_empty() {
-                            // Can never run, even alone.
-                            rejected += 1;
-                            queue.pop_front();
-                            continue;
-                        }
-                        break;
-                    }
-                    queue.pop_front();
-                    now += self.prefill_time(&head);
-                    running.push(Running {
-                        req: head,
-                        produced: 0,
-                        start: now,
-                    });
-                }
-            }
-            if running.is_empty() {
-                iter += 1;
-                continue;
-            }
-            // One decode iteration for the whole batch.
-            now += self.iteration_time(&running);
-            iter += 1;
-            for r in running.iter_mut() {
-                r.produced += 1;
-            }
-            running.retain(|r| {
-                if r.produced >= r.req.output_len {
-                    completed.push(CompletedRequest {
-                        request: r.req,
-                        start: r.start,
-                        finish: now,
-                    });
-                    false
-                } else {
-                    true
-                }
-            });
+        let mut state = BatchState::new();
+        for req in requests {
+            state.push(*req);
         }
+        let mut cache = StepCache::new();
+        while state.has_work() {
+            self.step(&mut state, &mut cache);
+        }
+        let makespan = state.now;
+        let (completed, rejected) = state.into_outcome();
+        ScheduleReport::from_completed(completed, makespan, rejected)
+    }
 
-        let total_tokens: usize = completed.iter().map(|c| c.request.output_len).sum();
-        let mut latencies: Vec<f64> = completed.iter().map(CompletedRequest::latency).collect();
-        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let mean_latency = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
-        let p95_latency = latencies
-            .get(((latencies.len() as f64 * 0.95) as usize).min(latencies.len().saturating_sub(1)))
-            .copied()
-            .unwrap_or(0.0);
-        ScheduleReport {
-            makespan: now,
-            throughput: if now > 0.0 {
-                total_tokens as f64 / now
+    /// Executes one scheduling micro-step: a single admission decision
+    /// while an admission sweep is open, otherwise a single decode
+    /// iteration for the running batch (a step with an empty batch only
+    /// advances the admission phase). This is the loop body of
+    /// [`Scheduler::run`] split at decision granularity, exposed so
+    /// external event loops (the `spec_serve` replicas) can interleave
+    /// stepping with routing: the clock never advances by more than one
+    /// admission or one iteration per call, so a router can inject an
+    /// arrival the moment the replica's clock passes it — exactly what
+    /// the closed loop sees with the full trace queued upfront.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config's `admission_stride` is zero.
+    pub fn step(&self, state: &mut BatchState, cache: &mut StepCache) {
+        assert!(
+            self.cfg.admission_stride > 0,
+            "admission_stride must be positive"
+        );
+        // Admission: one head decision per call while the sweep is open.
+        if state.iter.is_multiple_of(self.cfg.admission_stride) && !state.sweep_done {
+            if let Some(&head) = state.queue.front() {
+                if head.arrival > state.now && state.running.is_empty() {
+                    state.now = head.arrival; // idle: jump to next arrival
+                }
+                if head.arrival > state.now || state.running.len() >= self.cfg.max_batch {
+                    state.sweep_done = true;
+                    return;
+                }
+                if !self.admissible(&state.running, &head) {
+                    if state.running.is_empty() {
+                        // Can never run, even alone.
+                        state.rejected += 1;
+                        state.queue.pop_front();
+                        return; // sweep stays open for the next head
+                    }
+                    state.sweep_done = true;
+                    return;
+                }
+                state.queue.pop_front();
+                state.now += self.prefill_time(&head, cache);
+                state.running.push(Running {
+                    req: head,
+                    produced: 0,
+                    start: state.now,
+                });
+                return; // sweep stays open for the next head
+            }
+            state.sweep_done = true;
+            return;
+        }
+        if state.running.is_empty() {
+            state.iter += 1;
+            state.sweep_done = false;
+            return;
+        }
+        // One decode iteration for the whole batch.
+        state.now += self.iteration_time(&state.running, cache);
+        state.iter += 1;
+        state.sweep_done = false;
+        for r in state.running.iter_mut() {
+            r.produced += 1;
+        }
+        let now = state.now;
+        let completed = &mut state.completed;
+        state.running.retain(|r| {
+            if r.produced >= r.req.output_len {
+                completed.push(CompletedRequest {
+                    request: r.req,
+                    start: r.start,
+                    finish: now,
+                });
+                false
             } else {
-                0.0
-            },
-            mean_latency,
-            p95_latency,
-            rejected,
-            completed,
-        }
+                true
+            }
+        });
     }
 
     /// Whether adding `req` to the running batch fits in GPU memory at
@@ -227,22 +399,33 @@ impl Scheduler {
         self.sim.budget()
     }
 
-    fn prefill_time(&self, req: &Request) -> f64 {
-        self.sim
+    /// Prefill latency for one prompt, memoized per `(system, input_len)`
+    /// — admission re-prefills identical prompt lengths constantly.
+    fn prefill_time(&self, req: &Request, cache: &mut StepCache) -> f64 {
+        let key = (self.system, req.input_len);
+        if let Some(&t) = cache.prefill.get(&key) {
+            return t;
+        }
+        let t = self
+            .sim
             .throughput(self.system, &Workload::new(req.input_len, 1, 1))
-            .prefill_s
+            .prefill_s;
+        cache.prefill.insert(key, t);
+        t
     }
 
     /// Iteration latency at the current batch composition: the per-step
-    /// dataflow timeline at the batch's mean sequence length.
-    fn iteration_time(&self, running: &[Running]) -> f64 {
+    /// dataflow timeline at the batch's mean sequence length, memoized
+    /// across iterations through the run's step cache.
+    fn iteration_time(&self, running: &[Running], cache: &mut StepCache) -> f64 {
         let batch = running.len();
         let mean_len: usize = running
             .iter()
             .map(|r| r.req.input_len + r.produced)
             .sum::<usize>()
             / batch;
-        self.sim.step_time(self.system, batch, mean_len, mean_len)
+        self.sim
+            .step_time_cached(cache, self.system, batch, mean_len, mean_len)
     }
 }
 
@@ -300,7 +483,7 @@ mod tests {
             ours.throughput,
             quest.throughput
         );
-        assert!(ours.mean_latency < quest.mean_latency);
+        assert!(ours.latency.mean < quest.latency.mean);
     }
 
     #[test]
@@ -348,6 +531,6 @@ mod tests {
     fn p95_at_least_mean() {
         let s = Scheduler::new(sim(), SystemKind::SpeContext, SchedulerConfig::default());
         let report = s.run(&trace(10, 0.5));
-        assert!(report.p95_latency >= report.mean_latency * 0.5);
+        assert!(report.latency.p95 >= report.latency.mean * 0.5);
     }
 }

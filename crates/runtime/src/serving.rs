@@ -172,6 +172,41 @@ impl ThroughputReport {
     }
 }
 
+/// Memoized per-step timelines, keyed by everything that determines one
+/// decode step: `(system, batch, seq_len, prefill_len, l_cpu)`.
+///
+/// The event-driven step timeline is by far the most expensive part of a
+/// serving estimate, and sweeps (batch search, continuous batching, the
+/// `spec_serve` cluster simulator) re-evaluate identical steps
+/// constantly. Callers own a cache per [`ServingSim`] and thread it
+/// through; entries are exact — the key fully determines the timeline
+/// for a fixed simulator — so hits are bit-for-bit identical to
+/// recomputation. Discard the cache if `elastic_reuse` is changed.
+#[derive(Debug, Clone, Default)]
+pub struct StepCache {
+    map: std::collections::HashMap<(SystemKind, usize, usize, usize, usize), StepBreakdown>,
+    /// Memoized prefill times keyed by `(system, input_len)` — the
+    /// scheduler re-prefills identical prompt lengths on every admission.
+    pub(crate) prefill: std::collections::HashMap<(SystemKind, usize), f64>,
+}
+
+impl StepCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct steps evaluated so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no step has been evaluated yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 /// The serving simulator.
 #[derive(Debug, Clone)]
 pub struct ServingSim {
@@ -206,6 +241,11 @@ impl ServingSim {
         &self.cm
     }
 
+    /// The device being simulated.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.dev
+    }
+
     /// The KV budget.
     pub fn budget(&self) -> usize {
         self.budget
@@ -216,9 +256,34 @@ impl ServingSim {
     /// (governs the baselines' retained-generation growth). Placement
     /// follows the system's default policy at this point.
     pub fn step_time(&self, system: SystemKind, r: usize, s: usize, prefill_len: usize) -> f64 {
+        let l_cpu = self.policy_l_cpu(system.default_policy(), r, s);
+        self.step_breakdown(system, r, s, prefill_len, l_cpu).total
+    }
+
+    /// Memoized [`ServingSim::step_time`] — the per-iteration hook the
+    /// continuous-batching scheduler and the `spec_serve` replica wrapper
+    /// drive; batch compositions recur constantly there, so the cache
+    /// turns repeated timeline evaluations into lookups.
+    pub fn step_time_cached(
+        &self,
+        cache: &mut StepCache,
+        system: SystemKind,
+        r: usize,
+        s: usize,
+        prefill_len: usize,
+    ) -> f64 {
+        let l_cpu = self.policy_l_cpu(system.default_policy(), r, s);
+        self.step_breakdown_cached(cache, system, r, s, prefill_len, l_cpu)
+            .total
+    }
+
+    /// The offload depth `policy` dictates at batch `r`, length `s` when
+    /// the decision is taken step-locally (the [`ServingSim::step_time`]
+    /// contract; [`ServingSim::throughput_with_policy`] instead decides
+    /// full offload once from the workload's final length).
+    fn policy_l_cpu(&self, policy: MemoryPolicy, r: usize, s: usize) -> usize {
         let cfg = self.cm.config();
-        let profile = system.profile();
-        let l_cpu = match system.default_policy() {
+        match policy {
             MemoryPolicy::AllGpuOrOom => 0,
             MemoryPolicy::AllGpuOrFullOffload => {
                 if self.mm.fits_all(r, s) {
@@ -231,7 +296,18 @@ impl ServingSim {
                 let th = Thresholds::compute(&self.mm, r, self.budget);
                 th.required_offload(s).unwrap_or(cfg.layers)
             }
-        };
+        }
+    }
+
+    /// The fully-determined step timeline at an explicit offload depth.
+    fn step_breakdown(
+        &self,
+        system: SystemKind,
+        r: usize,
+        s: usize,
+        prefill_len: usize,
+        l_cpu: usize,
+    ) -> StepBreakdown {
         let generated = s.saturating_sub(prefill_len);
         let (kind, s_att, candidates, candidate_bytes) =
             self.system_step_shape(system, s, prefill_len, generated);
@@ -245,9 +321,26 @@ impl ServingSim {
             budget: self.budget,
             reuse: self.elastic_reuse,
         };
-        step_timeline(kind, &self.cm, &profile, &self.dev, &params)
-            .1
-            .total
+        step_timeline(kind, &self.cm, &system.profile(), &self.dev, &params).1
+    }
+
+    /// Cache-through variant of [`ServingSim::step_breakdown`].
+    fn step_breakdown_cached(
+        &self,
+        cache: &mut StepCache,
+        system: SystemKind,
+        r: usize,
+        s: usize,
+        prefill_len: usize,
+        l_cpu: usize,
+    ) -> StepBreakdown {
+        let key = (system, r, s, prefill_len, l_cpu);
+        if let Some(bd) = cache.map.get(&key) {
+            return *bd;
+        }
+        let bd = self.step_breakdown(system, r, s, prefill_len, l_cpu);
+        cache.map.insert(key, bd);
+        bd
     }
 
     /// The per-system dataflow shape at a point in the generation.
@@ -297,6 +390,19 @@ impl ServingSim {
         system: SystemKind,
         w: &Workload,
         policy: MemoryPolicy,
+    ) -> ThroughputReport {
+        self.throughput_with_policy_cached(system, w, policy, &mut StepCache::new())
+    }
+
+    /// [`ServingSim::throughput_with_policy`] with a caller-owned step
+    /// cache, so sweeps over related workloads (batch search, repeated
+    /// shapes) share step-timeline evaluations.
+    pub fn throughput_with_policy_cached(
+        &self,
+        system: SystemKind,
+        w: &Workload,
+        policy: MemoryPolicy,
+        cache: &mut StepCache,
     ) -> ThroughputReport {
         let cfg = self.cm.config();
         let profile = system.profile();
@@ -356,22 +462,9 @@ impl ServingSim {
             }
         };
 
-        let step_at = |s: usize| -> StepBreakdown {
+        let step_at = |s: usize, cache: &mut StepCache| -> StepBreakdown {
             let l_cpu = l_cpu_at(s).unwrap_or(cfg.layers);
-            let generated = s.saturating_sub(w.input_len);
-            let (kind, s_att, candidates, candidate_bytes) =
-                self.system_step_shape(system, s, w.input_len, generated);
-            let params = StepParams {
-                r,
-                s_total: s,
-                s_attended: s_att,
-                candidates,
-                candidate_bytes,
-                l_cpu,
-                budget: self.budget,
-                reuse: self.elastic_reuse,
-            };
-            step_timeline(kind, &self.cm, &profile, &self.dev, &params).1
+            self.step_breakdown_cached(cache, system, r, s, w.input_len, l_cpu)
         };
 
         // Sample points: stride plus adaptive-threshold crossings.
@@ -400,7 +493,7 @@ impl ServingSim {
         let mut transfer_bytes = 0.0;
         let mut prev: Option<(usize, StepBreakdown)> = None;
         for &sp in &samples {
-            let bd = step_at(sp);
+            let bd = step_at(sp, cache);
             if let Some((s0, bd0)) = prev {
                 let n = (sp - s0) as f64;
                 decode_s += 0.5 * (bd0.total + bd.total) * n;
@@ -408,7 +501,7 @@ impl ServingSim {
             }
             prev = Some((sp, bd));
         }
-        let mid_step = step_at(w.input_len + w.output_len / 2);
+        let mid_step = step_at(w.input_len + w.output_len / 2, cache);
 
         let total = prefill_s + decode_s;
         ThroughputReport {
@@ -423,7 +516,11 @@ impl ServingSim {
     }
 
     /// Finds the batch size maximizing throughput among `candidates`
-    /// (single-request systems only consider 1).
+    /// (single-request systems only consider 1). The sweep shares one
+    /// [`StepCache`] across candidates, so duplicate candidates and the
+    /// repeated step evaluations inside each integration (midpoint,
+    /// threshold crossings) are memoized instead of recomputing the full
+    /// cost model per candidate.
     pub fn best_batch(
         &self,
         system: SystemKind,
@@ -431,14 +528,43 @@ impl ServingSim {
         output_len: usize,
         candidates: &[usize],
     ) -> ThroughputReport {
+        self.best_batch_cached(
+            system,
+            input_len,
+            output_len,
+            candidates,
+            &mut StepCache::new(),
+        )
+    }
+
+    /// [`ServingSim::best_batch`] with a caller-owned cache, so repeated
+    /// sweeps (e.g. the same system across arrival rates in a cluster
+    /// bench) keep their step evaluations across calls.
+    pub fn best_batch_cached(
+        &self,
+        system: SystemKind,
+        input_len: usize,
+        output_len: usize,
+        candidates: &[usize],
+        cache: &mut StepCache,
+    ) -> ThroughputReport {
         let cap = system.max_batch();
         let mut cands: Vec<usize> = candidates.iter().copied().filter(|&r| r <= cap).collect();
         if cands.is_empty() {
             cands.push(cap.min(candidates.iter().copied().min().unwrap_or(1)));
         }
+        cands.sort_unstable();
+        cands.dedup();
         cands
             .iter()
-            .map(|&r| self.throughput(system, &Workload::new(input_len, output_len, r)))
+            .map(|&r| {
+                self.throughput_with_policy_cached(
+                    system,
+                    &Workload::new(input_len, output_len, r),
+                    system.default_policy(),
+                    cache,
+                )
+            })
             .max_by(|a, b| {
                 a.tokens_per_s
                     .partial_cmp(&b.tokens_per_s)

@@ -1,0 +1,272 @@
+//! Open-loop request generation.
+//!
+//! The single-node experiments drive the scheduler closed-loop: a fixed
+//! batch of requests, all present from the start. Cluster serving claims
+//! only hold up under *open-loop* load — requests keep arriving whether
+//! or not the fleet keeps up — and under realistic arrival processes, so
+//! this module generates Poisson and bursty (Markov-modulated) traces
+//! over the runtime's [`Workload`] shapes, plus trace replay. Everything
+//! draws from a seeded [`SimRng`], so every trace is reproducible
+//! bit-for-bit.
+
+use serde::{Deserialize, Serialize};
+use spec_runtime::{Request, Workload};
+use spec_tensor::SimRng;
+
+/// A cluster-level request: the runtime request plus the session it
+/// belongs to (the affinity key routers may exploit).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterRequest {
+    /// The underlying serving request.
+    pub request: Request,
+    /// Session (user/conversation) id; requests of one session share
+    /// prefix state, so affinity routing keeps them on one replica.
+    pub session: u64,
+}
+
+/// The arrival process shaping request inter-arrival times.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Open-loop Poisson arrivals: exponential inter-arrival times at
+    /// `rate` requests/second.
+    Poisson {
+        /// Mean arrival rate, requests/second.
+        rate: f64,
+    },
+    /// Markov-modulated on/off Poisson: before each arrival the process
+    /// flips between a calm and a burst phase with probability
+    /// `switch_prob`, then samples the inter-arrival time at the active
+    /// phase's rate. Models flash crowds and diurnal spikes.
+    Bursty {
+        /// Calm-phase arrival rate, requests/second.
+        base_rate: f64,
+        /// Burst-phase arrival rate, requests/second.
+        burst_rate: f64,
+        /// Per-arrival probability of switching phase.
+        switch_prob: f32,
+    },
+}
+
+/// A trace generator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalConfig {
+    /// The arrival process.
+    pub process: ArrivalProcess,
+    /// Request-shape mixture; each [`Workload`]'s `requests` field is its
+    /// mixture weight (Table-3 shapes reused verbatim have weight equal
+    /// to their batch size).
+    pub shapes: Vec<Workload>,
+    /// Number of distinct sessions to spread requests over.
+    pub sessions: usize,
+    /// Number of requests to generate.
+    pub count: usize,
+}
+
+impl ArrivalConfig {
+    /// A Poisson trace over `shapes` with one session per four requests.
+    pub fn poisson(rate: f64, shapes: Vec<Workload>, count: usize) -> Self {
+        Self {
+            process: ArrivalProcess::Poisson { rate },
+            shapes,
+            sessions: (count / 4).max(1),
+            count,
+        }
+    }
+
+    /// A bursty trace over `shapes` with one session per four requests.
+    pub fn bursty(
+        base_rate: f64,
+        burst_rate: f64,
+        switch_prob: f32,
+        shapes: Vec<Workload>,
+        count: usize,
+    ) -> Self {
+        Self {
+            process: ArrivalProcess::Bursty {
+                base_rate,
+                burst_rate,
+                switch_prob,
+            },
+            shapes,
+            sessions: (count / 4).max(1),
+            count,
+        }
+    }
+}
+
+/// Generates a trace sorted by arrival time, ids `0..count`.
+///
+/// # Panics
+///
+/// Panics if `shapes` is empty or any rate is non-positive.
+pub fn generate(cfg: &ArrivalConfig, rng: &mut SimRng) -> Vec<ClusterRequest> {
+    assert!(!cfg.shapes.is_empty(), "no request shapes");
+    match cfg.process {
+        ArrivalProcess::Poisson { rate } => assert!(rate > 0.0, "rate must be positive"),
+        ArrivalProcess::Bursty {
+            base_rate,
+            burst_rate,
+            ..
+        } => assert!(
+            base_rate > 0.0 && burst_rate > 0.0,
+            "rates must be positive"
+        ),
+    }
+    let weights: Vec<usize> = cfg.shapes.iter().map(|w| w.requests.max(1)).collect();
+    let total_weight: usize = weights.iter().sum();
+    let sessions = cfg.sessions.max(1);
+    let mut t = 0.0f64;
+    let mut in_burst = false;
+    (0..cfg.count)
+        .map(|id| {
+            let rate = match cfg.process {
+                ArrivalProcess::Poisson { rate } => rate,
+                ArrivalProcess::Bursty {
+                    base_rate,
+                    burst_rate,
+                    switch_prob,
+                } => {
+                    if rng.chance(switch_prob) {
+                        in_burst = !in_burst;
+                    }
+                    if in_burst {
+                        burst_rate
+                    } else {
+                        base_rate
+                    }
+                }
+            };
+            // Inverse-CDF exponential sample; uniform() is in [0, 1), so
+            // the argument of ln is in (0, 1] and dt is finite.
+            let u = rng.uniform() as f64;
+            t += -(1.0 - u).ln() / rate;
+            let mut pick = rng.below(total_weight);
+            let mut shape = cfg.shapes[0];
+            for (w, s) in weights.iter().zip(&cfg.shapes) {
+                if pick < *w {
+                    shape = *s;
+                    break;
+                }
+                pick -= w;
+            }
+            ClusterRequest {
+                request: Request {
+                    id,
+                    input_len: shape.input_len,
+                    output_len: shape.output_len,
+                    arrival: t,
+                },
+                session: rng.below(sessions) as u64,
+            }
+        })
+        .collect()
+}
+
+/// Builds a trace from explicit `(arrival, input_len, output_len)`
+/// tuples (replaying a measured workload); each request is its own
+/// session.
+///
+/// # Panics
+///
+/// Panics if arrivals are not sorted nondecreasing.
+pub fn from_trace(items: &[(f64, usize, usize)]) -> Vec<ClusterRequest> {
+    assert!(
+        items.windows(2).all(|w| w[0].0 <= w[1].0),
+        "trace must be sorted by arrival"
+    );
+    items
+        .iter()
+        .enumerate()
+        .map(|(id, &(arrival, input_len, output_len))| ClusterRequest {
+            request: Request {
+                id,
+                input_len,
+                output_len,
+                arrival,
+            },
+            session: id as u64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shapes() -> Vec<Workload> {
+        vec![Workload::new(2048, 1024, 3), Workload::new(8192, 512, 1)]
+    }
+
+    #[test]
+    fn poisson_trace_is_sorted_and_deterministic() {
+        let cfg = ArrivalConfig::poisson(2.0, shapes(), 64);
+        let a = generate(&cfg, &mut SimRng::seed(1));
+        let b = generate(&cfg, &mut SimRng::seed(1));
+        assert_eq!(a, b);
+        assert!(a
+            .windows(2)
+            .all(|w| w[0].request.arrival <= w[1].request.arrival));
+        assert_eq!(a.len(), 64);
+        assert!(a.iter().enumerate().all(|(i, r)| r.request.id == i));
+    }
+
+    #[test]
+    fn poisson_rate_roughly_matches() {
+        let cfg = ArrivalConfig::poisson(4.0, shapes(), 2000);
+        let trace = generate(&cfg, &mut SimRng::seed(9));
+        let span = trace.last().unwrap().request.arrival;
+        let rate = trace.len() as f64 / span;
+        assert!((rate - 4.0).abs() < 0.5, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn shape_mixture_follows_weights() {
+        let cfg = ArrivalConfig::poisson(1.0, shapes(), 4000);
+        let trace = generate(&cfg, &mut SimRng::seed(3));
+        let long = trace.iter().filter(|r| r.request.input_len == 8192).count();
+        let frac = long as f64 / trace.len() as f64;
+        assert!((frac - 0.25).abs() < 0.05, "8k fraction {frac}");
+    }
+
+    #[test]
+    fn bursty_interarrivals_are_more_variable_than_poisson() {
+        let n = 4000;
+        let poisson = generate(
+            &ArrivalConfig::poisson(2.0, shapes(), n),
+            &mut SimRng::seed(5),
+        );
+        let bursty = generate(
+            &ArrivalConfig::bursty(0.5, 20.0, 0.05, shapes(), n),
+            &mut SimRng::seed(5),
+        );
+        let cv2 = |trace: &[ClusterRequest]| {
+            let dts: Vec<f64> = trace
+                .windows(2)
+                .map(|w| w[1].request.arrival - w[0].request.arrival)
+                .collect();
+            let mean = dts.iter().sum::<f64>() / dts.len() as f64;
+            let var = dts.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / dts.len() as f64;
+            var / (mean * mean)
+        };
+        assert!(
+            cv2(&bursty) > 1.5 * cv2(&poisson),
+            "bursty CV² {} vs poisson {}",
+            cv2(&bursty),
+            cv2(&poisson)
+        );
+    }
+
+    #[test]
+    fn trace_replay_keeps_ordering_and_shapes() {
+        let trace = from_trace(&[(0.0, 100, 10), (1.5, 200, 20), (1.5, 300, 30)]);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[1].request.input_len, 200);
+        assert_eq!(trace[2].request.arrival, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_trace_panics() {
+        from_trace(&[(1.0, 100, 10), (0.5, 100, 10)]);
+    }
+}

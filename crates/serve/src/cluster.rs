@@ -1,0 +1,418 @@
+//! The cluster event loop.
+//!
+//! A [`Cluster`] owns N [`Replica`]s and a routing policy. Its `run`
+//! walks an arrival-ordered trace: before each arrival it advances every
+//! replica's engine to the arrival instant (replicas run independently —
+//! a decode iteration may overshoot, exactly as on a real engine), takes
+//! an autoscaling decision on queue depth, snapshots the fleet, routes
+//! the request, and finally drains all replicas. Because replicas are
+//! driven through the runtime scheduler's own micro-steps, a 1-replica
+//! cluster reproduces `Scheduler::run` bit-for-bit, which pins the whole
+//! subsystem to the single-node Table-3 ground truth.
+
+use crate::arrivals::ClusterRequest;
+use crate::replica::Replica;
+use crate::router::{ReplicaSnapshot, RoutePolicy};
+use crate::slo::{self, SloReport, SloSpec};
+use serde::{Deserialize, Serialize};
+use spec_hwsim::DeviceSpec;
+use spec_model::ModelConfig;
+use spec_runtime::{CompletedRequest, ScheduleReport, SchedulerConfig, ServingSim, SystemKind};
+
+/// Queue-depth-driven scale-up/down.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoscaleConfig {
+    /// Replicas kept active at all times.
+    pub min_replicas: usize,
+    /// Activate a parked replica when every active replica's outstanding
+    /// count reaches this depth.
+    pub scale_up_outstanding: usize,
+    /// Park an idle replica when the fleet's total outstanding count is
+    /// at or below this depth.
+    pub scale_down_outstanding: usize,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        Self {
+            min_replicas: 1,
+            scale_up_outstanding: 4,
+            scale_down_outstanding: 1,
+        }
+    }
+}
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Per-replica continuous-batching configuration.
+    pub scheduler: SchedulerConfig,
+    /// Autoscaling; `None` keeps the whole fleet active throughout.
+    pub autoscale: Option<AutoscaleConfig>,
+}
+
+/// One replica's slice of a cluster run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaReport {
+    /// Device name.
+    pub device: String,
+    /// Requests routed to this replica.
+    pub assigned: usize,
+    /// The replica's own serving report — identical in shape to a
+    /// single-node `Scheduler::run` result.
+    pub report: ScheduleReport,
+}
+
+/// The outcome of a cluster run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Per-replica reports, in fleet order.
+    pub replicas: Vec<ReplicaReport>,
+    /// Completed requests across the fleet.
+    pub completed: usize,
+    /// Rejected requests across the fleet.
+    pub rejected: usize,
+    /// Latest replica clock — the run's wall time.
+    pub makespan: f64,
+    /// Output tokens/s across the fleet over the makespan.
+    pub throughput: f64,
+    /// SLO accounting over all completions.
+    pub slo: SloReport,
+    /// `(arrival_time, fleet outstanding)` after each routing decision.
+    pub queue_depth: Vec<(f64, usize)>,
+    /// Peak simultaneously-active replicas (autoscaling high-water mark).
+    pub peak_active: usize,
+}
+
+/// A fleet of serving replicas behind a router.
+pub struct Cluster {
+    replicas: Vec<Replica>,
+    router: Box<dyn RoutePolicy>,
+    cfg: ClusterConfig,
+    peak_active: usize,
+}
+
+impl Cluster {
+    /// Builds a cluster with one replica per serving simulator. With
+    /// autoscaling, replicas beyond `min_replicas` start parked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sims` is empty or `min_replicas` is zero with
+    /// autoscaling enabled.
+    pub fn new(
+        sims: Vec<ServingSim>,
+        system: SystemKind,
+        cfg: ClusterConfig,
+        router: Box<dyn RoutePolicy>,
+    ) -> Self {
+        assert!(!sims.is_empty(), "a cluster needs at least one replica");
+        let mut replicas: Vec<Replica> = sims
+            .into_iter()
+            .map(|sim| Replica::new(sim, system, cfg.scheduler))
+            .collect();
+        if let Some(auto) = &cfg.autoscale {
+            assert!(auto.min_replicas > 0, "min_replicas must be positive");
+            for (i, rep) in replicas.iter_mut().enumerate() {
+                rep.set_active(i < auto.min_replicas);
+            }
+        }
+        let peak_active = replicas.iter().filter(|r| r.is_active()).count();
+        Self {
+            replicas,
+            router,
+            cfg,
+            peak_active,
+        }
+    }
+
+    /// Builds a homogeneous-or-mixed cluster from a device fleet (see
+    /// `spec_hwsim::Fleet`), one replica per device, all sharing the
+    /// model and per-request KV budget.
+    pub fn from_fleet(
+        model: &ModelConfig,
+        devices: &[DeviceSpec],
+        budget: usize,
+        system: SystemKind,
+        cfg: ClusterConfig,
+        router: Box<dyn RoutePolicy>,
+    ) -> Self {
+        let sims = devices
+            .iter()
+            .map(|dev| ServingSim::new(model.clone(), dev.clone(), budget))
+            .collect();
+        Self::new(sims, system, cfg, router)
+    }
+
+    /// The fleet, in replica order.
+    pub fn replicas(&self) -> &[Replica] {
+        &self.replicas
+    }
+
+    /// The routing policy's name.
+    pub fn router_name(&self) -> &'static str {
+        self.router.name()
+    }
+
+    /// Runs an arrival-ordered trace to completion under `slo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not sorted by arrival time.
+    pub fn run(&mut self, trace: &[ClusterRequest], slo: &SloSpec) -> ClusterReport {
+        assert!(
+            trace
+                .windows(2)
+                .all(|w| w[0].request.arrival <= w[1].request.arrival),
+            "trace must be sorted by arrival"
+        );
+        let mut queue_depth = Vec::with_capacity(trace.len());
+        for cr in trace {
+            let t = cr.request.arrival;
+            for rep in &mut self.replicas {
+                rep.advance_until(t);
+            }
+            self.autoscale();
+            let snapshots: Vec<ReplicaSnapshot> = self
+                .replicas
+                .iter()
+                .enumerate()
+                .map(|(i, r)| r.snapshot(i))
+                .collect();
+            let idx = self.router.route(cr, &snapshots);
+            assert!(
+                self.replicas.get(idx).is_some_and(Replica::is_active),
+                "router {} picked an unavailable replica {idx}",
+                self.router.name()
+            );
+            self.replicas[idx].push(cr.request);
+            let outstanding: usize = self.replicas.iter().map(Replica::outstanding).sum();
+            queue_depth.push((t, outstanding));
+        }
+        for rep in &mut self.replicas {
+            rep.drain();
+        }
+        self.report(queue_depth, slo)
+    }
+
+    /// One scale decision, taken at an arrival instant: scale up when
+    /// every active replica is backed up, scale down an idle replica
+    /// when the fleet is nearly empty.
+    fn autoscale(&mut self) {
+        let Some(auto) = self.cfg.autoscale else {
+            return;
+        };
+        let active: Vec<usize> = (0..self.replicas.len())
+            .filter(|&i| self.replicas[i].is_active())
+            .collect();
+        let total_outstanding: usize = self.replicas.iter().map(Replica::outstanding).sum();
+        let all_backed_up = active
+            .iter()
+            .all(|&i| self.replicas[i].outstanding() >= auto.scale_up_outstanding);
+        if all_backed_up {
+            if let Some(parked) = (0..self.replicas.len()).find(|&i| !self.replicas[i].is_active())
+            {
+                self.replicas[parked].set_active(true);
+                self.peak_active = self.peak_active.max(active.len() + 1);
+                return;
+            }
+        }
+        if active.len() > auto.min_replicas && total_outstanding <= auto.scale_down_outstanding {
+            // Park the highest-index active replica that has run dry.
+            if let Some(&idle) = active.iter().rev().find(|&&i| !self.replicas[i].has_work()) {
+                self.replicas[idle].set_active(false);
+            }
+        }
+    }
+
+    fn report(&self, queue_depth: Vec<(f64, usize)>, slo: &SloSpec) -> ClusterReport {
+        let replicas: Vec<ReplicaReport> = self
+            .replicas
+            .iter()
+            .map(|r| ReplicaReport {
+                device: r.device().to_string(),
+                assigned: r.assigned(),
+                report: ScheduleReport::from_completed(
+                    r.completed().to_vec(),
+                    r.now(),
+                    r.rejected(),
+                ),
+            })
+            .collect();
+        let makespan = self
+            .replicas
+            .iter()
+            .map(Replica::now)
+            .fold(0.0f64, f64::max);
+        let mut all: Vec<CompletedRequest> = self
+            .replicas
+            .iter()
+            .flat_map(|r| r.completed().iter().copied())
+            .collect();
+        all.sort_by(|a, b| {
+            a.finish
+                .partial_cmp(&b.finish)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.request.id.cmp(&b.request.id))
+        });
+        let rejected: usize = self.replicas.iter().map(Replica::rejected).sum();
+        let total_tokens: usize = all.iter().map(|c| c.request.output_len).sum();
+        ClusterReport {
+            completed: all.len(),
+            rejected,
+            makespan,
+            throughput: if makespan > 0.0 {
+                total_tokens as f64 / makespan
+            } else {
+                0.0
+            },
+            slo: slo::evaluate(&all, rejected, makespan, slo),
+            queue_depth,
+            peak_active: self.peak_active,
+            replicas,
+        }
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("replicas", &self.replicas.len())
+            .field("router", &self.router.name())
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::{self, ArrivalConfig};
+    use crate::router::RouterKind;
+    use spec_hwsim::{fleet, DeviceSpec, Fleet};
+    use spec_runtime::Workload;
+    use spec_tensor::SimRng;
+
+    fn model() -> ModelConfig {
+        ModelConfig::deepseek_distill_llama_8b()
+    }
+
+    fn trace(rate: f64, count: usize, seed: u64) -> Vec<ClusterRequest> {
+        arrivals::generate(
+            &ArrivalConfig::poisson(rate, vec![Workload::new(2048, 1024, 1)], count),
+            &mut SimRng::seed(seed),
+        )
+    }
+
+    fn cluster(n: usize, kind: RouterKind, autoscale: Option<AutoscaleConfig>) -> Cluster {
+        Cluster::from_fleet(
+            &model(),
+            &fleet::homogeneous(DeviceSpec::a100_80g(), n),
+            2048,
+            SystemKind::SpeContext,
+            ClusterConfig {
+                autoscale,
+                ..ClusterConfig::default()
+            },
+            kind.build(),
+        )
+    }
+
+    #[test]
+    fn every_request_completes_once() {
+        for kind in RouterKind::all() {
+            let mut c = cluster(3, kind, None);
+            let report = c.run(&trace(2.0, 24, 11), &SloSpec::default());
+            assert_eq!(report.completed, 24, "router {kind}");
+            assert_eq!(report.rejected, 0);
+            let assigned: usize = report.replicas.iter().map(|r| r.assigned).sum();
+            assert_eq!(assigned, 24);
+        }
+    }
+
+    #[test]
+    fn more_replicas_cut_latency_under_load() {
+        let reqs = trace(1.0, 32, 5);
+        let one = cluster(1, RouterKind::LeastOutstanding, None).run(&reqs, &SloSpec::default());
+        let four = cluster(4, RouterKind::LeastOutstanding, None).run(&reqs, &SloSpec::default());
+        assert!(four.slo.latency.p95 < one.slo.latency.p95);
+        assert!(four.makespan <= one.makespan);
+        assert!(four.slo.attainment >= one.slo.attainment);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_routes_more_load_to_bigger_gpus() {
+        let devices = Fleet::new()
+            .with(DeviceSpec::a100_80g(), 1)
+            .with(DeviceSpec::rtx4090(), 1)
+            .build();
+        let mut c = Cluster::from_fleet(
+            &model(),
+            &devices,
+            2048,
+            SystemKind::SpeContext,
+            ClusterConfig::default(),
+            RouterKind::LeastKvPressure.build(),
+        );
+        let report = c.run(&trace(4.0, 48, 23), &SloSpec::default());
+        assert_eq!(report.completed, 48);
+        assert_eq!(report.replicas[0].device, "A100-80GB");
+        assert!(
+            report.replicas[0].assigned > report.replicas[1].assigned,
+            "A100 {} vs 4090 {}",
+            report.replicas[0].assigned,
+            report.replicas[1].assigned
+        );
+    }
+
+    #[test]
+    fn autoscaler_activates_under_burst_and_reports_peak() {
+        let auto = AutoscaleConfig {
+            min_replicas: 1,
+            scale_up_outstanding: 2,
+            scale_down_outstanding: 1,
+        };
+        let mut c = cluster(4, RouterKind::LeastOutstanding, Some(auto));
+        let report = c.run(&trace(8.0, 40, 7), &SloSpec::default());
+        assert_eq!(report.completed, 40);
+        assert!(
+            report.peak_active > 1,
+            "burst should trigger scale-up, peak {}",
+            report.peak_active
+        );
+    }
+
+    #[test]
+    fn queue_depth_timeline_matches_trace_length() {
+        let reqs = trace(2.0, 16, 3);
+        let mut c = cluster(2, RouterKind::RoundRobin, None);
+        let report = c.run(&reqs, &SloSpec::default());
+        assert_eq!(report.queue_depth.len(), 16);
+        assert!(report.queue_depth.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn session_affinity_keeps_sessions_on_one_replica() {
+        let mut c = cluster(3, RouterKind::SessionAffinity, None);
+        let reqs = trace(2.0, 30, 17);
+        c.run(&reqs, &SloSpec::default());
+        // Re-route the same trace through a fresh router and check the
+        // mapping is a function of session id.
+        let mut seen: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let c2 = cluster(3, RouterKind::SessionAffinity, None);
+        let mut router = RouterKind::SessionAffinity.build();
+        for cr in &reqs {
+            let snaps: Vec<ReplicaSnapshot> = c2
+                .replicas()
+                .iter()
+                .enumerate()
+                .map(|(i, r)| r.snapshot(i))
+                .collect();
+            let idx = router.route(cr, &snaps);
+            if let Some(&prev) = seen.get(&cr.session) {
+                assert_eq!(prev, idx, "session {} moved", cr.session);
+            }
+            seen.insert(cr.session, idx);
+        }
+    }
+}

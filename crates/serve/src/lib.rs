@@ -1,0 +1,72 @@
+//! Cluster-scale serving on top of the single-engine runtime.
+//!
+//! The paper's serving evaluation (Table 3) and `spec_runtime`'s
+//! [`Scheduler`](spec_runtime::Scheduler) stop at one replica fed a
+//! closed-loop workload. This crate adds the layer between "one engine"
+//! and "a fleet": an event-driven cluster simulator that composes N
+//! replicas of the existing `ServingSim`/`Scheduler` stack behind a
+//! pluggable router, drives them with open-loop arrival processes, and
+//! accounts results against latency SLOs.
+//!
+//! * [`arrivals`] — open-loop request generation: Poisson and bursty
+//!   (Markov-modulated) processes over the runtime's `Workload` shapes,
+//!   plus trace-driven replay; deterministic via `spec_tensor::SimRng`;
+//! * [`router`] — pluggable routing policies: round-robin,
+//!   least-outstanding, least-KV-pressure, and session affinity;
+//! * [`replica`] — one serving engine: the runtime scheduler's stepping
+//!   core plus KV occupancy accounting through `spec_kvcache`'s block
+//!   allocator;
+//! * [`cluster`] — the event loop: advance replicas to each arrival,
+//!   route, optionally autoscale on queue depth, drain, report;
+//!   heterogeneous fleets come from `spec_hwsim::Fleet`;
+//! * [`slo`] — per-request TTFT/TBT/latency percentiles, SLO attainment
+//!   and goodput.
+//!
+//! A 1-replica cluster under round-robin routing reproduces
+//! [`Scheduler::run`](spec_runtime::Scheduler::run) bit-for-bit: both
+//! drive the identical [`Scheduler::step`](spec_runtime::Scheduler::step)
+//! decisions, the cluster merely interleaves arrival routing between
+//! steps (see `tests/properties.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use spec_hwsim::{DeviceSpec, Fleet};
+//! use spec_model::ModelConfig;
+//! use spec_runtime::{SystemKind, Workload};
+//! use spec_serve::{
+//!     arrivals::{self, ArrivalConfig},
+//!     cluster::{Cluster, ClusterConfig},
+//!     router::RouterKind,
+//!     slo::SloSpec,
+//! };
+//! use spec_tensor::SimRng;
+//!
+//! let fleet = Fleet::new().with(DeviceSpec::a100_80g(), 2).build();
+//! let mut cluster = Cluster::from_fleet(
+//!     &ModelConfig::deepseek_distill_llama_8b(),
+//!     &fleet,
+//!     2048,
+//!     SystemKind::SpeContext,
+//!     ClusterConfig::default(),
+//!     RouterKind::LeastOutstanding.build(),
+//! );
+//! let trace = arrivals::generate(
+//!     &ArrivalConfig::poisson(0.5, vec![Workload::new(2048, 1024, 1)], 8),
+//!     &mut SimRng::seed(7),
+//! );
+//! let report = cluster.run(&trace, &SloSpec::default());
+//! assert_eq!(report.completed, 8);
+//! ```
+
+pub mod arrivals;
+pub mod cluster;
+pub mod replica;
+pub mod router;
+pub mod slo;
+
+pub use arrivals::{ArrivalConfig, ArrivalProcess, ClusterRequest};
+pub use cluster::{AutoscaleConfig, Cluster, ClusterConfig, ClusterReport, ReplicaReport};
+pub use replica::Replica;
+pub use router::{ReplicaSnapshot, RoutePolicy, RouterKind};
+pub use slo::{SloReport, SloSpec};

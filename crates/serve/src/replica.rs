@@ -1,0 +1,293 @@
+//! One cluster replica: a serving engine plus KV occupancy accounting.
+//!
+//! A replica wraps the runtime's continuous-batching core — a
+//! [`Scheduler`] driving a [`BatchState`] through
+//! [`Scheduler::step`] micro-steps — so the cluster event loop can
+//! interleave request routing with engine progress at decision
+//! granularity. On top of the scheduler's logical state the replica
+//! mirrors its running batch into a [`BlockAllocator`] drawn from
+//! `spec_kvcache`, giving routers a byte-accurate KV-pressure signal
+//! that stays comparable across heterogeneous devices.
+
+use crate::router::ReplicaSnapshot;
+use spec_kvcache::{AllocId, AllocPolicy, BlockAllocator};
+use spec_runtime::{
+    BatchState, CompletedRequest, Request, Scheduler, SchedulerConfig, ServingSim, StepCache,
+    SystemKind,
+};
+use std::collections::{HashMap, HashSet};
+
+/// One serving engine in the fleet.
+#[derive(Debug)]
+pub struct Replica {
+    scheduler: Scheduler,
+    state: BatchState,
+    cache: StepCache,
+    kv: BlockAllocator,
+    kv_live: HashMap<usize, AllocId>,
+    /// Running requests the allocator could not admit (its paged
+    /// round-up needs slightly more than the scheduler's admission
+    /// arithmetic): id → tokens, accounted arithmetically so pressure
+    /// never undercounts a loaded replica.
+    kv_overflow: HashMap<usize, usize>,
+    kv_token_cap: usize,
+    device: String,
+    active: bool,
+    assigned: usize,
+}
+
+impl Replica {
+    /// Creates a replica for `system` on the given serving simulator.
+    /// Its KV capacity is the device memory left after weights and
+    /// runtime buffers, managed as 16-token pages.
+    pub fn new(sim: ServingSim, system: SystemKind, cfg: SchedulerConfig) -> Self {
+        let mm = sim.memory_model();
+        // One token's K+V across all layers plus the retrieval-head and
+        // grouped-query terms of Eq. 6.
+        let bytes_per_token =
+            (mm.kv_token_layer_bytes() * (mm.layers + 1 + mm.alpha) as f64).max(1.0) as u64;
+        let capacity = (mm.gpu_mem as f64 - mm.static_bytes()).max(0.0) as u64;
+        // Sparse systems keep at most `budget` tokens per request
+        // resident; full systems keep the whole context.
+        let kv_token_cap = match system {
+            SystemKind::SpeContext => sim.budget(),
+            _ => usize::MAX,
+        };
+        let device = sim.device().name.clone();
+        Self {
+            scheduler: Scheduler::new(sim, system, cfg),
+            state: BatchState::new(),
+            cache: StepCache::new(),
+            kv: BlockAllocator::new(
+                AllocPolicy::Paged { block_tokens: 16 },
+                bytes_per_token,
+                capacity,
+            ),
+            kv_live: HashMap::new(),
+            kv_overflow: HashMap::new(),
+            kv_token_cap,
+            device,
+            active: true,
+            assigned: 0,
+        }
+    }
+
+    /// The wrapped scheduler.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// The device this replica runs on.
+    pub fn device(&self) -> &str {
+        &self.device
+    }
+
+    /// Whether the replica accepts new requests.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Parks or unparks the replica (autoscaling). A parked replica
+    /// keeps draining already-assigned work.
+    pub fn set_active(&mut self, active: bool) {
+        self.active = active;
+    }
+
+    /// Requests routed here so far.
+    pub fn assigned(&self) -> usize {
+        self.assigned
+    }
+
+    /// The replica's local clock, seconds.
+    pub fn now(&self) -> f64 {
+        self.state.now()
+    }
+
+    /// Queued + running requests.
+    pub fn outstanding(&self) -> usize {
+        self.state.outstanding()
+    }
+
+    /// Whether any assigned request is still queued or decoding.
+    pub fn has_work(&self) -> bool {
+        self.state.has_work()
+    }
+
+    /// Requests finished so far, in finish order.
+    pub fn completed(&self) -> &[CompletedRequest] {
+        self.state.completed()
+    }
+
+    /// Requests rejected so far (never admissible, even alone).
+    pub fn rejected(&self) -> usize {
+        self.state.rejected()
+    }
+
+    /// Hands an arrived request to this replica's engine.
+    pub fn push(&mut self, req: Request) {
+        self.assigned += 1;
+        self.state.push(req);
+    }
+
+    /// Advances the engine until its clock reaches `t` or it runs dry,
+    /// then refreshes the KV occupancy mirror. One micro-step may
+    /// overshoot `t` (a decode iteration is atomic), exactly like the
+    /// closed-loop scheduler.
+    pub fn advance_until(&mut self, t: f64) {
+        while self.state.has_work() && self.state.now() < t {
+            self.scheduler.step(&mut self.state, &mut self.cache);
+        }
+        self.sync_kv();
+    }
+
+    /// Runs all remaining assigned work to completion.
+    pub fn drain(&mut self) {
+        while self.state.has_work() {
+            self.scheduler.step(&mut self.state, &mut self.cache);
+        }
+        self.sync_kv();
+    }
+
+    /// Router-facing view of this replica.
+    pub fn snapshot(&self, index: usize) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            index,
+            active: self.active,
+            queued: self.state.queued(),
+            running: self.state.running_len(),
+            kv_pressure: self.kv_pressure(),
+        }
+    }
+
+    /// Committed KV demand (resident batch + queued backlog at final
+    /// lengths, sparse-budget-capped per request) relative to capacity.
+    pub fn kv_pressure(&self) -> f64 {
+        let capacity = self.kv.capacity_bytes();
+        if capacity == 0 {
+            return f64::INFINITY;
+        }
+        let queued_tokens: usize = self
+            .state
+            .queued_requests()
+            .map(|q| (q.input_len + q.output_len).min(self.kv_token_cap))
+            .sum();
+        let overflow_tokens: usize = self.kv_overflow.values().sum();
+        let unresident_bytes =
+            (queued_tokens + overflow_tokens) as f64 * self.kv.bytes_per_token() as f64;
+        (self.kv.used_bytes() as f64 + unresident_bytes) / capacity as f64
+    }
+
+    /// Mirrors the running batch into the block allocator: admit newly
+    /// scheduled requests, release finished ones. Accounting only — the
+    /// scheduler's own admission test stays authoritative, so a
+    /// 1-replica cluster still reproduces `Scheduler::run` bit-for-bit.
+    fn sync_kv(&mut self) {
+        let running: HashSet<usize> = self.state.running_requests().map(|r| r.id).collect();
+        let gone: Vec<usize> = self
+            .kv_live
+            .keys()
+            .copied()
+            .filter(|id| !running.contains(id))
+            .collect();
+        for id in gone {
+            let alloc = self.kv_live.remove(&id).expect("tracked allocation");
+            self.kv.release(alloc);
+        }
+        self.kv_overflow.retain(|id, _| running.contains(id));
+        let new: Vec<Request> = self
+            .state
+            .running_requests()
+            .filter(|r| !self.kv_live.contains_key(&r.id) && !self.kv_overflow.contains_key(&r.id))
+            .copied()
+            .collect();
+        for req in new {
+            let tokens = (req.input_len + req.output_len).min(self.kv_token_cap);
+            if let Some(alloc) = self.kv.admit(tokens) {
+                self.kv_live.insert(req.id, alloc);
+            } else {
+                // The scheduler's admission stays authoritative; keep the
+                // demand on the books so LeastKvPressure sees the load.
+                self.kv_overflow.insert(req.id, tokens);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_hwsim::DeviceSpec;
+    use spec_model::ModelConfig;
+
+    fn replica(system: SystemKind) -> Replica {
+        Replica::new(
+            ServingSim::new(
+                ModelConfig::deepseek_distill_llama_8b(),
+                DeviceSpec::a100_80g(),
+                2048,
+            ),
+            system,
+            SchedulerConfig::default(),
+        )
+    }
+
+    fn req(id: usize, arrival: f64) -> Request {
+        Request {
+            id,
+            input_len: 2048,
+            output_len: 512,
+            arrival,
+        }
+    }
+
+    #[test]
+    fn advance_until_respects_the_clock() {
+        let mut r = replica(SystemKind::SpeContext);
+        r.push(req(0, 0.0));
+        r.advance_until(0.5);
+        assert!(r.now() >= 0.0);
+        let before = r.now();
+        r.drain();
+        assert!(r.now() >= before);
+        assert_eq!(r.completed().len(), 1);
+        assert!(!r.has_work());
+    }
+
+    #[test]
+    fn kv_pressure_rises_with_backlog_and_clears_when_drained() {
+        let mut r = replica(SystemKind::FullFlashInfer);
+        let empty = r.kv_pressure();
+        for i in 0..8 {
+            r.push(req(i, 0.0));
+        }
+        r.advance_until(1e-9); // admit some work, sync the mirror
+        let loaded = r.kv_pressure();
+        assert!(loaded > empty, "pressure {loaded} after load vs {empty}");
+        r.drain();
+        assert_eq!(r.completed().len(), 8);
+        assert!(r.kv_pressure() < loaded);
+    }
+
+    #[test]
+    fn sparse_system_caps_per_request_kv_at_the_budget() {
+        let mut ours = replica(SystemKind::SpeContext);
+        let mut full = replica(SystemKind::FullFlashInfer);
+        for i in 0..4 {
+            ours.push(req(i, 0.0));
+            full.push(req(i, 0.0));
+        }
+        ours.advance_until(1e-9);
+        full.advance_until(1e-9);
+        assert!(ours.kv_pressure() < full.kv_pressure());
+    }
+
+    #[test]
+    fn parked_replica_keeps_draining() {
+        let mut r = replica(SystemKind::SpeContext);
+        r.push(req(0, 0.0));
+        r.set_active(false);
+        assert!(!r.is_active());
+        r.drain();
+        assert_eq!(r.completed().len(), 1);
+    }
+}

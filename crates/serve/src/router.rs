@@ -1,0 +1,284 @@
+//! Pluggable request-routing policies.
+//!
+//! Routing is the cluster's first scheduling decision and deserves a
+//! first-class, swappable abstraction (the lesson of the ASP scheduling
+//! line of work): the same fleet under the same load behaves very
+//! differently depending on whether requests chase empty queues, low KV
+//! pressure, or session locality. Policies are deterministic — ties break
+//! by replica index — so whole cluster runs replay bit-for-bit.
+
+use crate::arrivals::ClusterRequest;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What a router sees of one replica at routing time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaSnapshot {
+    /// Replica index in fleet order.
+    pub index: usize,
+    /// Whether the replica currently accepts new requests (autoscaling
+    /// may park replicas).
+    pub active: bool,
+    /// Requests waiting for admission.
+    pub queued: usize,
+    /// Requests currently decoding.
+    pub running: usize,
+    /// Committed KV demand relative to the replica's KV capacity
+    /// (`>1` means the backlog already exceeds GPU memory); accounts for
+    /// device heterogeneity, unlike raw queue depth.
+    pub kv_pressure: f64,
+}
+
+impl ReplicaSnapshot {
+    /// Queued + running requests.
+    pub fn outstanding(&self) -> usize {
+        self.queued + self.running
+    }
+}
+
+/// A routing policy: picks the replica for each arriving request.
+pub trait RoutePolicy {
+    /// Policy name (report labels).
+    fn name(&self) -> &'static str;
+
+    /// Picks a replica index for `req`. `replicas` is the whole fleet in
+    /// index order and contains at least one active replica; the chosen
+    /// index must refer to an active one.
+    fn route(&mut self, req: &ClusterRequest, replicas: &[ReplicaSnapshot]) -> usize;
+}
+
+fn least_outstanding(replicas: &[ReplicaSnapshot]) -> usize {
+    replicas
+        .iter()
+        .filter(|r| r.active)
+        .min_by_key(|r| (r.outstanding(), r.index))
+        .expect("at least one active replica")
+        .index
+}
+
+/// Cycles through active replicas in index order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoutePolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        RouterKind::RoundRobin.name()
+    }
+
+    fn route(&mut self, _req: &ClusterRequest, replicas: &[ReplicaSnapshot]) -> usize {
+        let active: Vec<usize> = replicas
+            .iter()
+            .filter(|r| r.active)
+            .map(|r| r.index)
+            .collect();
+        let idx = active[self.cursor % active.len()];
+        self.cursor += 1;
+        idx
+    }
+}
+
+/// Joins the shortest queue: fewest queued + running requests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastOutstanding;
+
+impl RoutePolicy for LeastOutstanding {
+    fn name(&self) -> &'static str {
+        RouterKind::LeastOutstanding.name()
+    }
+
+    fn route(&mut self, _req: &ClusterRequest, replicas: &[ReplicaSnapshot]) -> usize {
+        least_outstanding(replicas)
+    }
+}
+
+/// Joins the replica with the lowest committed KV demand relative to its
+/// capacity — the load signal that stays meaningful on heterogeneous
+/// fleets, where an A100 replica absorbs far more backlog than a 4090.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastKvPressure;
+
+impl RoutePolicy for LeastKvPressure {
+    fn name(&self) -> &'static str {
+        RouterKind::LeastKvPressure.name()
+    }
+
+    fn route(&mut self, _req: &ClusterRequest, replicas: &[ReplicaSnapshot]) -> usize {
+        replicas
+            .iter()
+            .filter(|r| r.active)
+            .min_by(|a, b| {
+                a.kv_pressure
+                    .partial_cmp(&b.kv_pressure)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.index.cmp(&b.index))
+            })
+            .expect("at least one active replica")
+            .index
+    }
+}
+
+/// Pins each session to one replica (prefix/KV locality), falling back
+/// to least-outstanding for new sessions or parked targets.
+#[derive(Debug, Clone, Default)]
+pub struct SessionAffinity {
+    pinned: HashMap<u64, usize>,
+}
+
+impl RoutePolicy for SessionAffinity {
+    fn name(&self) -> &'static str {
+        RouterKind::SessionAffinity.name()
+    }
+
+    fn route(&mut self, req: &ClusterRequest, replicas: &[ReplicaSnapshot]) -> usize {
+        if let Some(&idx) = self.pinned.get(&req.session) {
+            if replicas.get(idx).is_some_and(|r| r.active) {
+                return idx;
+            }
+        }
+        let idx = least_outstanding(replicas);
+        self.pinned.insert(req.session, idx);
+        idx
+    }
+}
+
+/// The built-in policies, as a sweepable enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RouterKind {
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`LeastOutstanding`].
+    LeastOutstanding,
+    /// [`LeastKvPressure`].
+    LeastKvPressure,
+    /// [`SessionAffinity`].
+    SessionAffinity,
+}
+
+impl RouterKind {
+    /// All built-in policies, in sweep order.
+    pub fn all() -> [RouterKind; 4] {
+        [
+            RouterKind::RoundRobin,
+            RouterKind::LeastOutstanding,
+            RouterKind::LeastKvPressure,
+            RouterKind::SessionAffinity,
+        ]
+    }
+
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn RoutePolicy> {
+        match self {
+            RouterKind::RoundRobin => Box::new(RoundRobin::default()),
+            RouterKind::LeastOutstanding => Box::new(LeastOutstanding),
+            RouterKind::LeastKvPressure => Box::new(LeastKvPressure),
+            RouterKind::SessionAffinity => Box::new(SessionAffinity::default()),
+        }
+    }
+
+    /// The policy's name — the single source the instances' `name()`
+    /// delegates to.
+    pub fn name(self) -> &'static str {
+        match self {
+            RouterKind::RoundRobin => "round-robin",
+            RouterKind::LeastOutstanding => "least-outstanding",
+            RouterKind::LeastKvPressure => "least-kv-pressure",
+            RouterKind::SessionAffinity => "session-affinity",
+        }
+    }
+}
+
+impl std::fmt::Display for RouterKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_runtime::Request;
+
+    fn req(id: usize, session: u64) -> ClusterRequest {
+        ClusterRequest {
+            request: Request {
+                id,
+                input_len: 128,
+                output_len: 64,
+                arrival: 0.0,
+            },
+            session,
+        }
+    }
+
+    fn snap(index: usize, active: bool, queued: usize, pressure: f64) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            index,
+            active,
+            queued,
+            running: 0,
+            kv_pressure: pressure,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_over_active_only() {
+        let snaps = [
+            snap(0, true, 0, 0.0),
+            snap(1, false, 0, 0.0),
+            snap(2, true, 0, 0.0),
+        ];
+        let mut rr = RoundRobin::default();
+        let picks: Vec<usize> = (0..4).map(|i| rr.route(&req(i, 0), &snaps)).collect();
+        assert_eq!(picks, [0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn least_outstanding_breaks_ties_by_index() {
+        let snaps = [
+            snap(0, true, 3, 0.0),
+            snap(1, true, 1, 0.0),
+            snap(2, true, 1, 0.0),
+        ];
+        assert_eq!(LeastOutstanding.route(&req(0, 0), &snaps), 1);
+    }
+
+    #[test]
+    fn kv_pressure_ignores_queue_counts() {
+        // Replica 0 has fewer requests but each is huge; pressure routing
+        // must prefer replica 1.
+        let snaps = [snap(0, true, 1, 0.9), snap(1, true, 4, 0.2)];
+        assert_eq!(LeastKvPressure.route(&req(0, 0), &snaps), 1);
+        assert_eq!(LeastOutstanding.route(&req(0, 0), &snaps), 0);
+    }
+
+    #[test]
+    fn session_affinity_sticks_until_target_parks() {
+        let mut aff = SessionAffinity::default();
+        let snaps = [snap(0, true, 5, 0.0), snap(1, true, 0, 0.0)];
+        let first = aff.route(&req(0, 42), &snaps);
+        assert_eq!(first, 1);
+        // Same session sticks even though replica 0 is now emptier.
+        let snaps2 = [snap(0, true, 0, 0.0), snap(1, true, 9, 0.0)];
+        assert_eq!(aff.route(&req(1, 42), &snaps2), 1);
+        // Target parked: re-pin to the best active replica.
+        let snaps3 = [snap(0, true, 0, 0.0), snap(1, false, 9, 0.0)];
+        assert_eq!(aff.route(&req(2, 42), &snaps3), 0);
+        assert_eq!(aff.route(&req(3, 42), &snaps2), 0);
+    }
+
+    #[test]
+    fn kinds_build_their_names() {
+        let names: Vec<&str> = RouterKind::all().iter().map(|k| k.build().name()).collect();
+        assert_eq!(
+            names,
+            [
+                "round-robin",
+                "least-outstanding",
+                "least-kv-pressure",
+                "session-affinity"
+            ]
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Latency-SLO accounting.
+//!
+//! Cluster throughput alone is a vanity metric under open-loop load: a
+//! saturated fleet completes requests at full throughput while every
+//! user waits minutes for a first token. What the serving literature
+//! holds systems to is *goodput* — tokens delivered by requests whose
+//! time-to-first-token (TTFT) and time-between-tokens (TBT) both met
+//! their service-level objectives — and tail percentiles. This module
+//! turns raw completions into that accounting, reusing the same
+//! [`PercentileSummary`] the single-node `ScheduleReport` carries so the
+//! two layers stay comparable.
+
+use serde::{Deserialize, Serialize};
+use spec_runtime::CompletedRequest;
+use spec_tensor::PercentileSummary;
+
+/// The per-request latency targets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Max acceptable time-to-first-token, seconds (queueing + prefill).
+    pub ttft_s: f64,
+    /// Max acceptable mean time between output tokens, seconds.
+    pub tbt_s: f64,
+}
+
+impl SloSpec {
+    /// An SLO with the given TTFT and TBT bounds.
+    pub fn new(ttft_s: f64, tbt_s: f64) -> Self {
+        Self { ttft_s, tbt_s }
+    }
+}
+
+impl Default for SloSpec {
+    /// An interactive-serving default: first token within 30 s, then at
+    /// least ~6.7 tokens/s sustained.
+    fn default() -> Self {
+        Self {
+            ttft_s: 30.0,
+            tbt_s: 0.15,
+        }
+    }
+}
+
+/// SLO accounting over a set of completions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloReport {
+    /// Time-to-first-token percentiles, seconds.
+    pub ttft: PercentileSummary,
+    /// Time-between-tokens percentiles, seconds.
+    pub tbt: PercentileSummary,
+    /// End-to-end latency percentiles, seconds.
+    pub latency: PercentileSummary,
+    /// Fraction of *submitted* requests (completed + rejected) that
+    /// completed with both TTFT and TBT within the SLO.
+    pub attainment: f64,
+    /// Output tokens/s delivered by SLO-attaining requests over the
+    /// makespan — the headline "goodput under SLO" number.
+    pub goodput_tokens_per_s: f64,
+    /// Output tokens/s of all completed requests over the makespan.
+    pub throughput_tokens_per_s: f64,
+    /// Completed requests.
+    pub completed: usize,
+    /// Rejected (never-admissible) requests.
+    pub rejected: usize,
+}
+
+/// Evaluates completions against an SLO over a run of length `makespan`.
+pub fn evaluate(
+    completed: &[CompletedRequest],
+    rejected: usize,
+    makespan: f64,
+    slo: &SloSpec,
+) -> SloReport {
+    let ttfts: Vec<f64> = completed
+        .iter()
+        .map(CompletedRequest::time_to_first_token)
+        .collect();
+    let tbts: Vec<f64> = completed
+        .iter()
+        .map(CompletedRequest::time_between_tokens)
+        .collect();
+    let latencies: Vec<f64> = completed.iter().map(CompletedRequest::latency).collect();
+    let attains = |c: &CompletedRequest| {
+        c.time_to_first_token() <= slo.ttft_s && c.time_between_tokens() <= slo.tbt_s
+    };
+    let good_tokens: usize = completed
+        .iter()
+        .filter(|c| attains(c))
+        .map(|c| c.request.output_len)
+        .sum();
+    let all_tokens: usize = completed.iter().map(|c| c.request.output_len).sum();
+    let submitted = completed.len() + rejected;
+    let per_s = |tokens: usize| {
+        if makespan > 0.0 {
+            tokens as f64 / makespan
+        } else {
+            0.0
+        }
+    };
+    SloReport {
+        ttft: PercentileSummary::from_samples(&ttfts),
+        tbt: PercentileSummary::from_samples(&tbts),
+        latency: PercentileSummary::from_samples(&latencies),
+        attainment: if submitted > 0 {
+            completed.iter().filter(|c| attains(c)).count() as f64 / submitted as f64
+        } else {
+            0.0
+        },
+        goodput_tokens_per_s: per_s(good_tokens),
+        throughput_tokens_per_s: per_s(all_tokens),
+        completed: completed.len(),
+        rejected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_runtime::Request;
+
+    fn done(
+        id: usize,
+        arrival: f64,
+        start: f64,
+        finish: f64,
+        output_len: usize,
+    ) -> CompletedRequest {
+        CompletedRequest {
+            request: Request {
+                id,
+                input_len: 128,
+                output_len,
+                arrival,
+            },
+            start,
+            finish,
+        }
+    }
+
+    #[test]
+    fn goodput_counts_only_attaining_requests() {
+        let slo = SloSpec::new(1.0, 0.1);
+        // First request: TTFT 0.5, TBT 0.05 — attains. Second: TTFT 5 — misses.
+        let completed = [done(0, 0.0, 0.5, 5.5, 100), done(1, 0.0, 5.0, 10.0, 100)];
+        let rep = evaluate(&completed, 0, 10.0, &slo);
+        assert_eq!(rep.completed, 2);
+        assert!((rep.attainment - 0.5).abs() < 1e-9);
+        assert!((rep.goodput_tokens_per_s - 10.0).abs() < 1e-9);
+        assert!((rep.throughput_tokens_per_s - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejected_requests_drag_attainment_down() {
+        let slo = SloSpec::new(10.0, 1.0);
+        let completed = [done(0, 0.0, 0.5, 1.5, 10)];
+        let rep = evaluate(&completed, 3, 2.0, &slo);
+        assert!((rep.attainment - 0.25).abs() < 1e-9);
+        assert_eq!(rep.rejected, 3);
+    }
+
+    #[test]
+    fn empty_run_is_all_zeros() {
+        let rep = evaluate(&[], 0, 0.0, &SloSpec::default());
+        assert_eq!(rep.completed, 0);
+        assert_eq!(rep.attainment, 0.0);
+        assert_eq!(rep.goodput_tokens_per_s, 0.0);
+        assert_eq!(rep.ttft, PercentileSummary::default());
+    }
+
+    #[test]
+    fn percentiles_track_the_tail() {
+        let slo = SloSpec::default();
+        let completed: Vec<CompletedRequest> = (0..100)
+            .map(|i| done(i, 0.0, i as f64 * 0.01, 10.0, 50))
+            .collect();
+        let rep = evaluate(&completed, 0, 10.0, &slo);
+        assert!(rep.ttft.p99 >= rep.ttft.p50);
+        assert!((rep.ttft.p99 - 0.99).abs() < 1e-9);
+    }
+}

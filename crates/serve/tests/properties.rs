@@ -1,0 +1,184 @@
+//! Property tests for the cluster serving subsystem.
+//!
+//! The three invariants the subsystem is pinned to:
+//!
+//! 1. **Conservation** — across any router, every submitted request is
+//!    either completed exactly once or rejected exactly once; none is
+//!    lost or duplicated.
+//! 2. **Per-replica monotonicity** — each replica retires requests in
+//!    nondecreasing finish-time order, and no request finishes before it
+//!    starts or starts before it arrives.
+//! 3. **Single-replica equivalence** — a 1-replica cluster (any router)
+//!    reproduces the closed-loop `Scheduler::run` bit-for-bit: same
+//!    completions, same floats, same makespan.
+
+use proptest::prelude::*;
+use spec_hwsim::DeviceSpec;
+use spec_model::ModelConfig;
+use spec_runtime::{Scheduler, SchedulerConfig, ServingSim, SystemKind, Workload};
+use spec_serve::arrivals::{self, ArrivalConfig, ArrivalProcess, ClusterRequest};
+use spec_serve::cluster::{Cluster, ClusterConfig};
+use spec_serve::router::RouterKind;
+use spec_serve::slo::SloSpec;
+use spec_tensor::SimRng;
+
+fn sim() -> ServingSim {
+    ServingSim::new(
+        ModelConfig::deepseek_distill_llama_8b(),
+        DeviceSpec::a100_80g(),
+        2048,
+    )
+}
+
+fn cluster(n: usize, kind: RouterKind) -> Cluster {
+    Cluster::new(
+        (0..n).map(|_| sim()).collect(),
+        SystemKind::SpeContext,
+        ClusterConfig::default(),
+        kind.build(),
+    )
+}
+
+fn make_trace(seed: u64, count: usize, rate: f64, bursty: bool) -> Vec<ClusterRequest> {
+    let process = if bursty {
+        ArrivalProcess::Bursty {
+            base_rate: rate,
+            burst_rate: rate * 8.0,
+            switch_prob: 0.1,
+        }
+    } else {
+        ArrivalProcess::Poisson { rate }
+    };
+    arrivals::generate(
+        &ArrivalConfig {
+            process,
+            shapes: vec![Workload::new(2048, 512, 3), Workload::new(4096, 1024, 1)],
+            sessions: (count / 3).max(1),
+            count,
+        },
+        &mut SimRng::seed(seed),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// No request is lost or duplicated, whatever the router.
+    #[test]
+    fn requests_are_conserved_across_routing(
+        seed in 0u64..1000,
+        count in 4usize..24,
+        replicas in 1usize..4,
+        bursty in any::<bool>(),
+    ) {
+        let trace = make_trace(seed, count, 2.0, bursty);
+        for kind in RouterKind::all() {
+            let mut c = cluster(replicas, kind);
+            let report = c.run(&trace, &SloSpec::default());
+            prop_assert_eq!(report.completed + report.rejected, count);
+            let mut ids: Vec<usize> = report
+                .replicas
+                .iter()
+                .flat_map(|r| r.report.completed.iter().map(|c| c.request.id))
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), report.completed, "duplicated completion under {}", kind);
+        }
+    }
+
+    /// Completion times are monotone per replica, and every request
+    /// observes arrival <= start < finish.
+    #[test]
+    fn completions_are_monotone_per_replica(
+        seed in 0u64..1000,
+        count in 4usize..20,
+        replicas in 1usize..4,
+    ) {
+        let trace = make_trace(seed, count, 4.0, false);
+        let mut c = cluster(replicas, RouterKind::LeastOutstanding);
+        let report = c.run(&trace, &SloSpec::default());
+        for rep in &report.replicas {
+            prop_assert!(rep
+                .report
+                .completed
+                .windows(2)
+                .all(|w| w[0].finish <= w[1].finish));
+            for done in &rep.report.completed {
+                prop_assert!(done.start >= done.request.arrival);
+                prop_assert!(done.finish > done.start);
+            }
+        }
+    }
+
+    /// A 1-replica cluster reproduces the closed-loop scheduler exactly:
+    /// identical completions (same floats), makespan and rejects, for
+    /// every router (with one replica, routing is forced).
+    #[test]
+    fn one_replica_cluster_equals_scheduler_run(
+        seed in 0u64..1000,
+        count in 2usize..16,
+        rate in 1.0f64..16.0,
+        bursty in any::<bool>(),
+    ) {
+        let trace = make_trace(seed, count, rate, bursty);
+        let requests: Vec<_> = trace.iter().map(|cr| cr.request).collect();
+        let single = Scheduler::new(sim(), SystemKind::SpeContext, SchedulerConfig::default())
+            .run(&requests);
+        for kind in RouterKind::all() {
+            let mut c = cluster(1, kind);
+            let report = c.run(&trace, &SloSpec::default());
+            prop_assert_eq!(&report.replicas[0].report, &single, "router {}", kind);
+            prop_assert_eq!(report.makespan.to_bits(), single.makespan.to_bits());
+            prop_assert_eq!(report.rejected, single.rejected);
+        }
+    }
+}
+
+/// The same equivalence holds for a batching baseline system and for a
+/// tight admission stride (admission every iteration).
+#[test]
+fn one_replica_equivalence_for_baseline_and_tight_stride() {
+    let trace = make_trace(77, 12, 6.0, true);
+    let requests: Vec<_> = trace.iter().map(|cr| cr.request).collect();
+    for (system, stride) in [
+        (SystemKind::FullFlashInfer, 16),
+        (SystemKind::SpeContext, 1),
+        (SystemKind::ShadowKv, 4),
+    ] {
+        let cfg = SchedulerConfig {
+            admission_stride: stride,
+            ..SchedulerConfig::default()
+        };
+        let single = Scheduler::new(sim(), system, cfg).run(&requests);
+        let mut c = Cluster::new(
+            vec![sim()],
+            system,
+            ClusterConfig {
+                scheduler: cfg,
+                ..ClusterConfig::default()
+            },
+            RouterKind::RoundRobin.build(),
+        );
+        let report = c.run(&trace, &SloSpec::default());
+        assert_eq!(
+            report.replicas[0].report, single,
+            "system {system} stride {stride}"
+        );
+    }
+}
+
+/// Oversized requests are rejected by the cluster exactly as by the
+/// single-node scheduler, and never wedge the event loop.
+#[test]
+fn oversized_requests_reject_cluster_wide() {
+    let trace = arrivals::from_trace(&[
+        (0.0, 2048, 512),
+        (0.5, 10_000_000, 10_000_000),
+        (1.0, 2048, 512),
+    ]);
+    let mut c = cluster(2, RouterKind::LeastOutstanding);
+    let report = c.run(&trace, &SloSpec::default());
+    assert_eq!(report.completed, 2);
+    assert_eq!(report.rejected, 1);
+}

@@ -31,3 +31,4 @@ pub mod topk;
 
 pub use matrix::Matrix;
 pub use rng::SimRng;
+pub use stats::PercentileSummary;

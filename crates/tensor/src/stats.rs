@@ -107,6 +107,61 @@ pub fn kl_divergence(p: &[f32], q: &[f32], eps: f32) -> f32 {
     kl.max(0.0)
 }
 
+/// Nearest-rank percentile of an unsorted sample, `p` in `[0, 1]`.
+/// `0.0` for an empty slice. The rank is `⌊n·p⌋` clamped to the last
+/// element, matching the serving reports' historical p95 definition so
+/// single-node and cluster latency numbers stay comparable.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    rank_sorted(&sorted, p)
+}
+
+/// Nearest-rank lookup in an ascending-sorted non-empty sample — the one
+/// definition [`percentile`] and [`PercentileSummary`] share.
+fn rank_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "percentile {p} outside [0, 1]");
+    sorted[((sorted.len() as f64 * p) as usize).min(sorted.len() - 1)]
+}
+
+/// The standard latency summary (mean + p50/p95/p99) every serving
+/// report carries, for TTFT, TBT and end-to-end latency alike.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PercentileSummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 95th percentile (nearest rank).
+    pub p95: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+}
+
+impl PercentileSummary {
+    /// Summarizes an unsorted sample; all zeros for an empty slice.
+    pub fn from_samples(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Self {
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50: rank_sorted(&sorted, 0.50),
+            p95: rank_sorted(&sorted, 0.95),
+            p99: rank_sorted(&sorted, 0.99),
+        }
+    }
+}
+
 /// Geometric mean of positive values; `0.0` if any value is non-positive
 /// or the slice is empty. Used to aggregate normalized scores.
 pub fn geometric_mean(xs: &[f32]) -> f32 {
@@ -177,6 +232,37 @@ mod tests {
         let p = [0.9, 0.1];
         let q = [0.1, 0.9];
         assert!(kl_divergence(&p, &q, 1e-9) > 0.5);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 0.5), 3.0);
+        assert_eq!(percentile(&xs, 0.95), 5.0);
+        assert_eq!(percentile(&xs, 1.0), 5.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn percentile_matches_legacy_p95_indexing() {
+        // The scheduler's historical p95: sorted[min(floor(n*0.95), n-1)].
+        let xs: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let idx = ((xs.len() as f64 * 0.95) as usize).min(xs.len() - 1);
+        assert_eq!(percentile(&xs, 0.95), xs[idx]);
+    }
+
+    #[test]
+    fn percentile_summary_orders_quantiles() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = PercentileSummary::from_samples(&xs);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+        assert_eq!(s.p99, 100.0);
+        assert_eq!(
+            PercentileSummary::from_samples(&[]),
+            PercentileSummary::default()
+        );
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Cluster serving: a heterogeneous fleet (A100s + RTX 4090 spill
+//! capacity) under open-loop Poisson and bursty load, compared across
+//! routing policies with SLO accounting, plus a queue-depth-driven
+//! autoscaling run.
+//!
+//! Run with `cargo run --release --example cluster_serving`.
+
+use specontext::core::report::Table;
+use specontext::hwsim::{DeviceSpec, Fleet};
+use specontext::model::ModelConfig;
+use specontext::runtime::{SystemKind, Workload};
+use specontext::serve::arrivals::{self, ArrivalConfig, ClusterRequest};
+use specontext::serve::cluster::{AutoscaleConfig, Cluster, ClusterConfig};
+use specontext::serve::router::RouterKind;
+use specontext::serve::slo::SloSpec;
+use specontext::tensor::SimRng;
+
+fn fleet() -> Vec<DeviceSpec> {
+    Fleet::new()
+        .with(DeviceSpec::a100_80g(), 2)
+        .with(DeviceSpec::rtx4090(), 2)
+        .build()
+}
+
+fn cluster(router: RouterKind, autoscale: Option<AutoscaleConfig>) -> Cluster {
+    Cluster::from_fleet(
+        &ModelConfig::deepseek_distill_llama_8b(),
+        &fleet(),
+        2048,
+        SystemKind::SpeContext,
+        ClusterConfig {
+            autoscale,
+            ..ClusterConfig::default()
+        },
+        router.build(),
+    )
+}
+
+fn shapes() -> Vec<Workload> {
+    vec![Workload::new(2048, 4096, 3), Workload::new(8192, 2048, 1)]
+}
+
+fn main() {
+    let slo = SloSpec::new(60.0, 0.15);
+
+    // --- router comparison under steady Poisson load --------------------
+    let steady: Vec<ClusterRequest> = arrivals::generate(
+        &ArrivalConfig::poisson(1.0, shapes(), 32),
+        &mut SimRng::seed(0xF1EE7),
+    );
+    let mut table = Table::new(
+        "router policies: 32 req @ 1.0 req/s on 2xA100 + 2x4090, SpeContext",
+        &[
+            "router",
+            "tokens/s",
+            "goodput tok/s",
+            "SLO attain",
+            "TTFT p99 s",
+            "A100 share",
+        ],
+    );
+    for kind in RouterKind::all() {
+        let mut c = cluster(kind, None);
+        let r = c.run(&steady, &slo);
+        let a100: usize = r
+            .replicas
+            .iter()
+            .filter(|rep| rep.device.starts_with("A100"))
+            .map(|rep| rep.assigned)
+            .sum();
+        table.push_row(vec![
+            kind.to_string(),
+            format!("{:.1}", r.throughput),
+            format!("{:.1}", r.slo.goodput_tokens_per_s),
+            format!("{:.2}", r.slo.attainment),
+            format!("{:.1}", r.slo.ttft.p99),
+            format!("{}/{}", a100, r.completed),
+        ]);
+    }
+    println!("{table}");
+
+    // --- bursty load with autoscaling -----------------------------------
+    let bursty: Vec<ClusterRequest> = arrivals::generate(
+        &ArrivalConfig::bursty(0.3, 4.0, 0.08, shapes(), 32),
+        &mut SimRng::seed(0xB0057),
+    );
+    let mut table = Table::new(
+        "bursty load (0.3 <-> 4.0 req/s): fixed fleet vs autoscaled",
+        &[
+            "fleet",
+            "tokens/s",
+            "goodput tok/s",
+            "SLO attain",
+            "TTFT p99 s",
+            "peak active",
+        ],
+    );
+    for (label, autoscale) in [
+        ("fixed x4", None),
+        (
+            "autoscale 1..4",
+            Some(AutoscaleConfig {
+                min_replicas: 1,
+                scale_up_outstanding: 3,
+                scale_down_outstanding: 1,
+            }),
+        ),
+    ] {
+        let mut c = cluster(RouterKind::LeastKvPressure, autoscale);
+        let r = c.run(&bursty, &slo);
+        table.push_row(vec![
+            label.to_string(),
+            format!("{:.1}", r.throughput),
+            format!("{:.1}", r.slo.goodput_tokens_per_s),
+            format!("{:.2}", r.slo.attainment),
+            format!("{:.1}", r.slo.ttft.p99),
+            r.peak_active.to_string(),
+        ]);
+        let peak_depth = r.queue_depth.iter().map(|&(_, d)| d).max().unwrap_or(0);
+        println!(
+            "[{label}] peak fleet queue depth {peak_depth}, makespan {:.1}s, {} rejected",
+            r.makespan, r.rejected
+        );
+    }
+    println!("{table}");
+}

@@ -52,8 +52,8 @@ fn main() {
         table.push_row(vec![
             system.to_string(),
             format!("{:.1}", report.throughput),
-            format!("{:.1}", report.mean_latency),
-            format!("{:.1}", report.p95_latency),
+            format!("{:.1}", report.latency.mean),
+            format!("{:.1}", report.latency.p95),
             format!("{:.1}", report.makespan),
         ]);
     }

@@ -9,7 +9,9 @@
 //! * `longbench_eval` — accuracy of every retrieval system on the
 //!   synthetic LongBench tasks;
 //! * `cloud_serving` — Table-3-style throughput estimation on an A100;
-//! * `edge_deployment` — adaptive memory management on an 8GB laptop GPU.
+//! * `edge_deployment` — adaptive memory management on an 8GB laptop GPU;
+//! * `cluster_serving` — a routed multi-replica fleet under open-loop
+//!   load with SLO accounting (the [`serve`] subsystem).
 //!
 //! ```
 //! use specontext::core::engine::{Engine, EngineConfig};
@@ -31,5 +33,6 @@ pub use spec_kvcache as kvcache;
 pub use spec_model as model;
 pub use spec_retrieval as retrieval;
 pub use spec_runtime as runtime;
+pub use spec_serve as serve;
 pub use spec_tensor as tensor;
 pub use spec_workloads as workloads;

@@ -1,13 +1,21 @@
 //! Smoke tests for the `examples/` directory.
 //!
-//! Compilation of all seven examples is gated by `cargo build --examples`
-//! in CI; these tests additionally exercise the quickstart example's flow
-//! in-process so `cargo test` catches runtime regressions of the paths
-//! the examples walk (engine build, prefill, generate, transfer stats,
-//! and the paper-scale config math).
+//! Compilation of all eight examples is gated by `cargo build --examples`
+//! in CI; these tests additionally exercise the quickstart and
+//! cluster-serving examples' flows in-process so `cargo test` catches
+//! runtime regressions of the paths the examples walk (engine build,
+//! prefill, generate, transfer stats, the paper-scale config math, and
+//! the routed-fleet serving loop).
 
 use specontext::core::engine::{Engine, EngineConfig};
+use specontext::hwsim::{DeviceSpec, Fleet};
 use specontext::model::{AttentionKind, ModelConfig, SimGeometry};
+use specontext::runtime::{SystemKind, Workload};
+use specontext::serve::arrivals::{self, ArrivalConfig};
+use specontext::serve::cluster::{Cluster, ClusterConfig};
+use specontext::serve::router::RouterKind;
+use specontext::serve::slo::SloSpec;
+use specontext::tensor::SimRng;
 
 /// The quickstart example, end to end, with its printed quantities
 /// asserted instead of printed.
@@ -39,6 +47,34 @@ fn quickstart_flow_end_to_end() {
     assert!(transfer.fetched_entries > 0);
     assert!((0.0..=1.0).contains(&transfer.reuse_fraction()));
     assert!(out.overlaps.iter().all(|o| (0.0..=1.0 + 1e-6).contains(o)));
+}
+
+/// The cluster-serving example's flow, shrunk: a mixed fleet behind a
+/// KV-pressure router completes an open-loop trace with full accounting.
+#[test]
+fn cluster_serving_flow_end_to_end() {
+    let fleet = Fleet::new()
+        .with(DeviceSpec::a100_80g(), 1)
+        .with(DeviceSpec::rtx4090(), 1)
+        .build();
+    let mut cluster = Cluster::from_fleet(
+        &ModelConfig::deepseek_distill_llama_8b(),
+        &fleet,
+        2048,
+        SystemKind::SpeContext,
+        ClusterConfig::default(),
+        RouterKind::LeastKvPressure.build(),
+    );
+    let trace = arrivals::generate(
+        &ArrivalConfig::poisson(1.0, vec![Workload::new(2048, 1024, 1)], 10),
+        &mut SimRng::seed(0xFACADE),
+    );
+    let report = cluster.run(&trace, &SloSpec::default());
+    assert_eq!(report.completed, 10);
+    assert_eq!(report.rejected, 0);
+    assert!(report.throughput > 0.0);
+    assert!(report.slo.ttft.p99 >= report.slo.ttft.p50);
+    assert_eq!(report.queue_depth.len(), 10);
 }
 
 /// The paper-scale facts quoted by the quickstart example stay sane.
