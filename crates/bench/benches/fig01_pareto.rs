@@ -93,36 +93,40 @@ fn main() {
                 });
             }
         }
-        for (bi, &pb) in budgets.iter().enumerate() {
-            for (ei, sk) in sys_map {
-                let acc = if panel.starts_with("a") {
-                    let si = all.iter().position(|s| *s == ei).unwrap();
-                    input_acc[si][bi] / acc_norm
-                } else {
-                    let s = longwriter_scores(
-                        &engine,
-                        ei,
-                        &LongWriterOptions {
-                            prompt_len: 16,
-                            gen_len: 160,
-                            budget: to_sim(pb),
-                            seed: 0x1A,
-                        },
-                    );
-                    s.average() / acc_norm
-                };
-                let mut sim_b = ServingSim::new(cfg.clone(), DeviceSpec::a100_80g(), pb);
-                sim_b.elastic_reuse = 0.85;
-                let t = sim_b.throughput(sk, w).tokens_per_s;
-                if t > 0.0 {
-                    points.push(ParetoPoint {
-                        label: format!("{ei} B={pb}"),
-                        accuracy: acc as f64,
-                        throughput: t / base_tput,
-                    });
-                }
-            }
-        }
+        // Every (budget, system) point is an independent accuracy +
+        // throughput evaluation → fan out, keep grid order.
+        let grid: Vec<(usize, usize)> = (0..budgets.len())
+            .flat_map(|bi| (0..sys_map.len()).map(move |i| (bi, i)))
+            .collect();
+        let computed = spec_parallel::par_map(&grid, |&(bi, i)| {
+            let pb = budgets[bi];
+            let (ei, sk) = sys_map[i];
+            let acc = if panel.starts_with("a") {
+                let si = all.iter().position(|s| *s == ei).unwrap();
+                input_acc[si][bi] / acc_norm
+            } else {
+                let s = longwriter_scores(
+                    &engine,
+                    ei,
+                    &LongWriterOptions {
+                        prompt_len: 16,
+                        gen_len: 160,
+                        budget: to_sim(pb),
+                        seed: 0x1A,
+                    },
+                );
+                s.average() / acc_norm
+            };
+            let mut sim_b = ServingSim::new(cfg.clone(), DeviceSpec::a100_80g(), pb);
+            sim_b.elastic_reuse = 0.85;
+            let t = sim_b.throughput(sk, w).tokens_per_s;
+            (t > 0.0).then(|| ParetoPoint {
+                label: format!("{ei} B={pb}"),
+                accuracy: acc as f64,
+                throughput: t / base_tput,
+            })
+        });
+        points.extend(computed.into_iter().flatten());
         let frontier = pareto_frontier(&points);
         let mut table = Table::new(
             format!("Fig. 1({panel}) — normalized accuracy vs throughput"),

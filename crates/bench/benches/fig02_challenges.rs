@@ -99,14 +99,16 @@ fn offload_cliff() {
         "Fig. 2(a)-3 — offload cliff at batch 4 (tokens/s)",
         &["context", "predetermined", "adaptive (ours)"],
     );
-    for s in [
+    // Context rows are independent → sweep them on the worker pool.
+    let contexts = [
         64 * 1024,
         96 * 1024,
         104 * 1024,
         112 * 1024,
         120 * 1024,
         128 * 1024,
-    ] {
+    ];
+    let rows = spec_parallel::par_map(&contexts, |&s| {
         let w = Workload::new(s, 2048, 4);
         let pre = sim.throughput_with_policy(
             SystemKind::FullFlashInfer,
@@ -114,11 +116,14 @@ fn offload_cliff() {
             MemoryPolicy::AllGpuOrFullOffload,
         );
         let ada = sim.throughput_with_policy(SystemKind::SpeContext, &w, MemoryPolicy::Adaptive);
-        table.push_row(vec![
+        vec![
             format!("{}K", s / 1024),
             f2(pre.tokens_per_s),
             f2(ada.tokens_per_s),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
     }
     emit(&table, "fig02_offload_cliff");
 }

@@ -29,10 +29,10 @@ fn main() {
         &["budget", "head mass", "batch mass", "head hit", "batch hit"],
     );
 
-    // Shared instances: context + dense trace once per instance.
-    let mut contexts = Vec::new();
-    for i in 0..instances {
-        let mut rng = SimRng::seed(0xF5A ^ i);
+    // Shared instances: context + dense trace once per instance. Each
+    // instance is an independent prefill + traced decode → worker pool.
+    let contexts = spec_parallel::par_map_range(instances, |i| {
+        let mut rng = SimRng::seed(0xF5A ^ i as u64);
         let ctx = builder.build(model, context_len, 3, 2, &mut rng);
         let (mut kv, _) = model.prefill_embeddings(
             &ctx.emb,
@@ -53,8 +53,8 @@ fn main() {
             head.append(ctx.emb.row(r), &mut state);
         }
         let scores = head.head_scores(&q, &state);
-        contexts.push((trace, scores));
-    }
+        (trace, scores)
+    });
 
     let group = model.geometry().group_size();
     for &pb in &paper_budgets {

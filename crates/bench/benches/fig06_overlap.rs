@@ -56,7 +56,10 @@ fn adjacent_overlap() {
         "Fig. 6(b) — adjacent-generation selection overlap vs budget",
         &["budget (paper)", "overlap (coherent)", "overlap (random)"],
     );
-    for pb in [32usize, 64, 128, 256, 512, 1024, 2048] {
+    // Budget rows build their own engine and decode sessions — fully
+    // independent, so the sweep fans out over the worker pool.
+    let paper_budgets = [32usize, 64, 128, 256, 512, 1024, 2048];
+    let rows = spec_parallel::par_map(&paper_budgets, |&pb| {
         let b = to_sim(pb);
         let engine = sim_engine(&cfg, b, 0x660);
         let model = engine.model();
@@ -113,11 +116,14 @@ fn adjacent_overlap() {
             let res = generate_free_running(model, &mut kv, &first, steps, &mut strat, false);
             random.extend(res.overlaps);
         }
-        table.push_row(vec![
+        vec![
             pb.to_string(),
             f2(stats::mean(&coherent) as f64),
             f2(stats::mean(&random) as f64),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
     }
     emit(&table, "fig06b_overlap_rate");
 }

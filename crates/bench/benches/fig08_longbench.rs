@@ -20,7 +20,9 @@ fn main() {
     let engine = sim_engine(&cfg, to_sim(2048), 0xF18);
 
     let systems = EvalSystem::fig8_systems();
-    for kind in TaskKind::all() {
+    // The four task panels are independent full evaluations → run them
+    // on the worker pool, then emit in task order.
+    let task_scores = spec_parallel::par_map(&TaskKind::all(), |&kind| {
         let opt = LongBenchOptions {
             instances: 8,
             seed: 0xBEEF,
@@ -31,8 +33,12 @@ fn main() {
             strength: 2.5,
             ..LongBenchOptions::new(kind, to_sim(paper_context), 0)
         };
-        let scores = longbench_matrix(&engine, &systems, &sim_budgets, &opt);
-
+        (
+            kind,
+            longbench_matrix(&engine, &systems, &sim_budgets, &opt),
+        )
+    });
+    for (kind, scores) in task_scores {
         let mut table = Table::new(
             format!(
                 "Fig. 8 — {} on {} (sim 1/{SIM_SCALE} scale, score x100)",

@@ -59,19 +59,29 @@ fn main() {
         ]);
         push_detail(&mut detail, "Full", &full);
 
-        for system in systems {
+        // Each (system, budget) evaluation is independent; fan the whole
+        // panel out and assemble rows in system order afterwards.
+        let grid: Vec<(usize, usize)> = systems
+            .iter()
+            .enumerate()
+            .flat_map(|(si, _)| budgets.iter().map(move |&pb| (si, pb)))
+            .collect();
+        let scored = spec_parallel::par_map(&grid, |&(si, pb)| {
+            let opt = LongWriterOptions {
+                prompt_len: 16,
+                gen_len: 192,
+                budget: to_sim(pb),
+                seed: 0x941 + mi as u64,
+            };
+            longwriter_scores(&engine, systems[si], &opt)
+        });
+        for (si, system) in systems.iter().enumerate() {
             let mut cells = vec![system.to_string()];
-            for &pb in &budgets {
-                let opt = LongWriterOptions {
-                    prompt_len: 16,
-                    gen_len: 192,
-                    budget: to_sim(pb),
-                    seed: 0x941 + mi as u64,
-                };
-                let s = longwriter_scores(&engine, system, &opt);
+            for (bi, &pb) in budgets.iter().enumerate() {
+                let s = &scored[si * budgets.len() + bi];
                 cells.push(f2(s.average() as f64));
                 if pb == 2048 {
-                    push_detail(&mut detail, &system.to_string(), &s);
+                    push_detail(&mut detail, &system.to_string(), s);
                 }
             }
             avg_table.push_row(cells);

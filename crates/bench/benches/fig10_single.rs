@@ -37,7 +37,8 @@ fn cloud() {
             "Ours",
         ],
     );
-    for (inp, out) in paper_shapes() {
+    // Shape rows are independent → sweep them on the worker pool.
+    let rows = spec_parallel::par_map(&paper_shapes(), |&(inp, out)| {
         let w = Workload::new(inp, out, 1);
         let mut cells = vec![shape_label(inp, out)];
         for sys in systems {
@@ -48,7 +49,10 @@ fn cloud() {
                 f2(rep.tokens_per_s)
             });
         }
-        table.push_row(cells);
+        cells
+    });
+    for row in rows {
+        table.push_row(row);
     }
     emit(&table, "fig10a_cloud_single");
 }
@@ -63,7 +67,7 @@ fn edge() {
         "Fig. 10(b) — single request, edge (RTX4060 Laptop, 4GB cap), tokens/s",
         &["[In, Out]", "Eager", "FlashAttn", "ShadowKV", "Ours"],
     );
-    for (inp, out) in paper_shapes() {
+    let rows = spec_parallel::par_map(&paper_shapes(), |&(inp, out)| {
         let w = Workload::new(inp, out, 1);
         let mut cells = vec![shape_label(inp, out)];
         // Edge full-attention baselines run with complete offloading
@@ -88,7 +92,10 @@ fn edge() {
         } else {
             f2(ours.tokens_per_s)
         });
-        table.push_row(cells);
+        cells
+    });
+    for row in rows {
+        table.push_row(row);
     }
     emit(&table, "fig10b_edge_single");
 }

@@ -26,7 +26,8 @@ fn main() {
         "Fig. 11 — ablation, best batch per stage (A100-80GB), tokens/s (batch, speedup vs HF)",
         &["[In, Out]", "HF", "HF+C1", "HF+C1+C2", "HF+C1+C2+C3"],
     );
-    for (inp, out) in paper_shapes() {
+    // Shape rows are independent → sweep them on the worker pool.
+    let rows = spec_parallel::par_map(&paper_shapes(), |&(inp, out)| {
         let hf = ablation_best_batch(AblationStage::Hf, &cfg, &dev, inp, out, 2048, &[4]);
         let mut cells = vec![shape_label(inp, out)];
         cells.push(throughput_cell(hf.tokens_per_s, hf.requests, 1.0));
@@ -43,7 +44,10 @@ fn main() {
             };
             cells.push(throughput_cell(rep.tokens_per_s, rep.requests, speedup));
         }
-        table.push_row(cells);
+        cells
+    });
+    for row in rows {
+        table.push_row(row);
     }
     emit(&table, "fig11_ablation");
 
@@ -55,7 +59,7 @@ fn main() {
         "Fig. 11 (aux) — ablation at the full system's batch (offloaded regime)",
         &["[In, Out]", "batch", "HF+C1", "HF+C1+C2", "HF+C1+C2+C3"],
     );
-    for (inp, out) in paper_shapes() {
+    let rows = spec_parallel::par_map(&paper_shapes(), |&(inp, out)| {
         let full = ablation_best_batch(AblationStage::C1C2C3, &cfg, &dev, inp, out, 2048, &batches);
         let batch = full.requests;
         let mut cells = vec![shape_label(inp, out), batch.to_string()];
@@ -76,7 +80,10 @@ fn main() {
             };
             cells.push(throughput_cell(rep.tokens_per_s, rep.requests, speedup));
         }
-        table2.push_row(cells);
+        cells
+    });
+    for row in rows {
+        table2.push_row(row);
     }
     emit(&table2, "fig11_ablation_offloaded");
 }

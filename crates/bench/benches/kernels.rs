@@ -1,15 +1,30 @@
 //! Criterion micro-benchmarks of the kernels every retrieval system is
 //! built from: top-k selection, softmax, quantized scoring, k-means
-//! assignment, elastic set-difference planning, and the small matmuls of
-//! the simulated forward pass.
+//! assignment, elastic set-difference planning, and the matmuls of the
+//! simulated forward pass — including the blocked kernel against the
+//! reference triple loop at transformer-forward shapes.
+//!
+//! Unlike the figure/table regenerators this harness measures wall
+//! clock, so its output is *not* expected to be byte-stable; it writes a
+//! machine-readable timing summary to `results/bench_kernels.json` so
+//! future PRs have a perf trajectory to compare against.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{BatchSize, Criterion};
 use spec_kvcache::{PageTable, ResidentSet};
 use spec_tensor::kmeans::nearest_centroid;
 use spec_tensor::quant::{BitWidth, QuantVec};
-use spec_tensor::topk::top_k_positions;
+use spec_tensor::topk::{top_k_mass, top_k_positions};
 use spec_tensor::{ops, SimRng};
 use std::hint::black_box;
+
+/// `(label, m, k, n)` for the matmul speedup comparison: the simulated
+/// transformer's forward-pass shapes at the sim-scale 16K context
+/// (hidden 64, FFN 128, vocab 512; see `ModelConfig::sim_geometry`).
+const FORWARD_SHAPES: [(&str, usize, usize, usize); 3] = [
+    ("prefill_ffn", 2048, 64, 128),
+    ("prefill_logits", 2048, 64, 512),
+    ("probe_bilinear", 64, 64, 64),
+];
 
 fn bench_kernels(c: &mut Criterion) {
     let mut rng = SimRng::seed(0xBE7C);
@@ -19,12 +34,21 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| top_k_positions(black_box(&scores), 2048))
     });
 
+    c.bench_function("top_k_mass/16384->2048", |b| {
+        b.iter(|| top_k_mass(black_box(&scores), 2048))
+    });
+
     let mut soft = scores.clone();
     c.bench_function("softmax/16384", |b| {
         b.iter(|| {
             soft.copy_from_slice(&scores);
             ops::softmax_inplace(black_box(&mut soft));
         })
+    });
+
+    let wide = rng.normal_matrix(256, 2048, 1.0);
+    c.bench_function("softmax_rows/256x2048", |b| {
+        b.iter(|| ops::softmax_rows(black_box(&wide)))
     });
 
     let key: Vec<f32> = (0..128).map(|_| rng.normal()).collect();
@@ -63,20 +87,77 @@ fn bench_kernels(c: &mut Criterion) {
     });
 
     let a = rng.normal_matrix(64, 64, 1.0);
-    let bm = rng.normal_matrix(64, 64, 1.0);
-    c.bench_function("matmul/64x64x64", |b| {
-        b.iter(|| black_box(&a).matmul(black_box(&bm)))
-    });
-
     let x: Vec<f32> = (0..64).map(|_| rng.normal()).collect();
     c.bench_function("vecmat/64x64", |b| {
         b.iter(|| black_box(&a).vecmat(black_box(&x)))
     });
 }
 
-criterion_group! {
-    name = kernels;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_kernels
+/// Blocked kernel vs the reference triple loop at the forward shapes.
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = SimRng::seed(0x6E66);
+    for (label, m, k, n) in FORWARD_SHAPES {
+        let a = rng.normal_matrix(m, k, 1.0);
+        let b = rng.normal_matrix(k, n, 1.0);
+        // The speedup claim rests on identical results; check, don't trust.
+        let blocked = a.matmul(&b);
+        let naive = a.matmul_naive(&b);
+        assert_eq!(
+            blocked, naive,
+            "blocked kernel diverged from reference at {label}"
+        );
+        c.bench_function(&format!("matmul/{label}/{m}x{k}x{n}"), |bch| {
+            bch.iter(|| black_box(&a).matmul(black_box(&b)))
+        });
+        c.bench_function(&format!("matmul_naive/{label}/{m}x{k}x{n}"), |bch| {
+            bch.iter(|| black_box(&a).matmul_naive(black_box(&b)))
+        });
+    }
 }
-criterion_main!(kernels);
+
+/// Persists every timing plus the naive/blocked speedups to
+/// `results/bench_kernels.json`.
+fn write_summary(c: &Criterion) {
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"kernels\",\n");
+    json.push_str(&format!(
+        "  \"spec_threads\": {},\n  \"entries\": [\n",
+        spec_parallel::max_threads()
+    ));
+    let entries: Vec<String> = c
+        .summaries()
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"best_ns\": {:.1}}}",
+                s.name, s.mean_ns, s.best_ns
+            )
+        })
+        .collect();
+    json.push_str(&entries.join(",\n"));
+    json.push_str("\n  ],\n  \"matmul_speedup_vs_naive\": {\n");
+    let speedups: Vec<String> = FORWARD_SHAPES
+        .iter()
+        .filter_map(|(label, m, k, n)| {
+            let blocked = c.mean_ns(&format!("matmul/{label}/{m}x{k}x{n}"))?;
+            let naive = c.mean_ns(&format!("matmul_naive/{label}/{m}x{k}x{n}"))?;
+            Some(format!("    \"{label}\": {:.2}", naive / blocked))
+        })
+        .collect();
+    json.push_str(&speedups.join(",\n"));
+    json.push_str("\n  }\n}\n");
+    spec_bench::emit_raw_json("bench_kernels", &json);
+    for line in speedups {
+        println!("[speedup vs naive]{}", line.replace("    ", " "));
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    bench_kernels(&mut c);
+    bench_matmul(&mut c);
+    write_summary(&c);
+}

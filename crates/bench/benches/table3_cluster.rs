@@ -73,19 +73,21 @@ fn main() {
     let slo = SloSpec::new(30.0, 0.013);
 
     // --- single-node anchor: 1×round-robin ≡ Scheduler::run ------------
-    for system in systems {
-        for &rate in &rates {
-            let trace = trace_at(rate);
-            let requests: Vec<_> = trace.iter().map(|cr| cr.request).collect();
-            let single = Scheduler::new(sim(), system, SchedulerConfig::default()).run(&requests);
-            let mut c = cluster_for(system, 1, RouterKind::RoundRobin);
-            let report = c.run(&trace, &slo);
-            assert_eq!(
-                report.replicas[0].report, single,
-                "1-replica round-robin must match Scheduler::run ({system}, rate {rate})"
-            );
-        }
-    }
+    let anchor_grid: Vec<(SystemKind, f64)> = systems
+        .iter()
+        .flat_map(|&s| rates.iter().map(move |&r| (s, r)))
+        .collect();
+    spec_parallel::par_map(&anchor_grid, |&(system, rate)| {
+        let trace = trace_at(rate);
+        let requests: Vec<_> = trace.iter().map(|cr| cr.request).collect();
+        let single = Scheduler::new(sim(), system, SchedulerConfig::default()).run(&requests);
+        let mut c = cluster_for(system, 1, RouterKind::RoundRobin);
+        let report = c.run(&trace, &slo);
+        assert_eq!(
+            report.replicas[0].report, single,
+            "1-replica round-robin must match Scheduler::run ({system}, rate {rate})"
+        );
+    });
     println!("[anchor] 1-replica round-robin == single-node Scheduler::run (bit-for-bit) for all systems and rates\n");
 
     let mut table = Table::new(
@@ -106,29 +108,39 @@ fn main() {
             "makespan s",
         ],
     );
+    // Every cell builds its own cluster and trace from fixed seeds, so
+    // the sweep fans out over the worker pool; rows come back in grid
+    // order and the emitted JSON is byte-identical to the serial sweep.
+    let mut grid: Vec<(SystemKind, usize, RouterKind, f64)> = Vec::new();
     for system in systems {
         for &replicas in &replica_counts {
             for router in routers {
                 for &rate in &rates {
-                    let trace = trace_at(rate);
-                    let mut c = cluster_for(system, replicas, router);
-                    let r = c.run(&trace, &slo);
-                    table.push_row(vec![
-                        system.to_string(),
-                        replicas.to_string(),
-                        router.to_string(),
-                        format!("{rate:.2}"),
-                        format!("{:.1}", r.throughput),
-                        format!("{:.1}", r.slo.goodput_tokens_per_s),
-                        format!("{:.2}", r.slo.attainment),
-                        format!("{:.1}", r.slo.ttft.p50),
-                        format!("{:.1}", r.slo.ttft.p99),
-                        format!("{:.3}", r.slo.tbt.p95),
-                        format!("{:.1}", r.makespan),
-                    ]);
+                    grid.push((system, replicas, router, rate));
                 }
             }
         }
+    }
+    let rows = spec_parallel::par_map(&grid, |&(system, replicas, router, rate)| {
+        let trace = trace_at(rate);
+        let mut c = cluster_for(system, replicas, router);
+        let r = c.run(&trace, &slo);
+        vec![
+            system.to_string(),
+            replicas.to_string(),
+            router.to_string(),
+            format!("{rate:.2}"),
+            format!("{:.1}", r.throughput),
+            format!("{:.1}", r.slo.goodput_tokens_per_s),
+            format!("{:.2}", r.slo.attainment),
+            format!("{:.1}", r.slo.ttft.p50),
+            format!("{:.1}", r.slo.ttft.p99),
+            format!("{:.3}", r.slo.tbt.p95),
+            format!("{:.1}", r.makespan),
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
     }
     emit(&table, "table3_cluster");
 }

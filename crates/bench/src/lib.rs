@@ -59,6 +59,19 @@ pub fn emit(table: &Table, slug: &str) {
     }
 }
 
+/// Writes a pre-rendered JSON document to `results/<slug>.json` (used by
+/// the `kernels` bench for its machine-readable timing summary).
+pub fn emit_raw_json(slug: &str, json: &str) {
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("{slug}.json"));
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[saved {}]", path.display());
+    }
+}
+
 fn results_dir() -> std::path::PathBuf {
     // The workspace root's results/ directory.
     std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

@@ -358,8 +358,11 @@ impl Model {
         mut trace: Option<&mut StepTrace>,
     ) -> StepOutput {
         let mut h = x.to_vec();
+        // One normalization buffer for the whole stack (two rmsnorms per
+        // layer), refilled in place instead of allocated per call.
+        let mut normed = Vec::with_capacity(h.len());
         for (l, lw) in self.weights.layers.iter().enumerate() {
-            let normed = ops::rmsnorm(&h, &lw.norm_attn, 1e-6);
+            ops::rmsnorm_into(&mut normed, &h, &lw.norm_attn, 1e-6);
             self.append_kv(lw, &normed, pos, &mut kv.layers[l]);
             // Compute this layer's queries (post-RoPE), then consult the
             // selector — the layer-wise retrieval point of Fig. 2(a).
@@ -380,7 +383,7 @@ impl Model {
             for (a, b) in h.iter_mut().zip(&attn_out) {
                 *a += b;
             }
-            let normed = ops::rmsnorm(&h, &lw.norm_ffn, 1e-6);
+            ops::rmsnorm_into(&mut normed, &h, &lw.norm_ffn, 1e-6);
             let ffn = self.ffn(lw, &normed);
             for (a, b) in h.iter_mut().zip(&ffn) {
                 *a += b;

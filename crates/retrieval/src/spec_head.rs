@@ -30,6 +30,10 @@ pub enum MappingLevel {
     Batch,
 }
 
+/// Below this many head x position score entries, assembling the
+/// per-head selections serially beats the scoped-spawn overhead.
+const PAR_SELECT_MIN: usize = 1 << 14;
+
 /// A whole-model selection produced before LLM inference.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpecSelection {
@@ -71,10 +75,19 @@ impl SpecSelection {
                 let grouped = group_max_scores(scores, group);
                 let kv_heads = model_kv_heads(geom);
                 assert_eq!(grouped.len(), kv_heads, "group mapping mismatch");
-                grouped
-                    .iter()
-                    .map(|s| assemble_budgeted_selection(s, seq_len, cfg).0)
-                    .collect()
+                // Heads are independent: fan the per-head top-k assembly
+                // out over the worker pool (order-preserving, so the
+                // selection is identical at any thread count).
+                if grouped.len() > 1 && grouped.len() * seq_len >= PAR_SELECT_MIN {
+                    spec_parallel::par_map(&grouped, |s| {
+                        assemble_budgeted_selection(s, seq_len, cfg).0
+                    })
+                } else {
+                    grouped
+                        .iter()
+                        .map(|s| assemble_budgeted_selection(s, seq_len, cfg).0)
+                        .collect()
+                }
             }
             MappingLevel::Batch => {
                 let pooled = group_max_scores(scores, scores.len());

@@ -59,14 +59,19 @@ impl MemoryModel {
         4.0 * (self.kv_heads * self.head_dim) as f64
     }
 
+    /// Bytes one resident token costs across the whole model — the Eq. 6
+    /// per-token factor `4(L+1+α)·H·D`: all layers' K+V plus the
+    /// retrieval-head and grouped-query terms. This is the factor the
+    /// serving replicas' KV-pressure accounting must share with the
+    /// admission arithmetic, so both read it from here.
+    pub fn kv_token_total_bytes(&self) -> f64 {
+        self.kv_token_layer_bytes() * (self.layers + 1 + self.alpha) as f64
+    }
+
     /// Eq. 6: total bytes with all KV on GPU —
     /// `1.3(M_O+M_D) + 4R(L+1+α)·S·H·D`.
     pub fn m_all(&self, requests: usize, seq_len: usize) -> f64 {
-        self.static_bytes()
-            + self.kv_token_layer_bytes()
-                * requests as f64
-                * (self.layers + 1 + self.alpha) as f64
-                * seq_len as f64
+        self.static_bytes() + self.kv_token_total_bytes() * requests as f64 * seq_len as f64
     }
 
     /// Eq. 7: total bytes with the last `l_cpu` layers offloaded and a

@@ -224,16 +224,6 @@ impl BatchState {
         self.queue.iter()
     }
 
-    /// Total KV tokens this engine is committed to at final lengths
-    /// (queued + running), the router's memory-pressure signal.
-    pub fn demand_tokens(&self) -> usize {
-        self.queue
-            .iter()
-            .chain(self.running.iter().map(|r| &r.req))
-            .map(|q| q.input_len + q.output_len)
-            .sum()
-    }
-
     /// Requests finished so far, in finish order.
     pub fn completed(&self) -> &[CompletedRequest] {
         &self.completed

@@ -169,8 +169,19 @@ impl Cluster {
         let mut queue_depth = Vec::with_capacity(trace.len());
         for cr in trace {
             let t = cr.request.arrival;
-            for rep in &mut self.replicas {
-                rep.advance_until(t);
+            // Replicas run independently between cluster events, so their
+            // micro-stepping fans out over the worker pool. Each replica's
+            // state depends only on its own trace slice, so the cluster
+            // outcome is identical at any thread count — which is what
+            // keeps the 1-replica anchor bit-for-bit on `Scheduler::run`.
+            // Idle replicas return from `advance_until` immediately, so
+            // only spawn workers when several have stepping to do.
+            if self.replicas.iter().filter(|r| r.has_work()).count() > 1 {
+                spec_parallel::par_for_each_mut(&mut self.replicas, |_, rep| rep.advance_until(t));
+            } else {
+                for rep in &mut self.replicas {
+                    rep.advance_until(t);
+                }
             }
             self.autoscale();
             let snapshots: Vec<ReplicaSnapshot> = self
@@ -189,8 +200,12 @@ impl Cluster {
             let outstanding: usize = self.replicas.iter().map(Replica::outstanding).sum();
             queue_depth.push((t, outstanding));
         }
-        for rep in &mut self.replicas {
-            rep.drain();
+        if self.replicas.iter().filter(|r| r.has_work()).count() > 1 {
+            spec_parallel::par_for_each_mut(&mut self.replicas, |_, rep| rep.drain());
+        } else {
+            for rep in &mut self.replicas {
+                rep.drain();
+            }
         }
         self.report(queue_depth, slo)
     }
@@ -380,6 +395,23 @@ mod tests {
             "burst should trigger scale-up, peak {}",
             report.peak_active
         );
+    }
+
+    #[test]
+    fn multi_replica_run_is_thread_count_invariant() {
+        // The one parallelization that mutates stateful objects (replica
+        // engines) must honour the determinism contract at replicas > 1,
+        // where the per-arrival fan-out really runs multi-worker.
+        let reqs = trace(4.0, 24, 29);
+        let run = |threads: usize| {
+            spec_parallel::with_threads(threads, || {
+                cluster(3, RouterKind::LeastOutstanding, None).run(&reqs, &SloSpec::default())
+            })
+        };
+        let reference = run(1);
+        for t in [2usize, 7] {
+            assert_eq!(run(t), reference, "threads={t}");
+        }
     }
 
     #[test]

@@ -43,9 +43,9 @@ impl Replica {
     pub fn new(sim: ServingSim, system: SystemKind, cfg: SchedulerConfig) -> Self {
         let mm = sim.memory_model();
         // One token's K+V across all layers plus the retrieval-head and
-        // grouped-query terms of Eq. 6.
-        let bytes_per_token =
-            (mm.kv_token_layer_bytes() * (mm.layers + 1 + mm.alpha) as f64).max(1.0) as u64;
+        // grouped-query terms of Eq. 6 — shared with the admission
+        // arithmetic via the memory model.
+        let bytes_per_token = mm.kv_token_total_bytes().max(1.0) as u64;
         let capacity = (mm.gpu_mem as f64 - mm.static_bytes()).max(0.0) as u64;
         // Sparse systems keep at most `budget` tokens per request
         // resident; full systems keep the whole context.

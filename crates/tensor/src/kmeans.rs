@@ -81,10 +81,13 @@ pub fn kmeans(points: &Matrix, config: KMeansConfig, rng: &mut SimRng) -> KMeans
     let mut iterations = 0;
     for it in 0..config.max_iters {
         iterations = it + 1;
-        // Assignment step.
+        // Assignment step: each point's nearest centroid is independent,
+        // so it fans out over `spec_parallel` (disjoint index bands); the
+        // inertia is then folded serially in point order, keeping the sum
+        // bit-for-bit identical at any thread count.
+        let assigned = assign_all(points, &centroids);
         let mut new_inertia = 0.0;
-        for (i, slot) in assignments.iter_mut().enumerate() {
-            let (best, d) = nearest_centroid(points.row(i), &centroids);
+        for (slot, &(best, d)) in assignments.iter_mut().zip(&assigned) {
             *slot = best;
             new_inertia += d;
         }
@@ -136,6 +139,25 @@ pub fn kmeans(points: &Matrix, config: KMeansConfig, rng: &mut SimRng) -> KMeans
         inertia,
         iterations,
     }
+}
+
+/// Below this many distance muladds per assignment sweep, the serial
+/// loop beats the scoped-spawn overhead.
+const PAR_ASSIGN_MIN: usize = 1 << 17;
+
+/// The nearest centroid of every row of `points`, in row order
+/// (parallel over disjoint row bands for large sweeps; identical to the
+/// serial per-row loop at any thread count).
+pub fn assign_all(points: &Matrix, centroids: &Matrix) -> Vec<(usize, f32)> {
+    let work = points.rows() * points.cols() * centroids.rows();
+    if work < PAR_ASSIGN_MIN || spec_parallel::max_threads() == 1 {
+        return (0..points.rows())
+            .map(|i| nearest_centroid(points.row(i), centroids))
+            .collect();
+    }
+    spec_parallel::par_map_range(points.rows(), |i| {
+        nearest_centroid(points.row(i), centroids)
+    })
 }
 
 /// Index of the nearest centroid and its squared distance.

@@ -5,9 +5,14 @@
 //! algorithms (`spec-retrieval`) and the workload scorers all run on the
 //! dense [`Matrix`] type and the kernels defined here.
 //!
-//! The kernels are deliberately simple, allocation-explicit and single
-//! threaded: the goal of the reproduction is *architectural fidelity*
-//! (which tokens get selected, how much data moves), not raw FLOPS.
+//! The kernels are allocation-explicit and deterministic. Hot paths —
+//! [`Matrix::matmul`] (cache-blocked, B-packed; see [`gemm`]),
+//! [`ops::softmax_rows`] and the k-means assignment sweep — run on the
+//! `spec_parallel` worker pool over disjoint output bands, so results
+//! are **bit-for-bit identical at any thread count** (`SPEC_THREADS`
+//! env var; default: all available cores). Architectural fidelity —
+//! which tokens get selected, how much data moves — still comes first;
+//! the parallel substrate only makes the sweeps finish sooner.
 //!
 //! # Example
 //!
@@ -21,6 +26,7 @@
 //! assert!((weights.get(0, 0) - weights.get(1, 1)).abs() < 1e-6);
 //! ```
 
+pub mod gemm;
 pub mod kmeans;
 pub mod matrix;
 pub mod ops;

@@ -203,10 +203,38 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
+    /// Dispatches between a matrix-vector fast path, the reference
+    /// triple loop (tiny shapes), and the cache-blocked kernel in
+    /// [`gemm`](crate::gemm) — all of which accumulate every output
+    /// element over `k` in ascending order, so the result is bit-for-bit
+    /// identical across dispatch choices *and* across thread counts (the
+    /// blocked kernel parallelizes over disjoint row bands; see
+    /// `spec_parallel`).
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        crate::gemm::matmul_dispatch(self, other)
+    }
+
+    /// The reference matrix product: the plain `i, k, j` triple loop,
+    /// accumulating each output element over `k` in ascending order.
+    ///
+    /// This is the kernel [`matmul`](Self::matmul) is property-tested
+    /// against (bit-for-bit, at every thread count) and the baseline the
+    /// `kernels` bench reports speedups over. Prefer [`matmul`]
+    /// everywhere else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
@@ -217,9 +245,6 @@ impl Matrix {
             let a_row = self.row(i);
             let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
             for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                     *o += a * b;

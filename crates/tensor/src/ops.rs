@@ -26,7 +26,15 @@ pub fn softmax_inplace(xs: &mut [f32]) {
     }
 }
 
+/// Below this many elements the scoped-spawn overhead of parallel
+/// row dispatch outweighs the softmax work.
+const PAR_SOFTMAX_MIN: usize = 1 << 14;
+
 /// Softmax applied independently to each row of a matrix.
+///
+/// Large matrices are processed in parallel over disjoint row bands
+/// (`spec_parallel`); every row's arithmetic is unchanged, so the result
+/// is bit-for-bit identical to the serial loop at any thread count.
 ///
 /// # Example
 ///
@@ -38,8 +46,16 @@ pub fn softmax_inplace(xs: &mut [f32]) {
 /// ```
 pub fn softmax_rows(m: &Matrix) -> Matrix {
     let mut out = m.clone();
-    for r in 0..out.rows() {
-        softmax_inplace(out.row_mut(r));
+    let cols = out.cols();
+    if cols == 0 {
+        return out;
+    }
+    if out.len() >= PAR_SOFTMAX_MIN && spec_parallel::max_threads() > 1 {
+        spec_parallel::par_chunks_mut(out.as_mut_slice(), cols, |_, row| softmax_inplace(row));
+    } else {
+        for r in 0..out.rows() {
+            softmax_inplace(out.row_mut(r));
+        }
     }
     out
 }
@@ -47,10 +63,26 @@ pub fn softmax_rows(m: &Matrix) -> Matrix {
 /// Root-mean-square layer normalization (no bias), as used by Llama-family
 /// models. `eps` guards against division by zero.
 pub fn rmsnorm(xs: &[f32], weight: &[f32], eps: f32) -> Vec<f32> {
+    let mut out = Vec::with_capacity(xs.len());
+    rmsnorm_into(&mut out, xs, weight, eps);
+    out
+}
+
+/// [`rmsnorm`] into a caller-owned buffer, so per-token forward passes
+/// (one rmsnorm per attention block, FFN block and final norm) reuse one
+/// allocation instead of growing the heap every call.
+///
+/// `out` is cleared and refilled; its capacity is reused.
+///
+/// # Panics
+///
+/// Panics if `xs.len() != weight.len()`.
+pub fn rmsnorm_into(out: &mut Vec<f32>, xs: &[f32], weight: &[f32], eps: f32) {
     assert_eq!(xs.len(), weight.len(), "rmsnorm length mismatch");
     let ms = xs.iter().map(|v| v * v).sum::<f32>() / xs.len().max(1) as f32;
     let inv = 1.0 / (ms + eps).sqrt();
-    xs.iter().zip(weight).map(|(x, w)| x * inv * w).collect()
+    out.clear();
+    out.extend(xs.iter().zip(weight).map(|(x, w)| x * inv * w));
 }
 
 /// SiLU (sigmoid-weighted linear unit) activation.

@@ -55,8 +55,25 @@ pub fn argsort_desc(scores: &[f32]) -> Vec<usize> {
 
 /// Sum of the `k` largest values (the "attention mass" captured by an
 /// oracle top-k selection; used for Fig. 5(a)-style accumulation curves).
+///
+/// Selects the `k` largest with `select_nth_unstable` alone — no
+/// O(k log k) sort of the prefix, since only the sum is needed. The
+/// prefix is summed in partition order, which is deterministic for a
+/// given input but unspecified (it is *not* the descending-score order
+/// a sorted implementation would sum in).
 pub fn top_k_mass(scores: &[f32], k: usize) -> f32 {
-    top_k_indices(scores, k).iter().map(|&i| scores[i]).sum()
+    let k = k.min(scores.len());
+    if k == 0 {
+        return 0.0;
+    }
+    if k == scores.len() {
+        return scores.iter().sum();
+    }
+    let mut vals = scores.to_vec();
+    vals.select_nth_unstable_by(k, |a, b| {
+        b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    vals[..k].iter().sum()
 }
 
 /// The attention mass captured by an arbitrary selection of positions.

@@ -1,0 +1,177 @@
+//! The determinism contract of the parallel kernels: `matmul`,
+//! `softmax_rows` and the k-means assignment sweep must match their
+//! serial references **bit-for-bit** across random shapes and
+//! `SPEC_THREADS ∈ {1, 2, 7}` (pinned per run via
+//! `spec_parallel::with_threads`, which takes precedence over the env
+//! var). CI runs this suite under several `SPEC_THREADS` values as well,
+//! exercising the env-var path end to end.
+
+use proptest::prelude::*;
+use spec_tensor::kmeans::{self, KMeansConfig};
+use spec_tensor::{ops, SimRng};
+
+/// The thread counts the contract is checked at: serial, even, and an
+/// odd count that leaves ragged band remainders.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 7];
+
+fn assert_bits_eq(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: element {i} differs ({g} vs {w})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `matmul` equals the reference triple loop at every thread count,
+    /// across shapes that straddle the naive/blocked dispatch boundary
+    /// and every tile edge case.
+    #[test]
+    fn matmul_matches_reference_bitwise(
+        shape in (1usize..48, 1usize..48, 1usize..48, any::<u64>())
+    ) {
+        let (m, k, n, seed) = shape;
+        let mut rng = SimRng::seed(seed);
+        let a = rng.normal_matrix(m, k, 1.0);
+        let b = rng.normal_matrix(k, n, 1.0);
+        let reference = a.matmul_naive(&b);
+        for t in THREAD_COUNTS {
+            let got = spec_parallel::with_threads(t, || a.matmul(&b));
+            assert_bits_eq(
+                got.as_slice(),
+                reference.as_slice(),
+                &format!("matmul {m}x{k}x{n} threads={t}"),
+            );
+        }
+    }
+
+    /// `softmax_rows` equals the serial per-row loop at every thread
+    /// count (sizes cross the parallel-dispatch threshold).
+    #[test]
+    fn softmax_rows_matches_serial_bitwise(
+        shape in (1usize..96, 1usize..300, any::<u64>())
+    ) {
+        let (rows, cols, seed) = shape;
+        let m = SimRng::seed(seed).normal_matrix(rows, cols, 2.0);
+        let mut reference = m.clone();
+        for r in 0..reference.rows() {
+            ops::softmax_inplace(reference.row_mut(r));
+        }
+        for t in THREAD_COUNTS {
+            let got = spec_parallel::with_threads(t, || ops::softmax_rows(&m));
+            assert_bits_eq(
+                got.as_slice(),
+                reference.as_slice(),
+                &format!("softmax_rows {rows}x{cols} threads={t}"),
+            );
+        }
+    }
+
+    /// The k-means assignment sweep (`assign_all`) equals the serial
+    /// per-point `nearest_centroid` loop at every thread count.
+    #[test]
+    fn nearest_centroid_sweep_matches_serial(
+        shape in (1usize..200, 1usize..40, 1usize..24, any::<u64>())
+    ) {
+        let (points, dim, k, seed) = shape;
+        let mut rng = SimRng::seed(seed);
+        let pts = rng.normal_matrix(points, dim, 1.0);
+        let cents = rng.normal_matrix(k, dim, 1.0);
+        let reference: Vec<(usize, f32)> = (0..pts.rows())
+            .map(|i| kmeans::nearest_centroid(pts.row(i), &cents))
+            .collect();
+        for t in THREAD_COUNTS {
+            let got = spec_parallel::with_threads(t, || kmeans::assign_all(&pts, &cents));
+            assert_eq!(got.len(), reference.len());
+            for (i, (g, w)) in got.iter().zip(&reference).enumerate() {
+                assert_eq!(g.0, w.0, "assignment {i} threads={t}");
+                assert_eq!(
+                    g.1.to_bits(),
+                    w.1.to_bits(),
+                    "distance {i} threads={t} ({} vs {})",
+                    g.1,
+                    w.1
+                );
+            }
+        }
+    }
+}
+
+/// Shapes big enough to force the parallel row-band matmul path
+/// (`>= 2^20` mul-adds), so multi-worker banding really runs under the
+/// non-unit thread counts.
+#[test]
+fn large_matmul_takes_parallel_path_and_matches() {
+    let mut rng = SimRng::seed(0xD0_0D);
+    let a = rng.normal_matrix(160, 128, 1.0);
+    let b = rng.normal_matrix(128, 80, 1.0);
+    let reference = a.matmul_naive(&b);
+    for t in THREAD_COUNTS {
+        let got = spec_parallel::with_threads(t, || a.matmul(&b));
+        assert_bits_eq(
+            got.as_slice(),
+            reference.as_slice(),
+            &format!("threads={t}"),
+        );
+    }
+}
+
+/// A whole Lloyd run — seeding, assignment sweeps, centroid updates,
+/// inertia — is identical at every thread count (same RNG seed per run).
+#[test]
+fn full_kmeans_is_thread_count_invariant() {
+    let run = |threads: usize| {
+        spec_parallel::with_threads(threads, || {
+            let mut rng = SimRng::seed(0x1EAF);
+            let pts = rng.normal_matrix(300, 24, 1.0);
+            kmeans::kmeans(
+                &pts,
+                KMeansConfig {
+                    k: 12,
+                    ..KMeansConfig::default()
+                },
+                &mut rng,
+            )
+        })
+    };
+    let reference = run(1);
+    for t in [2usize, 7] {
+        let got = run(t);
+        assert_eq!(got.assignments, reference.assignments, "threads={t}");
+        assert_eq!(got.iterations, reference.iterations, "threads={t}");
+        assert_eq!(
+            got.inertia.to_bits(),
+            reference.inertia.to_bits(),
+            "threads={t}"
+        );
+        assert_bits_eq(
+            got.centroids.as_slice(),
+            reference.centroids.as_slice(),
+            &format!("centroids threads={t}"),
+        );
+    }
+}
+
+/// `Matrix` equality on the empty/degenerate edges of the dispatch.
+#[test]
+fn degenerate_shapes_match() {
+    for (m, k, n) in [(1usize, 1usize, 1usize), (1, 17, 1), (2, 0, 3), (1, 5, 40)] {
+        let mut rng = SimRng::seed((m * 31 + k * 7 + n) as u64);
+        let a = rng.normal_matrix(m, k, 1.0);
+        let b = rng.normal_matrix(k, n, 1.0);
+        let reference = a.matmul_naive(&b);
+        for t in THREAD_COUNTS {
+            let got = spec_parallel::with_threads(t, || a.matmul(&b));
+            assert_bits_eq(
+                got.as_slice(),
+                reference.as_slice(),
+                &format!("{m}x{k}x{n} threads={t}"),
+            );
+        }
+    }
+}

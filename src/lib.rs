@@ -31,6 +31,7 @@ pub use specontext_core as core;
 pub use spec_hwsim as hwsim;
 pub use spec_kvcache as kvcache;
 pub use spec_model as model;
+pub use spec_parallel as parallel;
 pub use spec_retrieval as retrieval;
 pub use spec_runtime as runtime;
 pub use spec_serve as serve;

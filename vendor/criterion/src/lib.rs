@@ -24,12 +24,28 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// A finished benchmark's timings, in nanoseconds per iteration.
+///
+/// Not part of upstream criterion's API: the stub records one of these
+/// per `bench_function` call so self-driving benches can persist a
+/// machine-readable timing summary (see `results/bench_kernels.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Benchmark name as passed to `bench_function`.
+    pub name: String,
+    /// Mean ns/iter over the measured samples.
+    pub mean_ns: f64,
+    /// Best (minimum) sample's ns/iter.
+    pub best_ns: f64,
+}
+
 /// The benchmark driver.
 #[derive(Debug, Clone)]
 pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    summaries: Vec<Summary>,
 }
 
 impl Default for Criterion {
@@ -38,6 +54,7 @@ impl Default for Criterion {
             sample_size: 10,
             measurement_time: Duration::from_secs(1),
             warm_up_time: Duration::from_millis(200),
+            summaries: Vec::new(),
         }
     }
 }
@@ -74,8 +91,25 @@ impl Criterion {
             samples: Vec::new(),
         };
         f(&mut b);
-        b.report(name);
+        if let Some(summary) = b.report(name) {
+            self.summaries.push(summary);
+        }
         self
+    }
+
+    /// Timings of every benchmark run so far, in execution order
+    /// (stub extension; see [`Summary`]).
+    pub fn summaries(&self) -> &[Summary] {
+        &self.summaries
+    }
+
+    /// The mean ns/iter of the named benchmark, if it has run
+    /// (stub extension).
+    pub fn mean_ns(&self, name: &str) -> Option<f64> {
+        self.summaries
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.mean_ns)
     }
 }
 
@@ -126,10 +160,10 @@ impl Bencher {
         }
     }
 
-    fn report(&self, name: &str) {
+    fn report(&self, name: &str) -> Option<Summary> {
         if self.samples.is_empty() {
             println!("{name:<40} (no measurement)");
-            return;
+            return None;
         }
         let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
         let best = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -138,6 +172,11 @@ impl Bencher {
             fmt_ns(mean),
             fmt_ns(best)
         );
+        Some(Summary {
+            name: name.to_string(),
+            mean_ns: mean,
+            best_ns: best,
+        })
     }
 }
 
