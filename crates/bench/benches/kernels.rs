@@ -11,10 +11,18 @@
 
 use criterion::{BatchSize, Criterion};
 use spec_kvcache::{PageTable, ResidentSet};
+use spec_model::LayerSelector;
+use spec_model::{AttentionKind, LayerKv, ModelKv, SimGeometry};
+use spec_retrieval::clusterkv::ClusterKvSelector;
+use spec_retrieval::common::SelectorConfig;
+use spec_retrieval::infinigen::InfiniGenSelector;
+use spec_retrieval::quest::QuestSelector;
+use spec_retrieval::shadowkv::ShadowKvSelector;
+use spec_retrieval::spec_head::{MappingLevel, SpecSelection};
 use spec_tensor::kmeans::nearest_centroid;
 use spec_tensor::quant::{BitWidth, QuantVec};
-use spec_tensor::topk::{top_k_mass, top_k_positions};
-use spec_tensor::{ops, SimRng};
+use spec_tensor::topk::{top_k_mass, top_k_positions, RankScratch, SelectScratch};
+use spec_tensor::{ops, Matrix, SimRng};
 use std::hint::black_box;
 
 /// `(label, m, k, n)` for the matmul speedup comparison: the simulated
@@ -93,6 +101,188 @@ fn bench_kernels(c: &mut Criterion) {
     });
 }
 
+/// The selection hot path at the paper's 16K-context decode shape:
+/// partial-select vs full-sort top-k, incremental vs rebuilt page
+/// tables, and every migrated selector's `select()` against its kept
+/// reference implementation. Every pair is asserted bit-equal before it
+/// is timed (check, don't trust — the `matmul`/`matmul_naive` contract).
+fn bench_selection(c: &mut Criterion) {
+    let mut rng = SimRng::seed(0x5E1E);
+    const CTX: usize = 16_384;
+    const BUDGET: usize = 2_048;
+    const HEAD_DIM: usize = 64;
+    const KV_HEADS: usize = 2;
+    const Q_HEADS: usize = 4;
+
+    // --- top_k_indices (select_nth) vs the argsort full-sort path ------
+    let scores: Vec<f32> = (0..CTX).map(|_| rng.normal()).collect();
+    let mut rank = RankScratch::default();
+    assert_eq!(
+        rank.top_k_desc(&scores, BUDGET),
+        &spec_tensor::topk::argsort_desc(&scores)[..BUDGET],
+        "partial selection diverged from the argsort prefix"
+    );
+    c.bench_function("selection/top_k_indices/16384->2048", |b| {
+        b.iter(|| rank.top_k_desc(black_box(&scores), BUDGET).len())
+    });
+    c.bench_function("selection/argsort_topk/16384->2048", |b| {
+        b.iter(|| {
+            let mut idx = spec_tensor::topk::argsort_desc(black_box(&scores));
+            idx.truncate(BUDGET);
+            idx.len()
+        })
+    });
+
+    // --- page table: incremental extend vs full rebuild ----------------
+    let keys16k = rng.normal_matrix(CTX, HEAD_DIM, 1.0);
+    let tail = rng.normal_matrix(16, HEAD_DIM, 1.0);
+    {
+        let mut incremental = PageTable::build(&keys16k, 16);
+        incremental.extend(&tail);
+        let mut concat = keys16k.clone();
+        for r in 0..tail.rows() {
+            concat.push_row(tail.row(r));
+        }
+        let rebuilt = PageTable::build(&concat, 16);
+        assert_eq!(
+            incremental.scores(&keys16k.row(0)[..HEAD_DIM]),
+            rebuilt.scores(&keys16k.row(0)[..HEAD_DIM]),
+            "extended table diverged from rebuild"
+        );
+    }
+    c.bench_function("page_table_build/16384x64", |b| {
+        b.iter(|| PageTable::build(black_box(&keys16k), 16))
+    });
+    c.bench_function("page_table_extend/16tok@16k", |b| {
+        b.iter_batched(
+            || PageTable::build(&keys16k, 16),
+            |mut t| {
+                t.extend(black_box(&tail));
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // --- per-selector select() latency at the 16K decode shape ---------
+    // A synthetic per-head KV cache (values are never touched by the
+    // selectors, so only keys are materialized).
+    let kv = ModelKv {
+        layers: vec![LayerKv::PerHead {
+            keys: (0..KV_HEADS)
+                .map(|_| rng.normal_matrix(CTX, HEAD_DIM, 1.0))
+                .collect(),
+            values: vec![Matrix::default(); KV_HEADS],
+        }],
+    };
+    let queries = rng.normal_matrix(Q_HEADS, HEAD_DIM, 1.0);
+    let cfg = SelectorConfig {
+        budget: BUDGET,
+        sinks: 4,
+        recent: 8,
+        page_size: 16,
+        tokens_per_cluster: 256,
+        ..SelectorConfig::with_budget(BUDGET)
+    };
+    let mut scratch = SelectScratch::new();
+
+    let mut quest = QuestSelector::preprocess(&kv, cfg);
+    assert_eq!(
+        quest.select(0, &queries, &kv.layers[0], &mut scratch),
+        quest.select_reference(0, &queries, &kv.layers[0]),
+        "quest diverged from reference"
+    );
+    c.bench_function("selection/quest/16k->2048", |b| {
+        b.iter(|| quest.select(0, black_box(&queries), &kv.layers[0], &mut scratch))
+    });
+    c.bench_function("selection/quest_reference/16k->2048", |b| {
+        b.iter(|| quest.select_reference(0, black_box(&queries), &kv.layers[0]))
+    });
+
+    let mut ckv = ClusterKvSelector::preprocess(&kv, cfg, 0xC1);
+    assert_eq!(
+        ckv.select(0, &queries, &kv.layers[0], &mut scratch),
+        ckv.select_reference(0, &queries, &kv.layers[0]),
+        "clusterkv diverged from reference"
+    );
+    c.bench_function("selection/clusterkv/16k->2048", |b| {
+        b.iter(|| ckv.select(0, black_box(&queries), &kv.layers[0], &mut scratch))
+    });
+    c.bench_function("selection/clusterkv_reference/16k->2048", |b| {
+        b.iter(|| ckv.select_reference(0, black_box(&queries), &kv.layers[0]))
+    });
+
+    let mut skv = ShadowKvSelector::preprocess(&kv, cfg);
+    assert_eq!(
+        skv.select(0, &queries, &kv.layers[0], &mut scratch),
+        skv.select_reference(0, &queries, &kv.layers[0]),
+        "shadowkv diverged from reference"
+    );
+    c.bench_function("selection/shadowkv/16k->2048", |b| {
+        b.iter(|| skv.select(0, black_box(&queries), &kv.layers[0], &mut scratch))
+    });
+    c.bench_function("selection/shadowkv_reference/16k->2048", |b| {
+        b.iter(|| skv.select_reference(0, black_box(&queries), &kv.layers[0]))
+    });
+
+    let mut inf = InfiniGenSelector::preprocess(&kv, cfg);
+    let mut inf_ref = inf.clone();
+    assert_eq!(
+        inf.select(0, &queries, &kv.layers[0], &mut scratch),
+        inf_ref.select_reference(0, &queries, &kv.layers[0]),
+        "infinigen diverged from reference"
+    );
+    c.bench_function("selection/infinigen/16k->2048", |b| {
+        b.iter(|| inf.select(0, black_box(&queries), &kv.layers[0], &mut scratch))
+    });
+    c.bench_function("selection/infinigen_reference/16k->2048", |b| {
+        b.iter(|| inf_ref.select_reference(0, black_box(&queries), &kv.layers[0]))
+    });
+
+    // SpeContext head-level mapping over 16K-position head scores.
+    let geom = SimGeometry::tiny(AttentionKind::Gqa);
+    let head_scores: Vec<Vec<f32>> = (0..geom.q_heads)
+        .map(|_| (0..CTX).map(|_| rng.normal()).collect())
+        .collect();
+    assert_eq!(
+        SpecSelection::from_head_scores(&head_scores, &geom, &cfg, MappingLevel::Head),
+        SpecSelection::from_head_scores_reference(&head_scores, &geom, &cfg, MappingLevel::Head),
+        "spec_head diverged from reference"
+    );
+    c.bench_function("selection/spec_head/16k->2048", |b| {
+        b.iter(|| {
+            SpecSelection::from_head_scores_scratch(
+                black_box(&head_scores),
+                &geom,
+                &cfg,
+                MappingLevel::Head,
+                &mut scratch,
+            )
+        })
+    });
+    c.bench_function("selection/spec_head_reference/16k->2048", |b| {
+        b.iter(|| {
+            SpecSelection::from_head_scores_reference(
+                black_box(&head_scores),
+                &geom,
+                &cfg,
+                MappingLevel::Head,
+            )
+        })
+    });
+
+    // The static policies ride along for completeness (no reference pair:
+    // their selection was allocation-minimal already).
+    let mut window = spec_retrieval::window::StreamingLlm::new(4, BUDGET);
+    c.bench_function("selection/streaming_llm/16k", |b| {
+        b.iter(|| window.select(0, black_box(&queries), &kv.layers[0], &mut scratch))
+    });
+    let mut full = spec_retrieval::FullAttention;
+    c.bench_function("selection/full/16k", |b| {
+        b.iter(|| full.select(0, black_box(&queries), &kv.layers[0], &mut scratch))
+    });
+}
+
 /// Blocked kernel vs the reference triple loop at the forward shapes.
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = SimRng::seed(0x6E66);
@@ -145,11 +335,53 @@ fn write_summary(c: &Criterion) {
         })
         .collect();
     json.push_str(&speedups.join(",\n"));
+    json.push_str("\n  },\n  \"selection_speedup_vs_reference\": {\n");
+    let sel_speedups: Vec<String> = selection_speedups(c)
+        .into_iter()
+        .map(|(label, s)| format!("    \"{label}\": {s:.2}"))
+        .collect();
+    json.push_str(&sel_speedups.join(",\n"));
     json.push_str("\n  }\n}\n");
     spec_bench::emit_raw_json("bench_kernels", &json);
     for line in speedups {
         println!("[speedup vs naive]{}", line.replace("    ", " "));
     }
+    for line in sel_speedups {
+        println!(
+            "[selection speedup vs reference]{}",
+            line.replace("    ", " ")
+        );
+    }
+}
+
+/// Old-path / new-path ratios for the selection engine: the full-sort
+/// top-k vs the partial select, the page-table rebuild vs the
+/// incremental extend, and each migrated selector vs its kept reference.
+fn selection_speedups(c: &Criterion) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut push = |label: &str, old: Option<f64>, new: Option<f64>| {
+        if let (Some(old), Some(new)) = (old, new) {
+            out.push((label.to_string(), old / new));
+        }
+    };
+    push(
+        "top_k_indices",
+        c.mean_ns("selection/argsort_topk/16384->2048"),
+        c.mean_ns("selection/top_k_indices/16384->2048"),
+    );
+    push(
+        "page_table_extend",
+        c.mean_ns("page_table_build/16384x64"),
+        c.mean_ns("page_table_extend/16tok@16k"),
+    );
+    for sel in ["quest", "clusterkv", "shadowkv", "infinigen", "spec_head"] {
+        push(
+            sel,
+            c.mean_ns(&format!("selection/{sel}_reference/16k->2048")),
+            c.mean_ns(&format!("selection/{sel}/16k->2048")),
+        );
+    }
+    out
 }
 
 fn main() {
@@ -158,6 +390,7 @@ fn main() {
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500));
     bench_kernels(&mut c);
+    bench_selection(&mut c);
     bench_matmul(&mut c);
     write_summary(&c);
 }

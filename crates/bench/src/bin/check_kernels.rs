@@ -1,0 +1,125 @@
+//! Bench-regression smoke gate for `results/bench_kernels.json`.
+//!
+//! Run after `cargo bench --bench kernels`. Fails (exit 1) when the
+//! summary is missing an expected entry, when any selection speedup
+//! regresses below 1.0x against its kept reference path, or when the
+//! headline `top_k_indices` partial-select speedup drops under the 3x
+//! the zero-allocation selection engine is accountable for.
+
+use serde::Value;
+use std::process::ExitCode;
+
+/// Bench entries the kernels harness must always produce.
+const EXPECTED_ENTRIES: &[&str] = &[
+    "top_k_positions/16384->2048",
+    "selection/top_k_indices/16384->2048",
+    "selection/argsort_topk/16384->2048",
+    "page_table_build/16384x64",
+    "page_table_extend/16tok@16k",
+    "selection/quest/16k->2048",
+    "selection/quest_reference/16k->2048",
+    "selection/clusterkv/16k->2048",
+    "selection/clusterkv_reference/16k->2048",
+    "selection/shadowkv/16k->2048",
+    "selection/shadowkv_reference/16k->2048",
+    "selection/infinigen/16k->2048",
+    "selection/infinigen_reference/16k->2048",
+    "selection/spec_head/16k->2048",
+    "selection/spec_head_reference/16k->2048",
+];
+
+/// Keys of the `selection_speedup_vs_reference` map that must be present
+/// and at least 1.0 (new path never slower than the kept reference).
+const EXPECTED_SPEEDUPS: &[&str] = &[
+    "top_k_indices",
+    "page_table_extend",
+    "quest",
+    "clusterkv",
+    "shadowkv",
+    "infinigen",
+    "spec_head",
+];
+
+/// The acceptance-criteria floor for the partial-select headline.
+const TOP_K_MIN_SPEEDUP: f64 = 3.0;
+
+fn check(doc: &Value) -> Result<Vec<String>, String> {
+    let entries = match doc.get_field("entries").map_err(|e| e.to_string())? {
+        Value::Seq(items) => items,
+        _ => return Err("`entries` is not an array".into()),
+    };
+    let names: Vec<&str> = entries
+        .iter()
+        .filter_map(|e| match e.get_field("name") {
+            Ok(Value::Str(s)) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    for want in EXPECTED_ENTRIES {
+        if !names.contains(want) {
+            return Err(format!("missing bench entry `{want}`"));
+        }
+    }
+
+    let speedups = doc
+        .get_field("selection_speedup_vs_reference")
+        .map_err(|e| e.to_string())?;
+    let mut report = Vec::new();
+    for key in EXPECTED_SPEEDUPS {
+        let v = speedups
+            .get_field(key)
+            .map_err(|_| format!("missing selection speedup `{key}`"))?;
+        let ratio = match v {
+            Value::Float(f) => *f,
+            Value::Int(i) => *i as f64,
+            Value::UInt(u) => *u as f64,
+            other => return Err(format!("speedup `{key}` is not numeric: {other:?}")),
+        };
+        if !ratio.is_finite() || ratio < 1.0 {
+            return Err(format!(
+                "selection speedup `{key}` regressed: {ratio:.2}x < 1.0x vs reference"
+            ));
+        }
+        if *key == "top_k_indices" && ratio < TOP_K_MIN_SPEEDUP {
+            return Err(format!(
+                "`top_k_indices` speedup {ratio:.2}x under the {TOP_K_MIN_SPEEDUP}x floor"
+            ));
+        }
+        report.push(format!("{key}: {ratio:.2}x"));
+    }
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results/bench_kernels.json");
+    let raw = match std::fs::read_to_string(&path) {
+        Ok(raw) => raw,
+        Err(e) => {
+            eprintln!("check_kernels: cannot read {}: {e}", path.display());
+            eprintln!("run `cargo bench --bench kernels` first");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc: Value = match serde_json::from_str(&raw) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("check_kernels: {} is not valid JSON: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&doc) {
+        Ok(report) => {
+            println!("check_kernels: all selection speedups hold:");
+            for line in report {
+                println!("  {line}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("check_kernels: FAIL: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -89,10 +89,68 @@ impl PageTable {
         start..((p + 1) * self.page_size).min(self.len)
     }
 
+    /// Appends `new_keys` (rows for tokens following the covered range),
+    /// updating the last partial page's min/max in place and opening new
+    /// pages as needed — instead of rebuilding the whole table.
+    ///
+    /// Bit-identical to `PageTable::build` over the concatenated keys:
+    /// `build` folds each channel's min/max over member rows in ascending
+    /// order from ±∞, and `extend` continues that fold from the stored
+    /// partial result. To start an empty extendable table, build over a
+    /// `0 x dim` matrix so the key dimension is known.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_keys.cols()` differs from the table's key dimension.
+    pub fn extend(&mut self, new_keys: &Matrix) {
+        if new_keys.rows() == 0 {
+            return;
+        }
+        let dim = self.max_vec.cols();
+        assert_eq!(new_keys.cols(), dim, "key dim mismatch");
+        for r in 0..new_keys.rows() {
+            let page = self.len / self.page_size;
+            if page == self.max_vec.rows() {
+                self.max_vec.push_row(&vec![f32::NEG_INFINITY; dim]);
+                self.min_vec.push_row(&vec![f32::INFINITY; dim]);
+            }
+            let key = new_keys.row(r);
+            for (m, &v) in self.max_vec.row_mut(page).iter_mut().zip(key) {
+                *m = m.max(v);
+            }
+            for (m, &v) in self.min_vec.row_mut(page).iter_mut().zip(key) {
+                *m = m.min(v);
+            }
+            self.len += 1;
+        }
+    }
+
     /// Quest's upper-bound importance score of a page for a query:
     /// for each channel take `max(q_c * max_c, q_c * min_c)` and sum.
     /// This upper-bounds `q · k` for every key `k` in the page.
+    ///
+    /// Dispatches to an AVX2-compiled variant of the same body when the
+    /// CPU supports it (the `gemm.rs` pattern): the element-wise
+    /// `(q*hi).max(q*lo)` phase fills a small buffer (vectorizable, each
+    /// element independent), and the final reduction walks that buffer in
+    /// ascending channel order — the exact addition sequence of
+    /// [`page_score_reference`](Self::page_score_reference), so both
+    /// variants produce the same bits.
     pub fn page_score(&self, p: usize, query: &[f32]) -> f32 {
+        assert_eq!(query.len(), self.max_vec.cols(), "query dim mismatch");
+        let (mx, mn) = (self.max_vec.row(p), self.min_vec.row(p));
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        if has_avx2() {
+            // SAFETY: only reached when AVX2 was runtime-detected.
+            return unsafe { page_score_avx2(query, mx, mn) };
+        }
+        page_score_body(query, mx, mn)
+    }
+
+    /// The reference page score: the plain sequential fold the table
+    /// shipped with. [`page_score`](Self::page_score) is pinned
+    /// bit-for-bit against this in the property tests.
+    pub fn page_score_reference(&self, p: usize, query: &[f32]) -> f32 {
         assert_eq!(query.len(), self.max_vec.cols(), "query dim mismatch");
         let mx = self.max_vec.row(p);
         let mn = self.min_vec.row(p);
@@ -105,8 +163,36 @@ impl PageTable {
 
     /// Scores every page for a query.
     pub fn scores(&self, query: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.scores_into(query, &mut out);
+        out
+    }
+
+    /// As [`scores`](Self::scores), into a reused buffer (cleared first).
+    /// The AVX2/scalar dispatch happens once for the whole sweep.
+    pub fn scores_into(&self, query: &[f32], out: &mut Vec<f32>) {
+        assert_eq!(query.len(), self.max_vec.cols(), "query dim mismatch");
+        out.clear();
+        out.reserve(self.num_pages());
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        if has_avx2() {
+            // SAFETY: only reached when AVX2 was runtime-detected.
+            unsafe { scores_into_avx2(self, query, out) };
+            return;
+        }
+        for p in 0..self.num_pages() {
+            out.push(page_score_body(
+                query,
+                self.max_vec.row(p),
+                self.min_vec.row(p),
+            ));
+        }
+    }
+
+    /// Scores every page with the reference kernel (for property pinning).
+    pub fn scores_reference(&self, query: &[f32]) -> Vec<f32> {
         (0..self.num_pages())
-            .map(|p| self.page_score(p, query))
+            .map(|p| self.page_score_reference(p, query))
             .collect()
     }
 
@@ -116,6 +202,56 @@ impl PageTable {
         out.sort_unstable();
         out.dedup();
         out
+    }
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+use spec_tensor::gemm::has_avx2;
+
+/// Channels processed per elementwise block. One block's contributions
+/// are materialized before the sequential reduction consumes them, so
+/// the multiply/max phase vectorizes while the addition order stays
+/// exactly that of the reference fold.
+const SCORE_CHUNK: usize = 64;
+
+#[inline(always)]
+fn page_score_body(query: &[f32], mx: &[f32], mn: &[f32]) -> f32 {
+    let mut buf = [0.0f32; SCORE_CHUNK];
+    let mut acc = 0.0f32;
+    let mut i = 0;
+    while i < query.len() {
+        let c = SCORE_CHUNK.min(query.len() - i);
+        for (((b, q), hi), lo) in buf[..c]
+            .iter_mut()
+            .zip(&query[i..i + c])
+            .zip(&mx[i..i + c])
+            .zip(&mn[i..i + c])
+        {
+            *b = (q * hi).max(q * lo);
+        }
+        for &v in &buf[..c] {
+            acc += v;
+        }
+        i += c;
+    }
+    acc
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn page_score_avx2(query: &[f32], mx: &[f32], mn: &[f32]) -> f32 {
+    page_score_body(query, mx, mn)
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn scores_into_avx2(table: &PageTable, query: &[f32], out: &mut Vec<f32>) {
+    for p in 0..table.num_pages() {
+        out.push(page_score_body(
+            query,
+            table.max_vec.row(p),
+            table.min_vec.row(p),
+        ));
     }
 }
 
@@ -175,5 +311,77 @@ mod tests {
         let t = PageTable::build(&keys(), 100);
         assert_eq!(t.num_pages(), 1);
         assert_eq!(t.expand_pages(&[0]), vec![0, 1, 2, 3, 4]);
+    }
+
+    fn assert_tables_bit_equal(a: &PageTable, b: &PageTable) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.num_pages(), b.num_pages());
+        for (x, y) in a
+            .max_vec
+            .as_slice()
+            .iter()
+            .zip(b.max_vec.as_slice())
+            .chain(a.min_vec.as_slice().iter().zip(b.min_vec.as_slice()))
+        {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn extend_matches_full_rebuild() {
+        let k = keys();
+        for split in 0..=k.rows() {
+            let prefix =
+                Matrix::from_vec(split, k.cols(), k.as_slice()[..split * k.cols()].to_vec());
+            let suffix = Matrix::from_vec(
+                k.rows() - split,
+                k.cols(),
+                k.as_slice()[split * k.cols()..].to_vec(),
+            );
+            let mut t = PageTable::build(&prefix, 2);
+            t.extend(&suffix);
+            assert_tables_bit_equal(&t, &PageTable::build(&k, 2));
+        }
+    }
+
+    #[test]
+    fn extend_from_empty_table_matches_build() {
+        let k = keys();
+        let mut t = PageTable::build(&Matrix::zeros(0, k.cols()), 2);
+        for r in 0..k.rows() {
+            t.extend(&Matrix::from_rows(&[k.row(r)]));
+        }
+        assert_tables_bit_equal(&t, &PageTable::build(&k, 2));
+        assert_eq!(t.page_range(2), 4..5);
+    }
+
+    #[test]
+    fn extend_of_nothing_is_a_no_op() {
+        let mut t = PageTable::build(&keys(), 2);
+        t.extend(&Matrix::zeros(0, 2));
+        assert_tables_bit_equal(&t, &PageTable::build(&keys(), 2));
+    }
+
+    #[test]
+    fn page_score_matches_reference_bits() {
+        let t = PageTable::build(&keys(), 2);
+        let queries = [[0.5f32, -2.0], [1.0, 1.0], [-3.25, 0.0]];
+        for q in &queries {
+            for p in 0..t.num_pages() {
+                assert_eq!(
+                    t.page_score(p, q).to_bits(),
+                    t.page_score_reference(p, q).to_bits()
+                );
+            }
+            assert_eq!(t.scores(q), t.scores_reference(q));
+        }
+    }
+
+    #[test]
+    fn scores_into_reuses_buffer() {
+        let t = PageTable::build(&keys(), 2);
+        let mut buf = vec![9.0; 17];
+        t.scores_into(&[1.0, -1.0], &mut buf);
+        assert_eq!(buf, t.scores(&[1.0, -1.0]));
     }
 }

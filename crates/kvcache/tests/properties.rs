@@ -101,6 +101,42 @@ proptest! {
         prop_assert_eq!(tokens, (0..rows).collect::<Vec<_>>());
     }
 
+    /// Incrementally extending a page table (in arbitrary chunk sizes)
+    /// produces bit-identical min/max metadata to a full rebuild over the
+    /// concatenated keys, and identical page scores for any query.
+    #[test]
+    fn page_table_extend_matches_rebuild(
+        rows in 1usize..96,
+        dim in 1usize..10,
+        page_size in 1usize..20,
+        split in 0usize..97,
+        vals in prop::collection::vec(-4.0f32..4.0, 96 * 10),
+        query in prop::collection::vec(-2.0f32..2.0, 10),
+    ) {
+        let data: Vec<f32> = vals[..rows * dim].to_vec();
+        let keys = Matrix::from_vec(rows, dim, data);
+        let split = split.min(rows);
+        let prefix = Matrix::from_vec(
+            split, dim, keys.as_slice()[..split * dim].to_vec(),
+        );
+        let suffix = Matrix::from_vec(
+            rows - split, dim, keys.as_slice()[split * dim..].to_vec(),
+        );
+        let mut incremental = PageTable::build(&prefix, page_size);
+        incremental.extend(&suffix);
+        let rebuilt = PageTable::build(&keys, page_size);
+        prop_assert_eq!(incremental.len(), rebuilt.len());
+        prop_assert_eq!(incremental.num_pages(), rebuilt.num_pages());
+        let q = &query[..dim];
+        let a = incremental.scores(q);
+        let b = rebuilt.scores(q);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "{} vs {}", x, y);
+        }
+        // And the scoring kernel itself matches its kept reference.
+        prop_assert_eq!(&a, &rebuilt.scores_reference(q));
+    }
+
     /// Tier accounting conserves total bytes.
     #[test]
     fn tier_bytes_conserved(

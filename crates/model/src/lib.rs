@@ -40,3 +40,6 @@ pub use kv::{LayerKv, ModelKv};
 pub use probe::{probe_direction, Probe};
 pub use sampling::Sampler;
 pub use transformer::{LayerSelector, Model, PrefillMode, SparsePlan, StepOutput, StepTrace};
+// Re-exported so `LayerSelector` implementors and callers name the
+// scratch type without a direct `spec_tensor` dependency.
+pub use spec_tensor::topk::SelectScratch;

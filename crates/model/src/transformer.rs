@@ -18,6 +18,7 @@
 use crate::config::{AttentionKind, SimGeometry};
 use crate::kv::{LayerKv, ModelKv};
 use crate::weights::{LayerWeights, ModelWeights};
+use spec_tensor::topk::SelectScratch;
 use spec_tensor::{ops, Matrix, SimRng};
 
 /// How prefill attention is computed.
@@ -107,13 +108,21 @@ impl SparsePlan {
 /// KV state. Returning `None` requests dense attention for the layer;
 /// otherwise the per-KV-head position lists (sorted ascending) define the
 /// sparse attention set.
+///
+/// Queries arrive as one flat `q_heads x head_dim` [`Matrix`] (row `q` is
+/// query head `q`, post-RoPE), and every call receives the decode loop's
+/// [`SelectScratch`] so implementations can run allocation-free — the
+/// zero-allocation contract of the selection hot path. Implementations
+/// may leave the scratch in any state; callers must not rely on its
+/// contents between calls.
 pub trait LayerSelector {
     /// Chooses the positions KV head `h` of `layer` attends to.
     fn select(
         &mut self,
         layer: usize,
-        queries: &[Vec<f32>],
+        queries: &Matrix,
         kv: &LayerKv,
+        scratch: &mut SelectScratch,
     ) -> Option<Vec<Vec<usize>>>;
 }
 
@@ -300,7 +309,22 @@ impl Model {
         kv: &mut ModelKv,
         selector: &mut dyn LayerSelector,
     ) -> StepOutput {
-        self.step_dyn(x, pos, kv, selector, None)
+        let mut scratch = SelectScratch::new();
+        self.step_dyn(x, pos, kv, selector, None, &mut scratch)
+    }
+
+    /// As [`decode_step_selected`](Self::decode_step_selected), threading
+    /// a caller-owned [`SelectScratch`] so a decode loop reuses one warm
+    /// workspace across steps (the zero-allocation hot path).
+    pub fn decode_step_selected_scratch(
+        &self,
+        x: &[f32],
+        pos: usize,
+        kv: &mut ModelKv,
+        selector: &mut dyn LayerSelector,
+        scratch: &mut SelectScratch,
+    ) -> StepOutput {
+        self.step_dyn(x, pos, kv, selector, None, scratch)
     }
 
     /// Traced variant of [`decode_step_selected`](Self::decode_step_selected).
@@ -311,8 +335,21 @@ impl Model {
         kv: &mut ModelKv,
         selector: &mut dyn LayerSelector,
     ) -> (StepOutput, StepTrace) {
+        let mut scratch = SelectScratch::new();
+        self.decode_step_selected_traced_scratch(x, pos, kv, selector, &mut scratch)
+    }
+
+    /// Traced variant threading a caller-owned [`SelectScratch`].
+    pub fn decode_step_selected_traced_scratch(
+        &self,
+        x: &[f32],
+        pos: usize,
+        kv: &mut ModelKv,
+        selector: &mut dyn LayerSelector,
+        scratch: &mut SelectScratch,
+    ) -> (StepOutput, StepTrace) {
         let mut trace = StepTrace::default();
-        let out = self.step_dyn(x, pos, kv, selector, Some(&mut trace));
+        let out = self.step_dyn(x, pos, kv, selector, Some(&mut trace), scratch);
         (out, trace)
     }
 
@@ -339,14 +376,16 @@ impl Model {
             fn select(
                 &mut self,
                 layer: usize,
-                _queries: &[Vec<f32>],
+                _queries: &Matrix,
                 _kv: &LayerKv,
+                _scratch: &mut SelectScratch,
             ) -> Option<Vec<Vec<usize>>> {
                 self.0.layers.get(layer).and_then(|s| s.clone())
             }
         }
         let mut sel = PlanSelector(plan);
-        self.step_dyn(x, pos, kv, &mut sel, trace)
+        let mut scratch = SelectScratch::new();
+        self.step_dyn(x, pos, kv, &mut sel, trace, &mut scratch)
     }
 
     fn step_dyn(
@@ -356,18 +395,21 @@ impl Model {
         kv: &mut ModelKv,
         selector: &mut dyn LayerSelector,
         mut trace: Option<&mut StepTrace>,
+        scratch: &mut SelectScratch,
     ) -> StepOutput {
         let mut h = x.to_vec();
         // One normalization buffer for the whole stack (two rmsnorms per
         // layer), refilled in place instead of allocated per call.
         let mut normed = Vec::with_capacity(h.len());
+        // One flat query matrix for the whole stack, refilled per layer.
+        let mut queries = Matrix::zeros(self.geom.q_heads, self.geom.head_dim);
         for (l, lw) in self.weights.layers.iter().enumerate() {
             ops::rmsnorm_into(&mut normed, &h, &lw.norm_attn, 1e-6);
             self.append_kv(lw, &normed, pos, &mut kv.layers[l]);
             // Compute this layer's queries (post-RoPE), then consult the
             // selector — the layer-wise retrieval point of Fig. 2(a).
-            let queries = self.layer_queries(lw, &normed, pos);
-            let selection = selector.select(l, &queries, &kv.layers[l]);
+            self.layer_queries_into(lw, &normed, pos, &mut queries);
+            let selection = selector.select(l, &queries, &kv.layers[l], scratch);
             let (attn_out, layer_attn, layer_pos) = self.attention(
                 lw,
                 &queries,
@@ -394,17 +436,16 @@ impl Model {
         StepOutput { logits, hidden }
     }
 
-    /// Per-query-head query vectors for this step (post-RoPE except MLA).
-    fn layer_queries(&self, lw: &LayerWeights, normed: &[f32], pos: usize) -> Vec<Vec<f32>> {
-        (0..self.geom.q_heads)
-            .map(|q| {
-                let mut qv = lw.wq[q].vecmat(normed);
-                if self.geom.attention != AttentionKind::Mla {
-                    ops::rope_inplace(&mut qv, pos, self.geom.rope_base, self.rope_scale);
-                }
-                qv
-            })
-            .collect()
+    /// Per-query-head query vectors for this step (post-RoPE except MLA),
+    /// written into the rows of a reused `q_heads x head_dim` matrix.
+    fn layer_queries_into(&self, lw: &LayerWeights, normed: &[f32], pos: usize, out: &mut Matrix) {
+        for q in 0..self.geom.q_heads {
+            let row = out.row_mut(q);
+            lw.wq[q].vecmat_into(normed, row);
+            if self.geom.attention != AttentionKind::Mla {
+                ops::rope_inplace(row, pos, self.geom.rope_base, self.rope_scale);
+            }
+        }
     }
 
     fn append_kv(&self, lw: &LayerWeights, normed: &[f32], pos: usize, layer: &mut LayerKv) {
@@ -436,7 +477,7 @@ impl Model {
     fn attention(
         &self,
         lw: &LayerWeights,
-        queries: &[Vec<f32>],
+        queries: &Matrix,
         pos: usize,
         layer: &LayerKv,
         selection: Option<&Vec<Vec<usize>>>,
@@ -478,7 +519,8 @@ impl Model {
             per_head.push((positions, k, v));
         }
 
-        for (q, qv) in queries.iter().enumerate() {
+        for q in 0..geom.q_heads {
+            let qv = queries.row(q);
             let hh = self.kv_head_of(q);
             let (positions, keys, values) = &per_head[hh];
             let weights = ops::attention_weights(qv, keys);

@@ -6,11 +6,17 @@
 //! best clusters are selected until the budget fills. Finer-grained than
 //! Quest's positional pages, hence its accuracy edge at small budgets
 //! (paper Fig. 8), at the cost of a much heavier preprocessing step.
+//!
+//! The selection path runs on the [`SelectScratch`] arenas (pooled
+//! centroid scores, partial cluster ranking, bitset accumulation);
+//! [`ClusterKvSelector::select_reference`] keeps the original
+//! `BTreeSet`-plus-argsort path for property pinning.
 
-use crate::common::{group_max_scores, SelectorConfig};
+use crate::common::{group_max_scores, mark_budgeted_group_walk, SelectorConfig};
 use spec_model::{LayerKv, LayerSelector, ModelKv};
 use spec_tensor::kmeans::{kmeans, KMeans, KMeansConfig};
-use spec_tensor::SimRng;
+use spec_tensor::topk::{PosBitSet, RankScratch, SelectScratch};
+use spec_tensor::{Matrix, SimRng};
 use std::collections::BTreeSet;
 
 /// The ClusterKV selector. Build with [`ClusterKvSelector::preprocess`].
@@ -65,7 +71,74 @@ impl ClusterKvSelector {
         self.prefill_len
     }
 
-    fn select_head(&self, km: &KMeans, cluster_scores: &[f32], seq_len: usize) -> Vec<usize> {
+    /// Walks clusters in descending score order, inserting members until
+    /// the position budget fills (the final cluster is truncated
+    /// mid-member-list). The shared [`mark_budgeted_group_walk`] handles
+    /// the candidate-prefix ranking, with the initial estimate sized by
+    /// the average cluster population (uneven cluster sizes just trigger
+    /// its doubling retry).
+    fn select_head(
+        &self,
+        km: &KMeans,
+        cluster_scores: &[f32],
+        seq_len: usize,
+        rank: &mut RankScratch,
+        marks: &mut PosBitSet,
+    ) -> Vec<usize> {
+        let budget = self.cfg.budget.min(self.prefill_len);
+        let per_cluster = self.cfg.tokens_per_cluster.max(1);
+        mark_budgeted_group_walk(
+            cluster_scores,
+            budget,
+            budget.div_ceil(per_cluster) + 2,
+            seq_len.max(self.prefill_len),
+            self.cfg.sinks.min(self.prefill_len),
+            rank,
+            marks,
+            |cluster| km.clusters[cluster].iter().copied(),
+        );
+        for pos in self.prefill_len..seq_len {
+            marks.mark(pos);
+        }
+        marks.collect_sorted()
+    }
+
+    /// The original selection path, kept as the property-test reference.
+    pub fn select_reference(
+        &self,
+        layer: usize,
+        queries: &Matrix,
+        kv: &LayerKv,
+    ) -> Option<Vec<Vec<usize>>> {
+        let heads = &self.clusters[layer];
+        let group = (queries.rows() / heads.len()).max(1);
+        let seq_len = kv.seq_len();
+        Some(
+            heads
+                .iter()
+                .enumerate()
+                .map(|(hh, km)| {
+                    let per_q: Vec<Vec<f32>> = (hh * group..(hh + 1) * group)
+                        .map(|q| {
+                            km.centroids
+                                .iter_rows()
+                                .map(|c| spec_tensor::matrix::dot(queries.row(q), c))
+                                .collect()
+                        })
+                        .collect();
+                    let pooled = group_max_scores(&per_q, group)[0].clone();
+                    self.select_head_reference(km, &pooled, seq_len)
+                })
+                .collect(),
+        )
+    }
+
+    fn select_head_reference(
+        &self,
+        km: &KMeans,
+        cluster_scores: &[f32],
+        seq_len: usize,
+    ) -> Vec<usize> {
         let order = spec_tensor::topk::argsort_desc(cluster_scores);
         let mut picked: BTreeSet<usize> = BTreeSet::new();
         for p in 0..self.cfg.sinks.min(self.prefill_len) {
@@ -91,28 +164,35 @@ impl LayerSelector for ClusterKvSelector {
     fn select(
         &mut self,
         layer: usize,
-        queries: &[Vec<f32>],
+        queries: &Matrix,
         kv: &LayerKv,
+        scratch: &mut SelectScratch,
     ) -> Option<Vec<Vec<usize>>> {
         let heads = &self.clusters[layer];
-        let group = (queries.len() / heads.len()).max(1);
+        let group = (queries.rows() / heads.len()).max(1);
         let seq_len = kv.seq_len();
+        let SelectScratch {
+            scores,
+            rank,
+            marks,
+        } = scratch;
+        let this = &*self;
         Some(
             heads
                 .iter()
                 .enumerate()
                 .map(|(hh, km)| {
-                    // Centroid scores per query head, pooled by group-max.
-                    let per_q: Vec<Vec<f32>> = (hh * group..(hh + 1) * group)
-                        .map(|q| {
+                    // Centroid scores per query head, pooled in place.
+                    scores.pool_group_max(hh * group..(hh + 1) * group, |q, buf| {
+                        let query = queries.row(q);
+                        buf.clear();
+                        buf.extend(
                             km.centroids
                                 .iter_rows()
-                                .map(|c| spec_tensor::matrix::dot(&queries[q], c))
-                                .collect()
-                        })
-                        .collect();
-                    let pooled = group_max_scores(&per_q, group)[0].clone();
-                    self.select_head(km, &pooled, seq_len)
+                                .map(|c| spec_tensor::matrix::dot(query, c)),
+                        );
+                    });
+                    this.select_head(km, &scores.pooled, seq_len, rank, marks)
                 })
                 .collect(),
         )
@@ -132,14 +212,21 @@ mod tests {
         (m, kv)
     }
 
+    fn uniform_queries(m: &Model, v: f32) -> Matrix {
+        let g = m.geometry();
+        Matrix::from_vec(g.q_heads, g.head_dim, vec![v; g.q_heads * g.head_dim])
+    }
+
     #[test]
     fn budget_respected_and_sorted() {
         let (m, kv) = setup(64);
         let cfg = SelectorConfig::with_budget(12);
         let mut ckv = ClusterKvSelector::preprocess(&kv, cfg, 7);
-        let g = m.geometry();
-        let queries = vec![vec![0.3; g.head_dim]; g.q_heads];
-        let sel = ckv.select(0, &queries, &kv.layers[0]).unwrap();
+        let queries = uniform_queries(&m, 0.3);
+        let mut scratch = SelectScratch::new();
+        let sel = ckv
+            .select(0, &queries, &kv.layers[0], &mut scratch)
+            .unwrap();
         for head in &sel {
             assert!(head.len() <= 12);
             assert!(head.windows(2).all(|w| w[0] < w[1]));
@@ -161,8 +248,12 @@ mod tests {
             _ => unreachable!(),
         };
         let g = m.geometry();
-        let queries = vec![key7; g.q_heads];
-        let sel = ckv.select(0, &queries, &kv.layers[0]).unwrap();
+        let rows: Vec<&[f32]> = (0..g.q_heads).map(|_| key7.as_slice()).collect();
+        let queries = Matrix::from_rows(&rows);
+        let mut scratch = SelectScratch::new();
+        let sel = ckv
+            .select(0, &queries, &kv.layers[0], &mut scratch)
+            .unwrap();
         assert!(sel[0].contains(&7), "own cluster must be selected");
     }
 
@@ -173,9 +264,11 @@ mod tests {
         let emb = m.embed_tokens(&[5, 6]);
         m.decode_step(emb.row(0), 32, &mut kv);
         m.decode_step(emb.row(1), 33, &mut kv);
-        let g = m.geometry();
-        let queries = vec![vec![0.0; g.head_dim]; g.q_heads];
-        let sel = ckv.select(0, &queries, &kv.layers[0]).unwrap();
+        let queries = uniform_queries(&m, 0.0);
+        let mut scratch = SelectScratch::new();
+        let sel = ckv
+            .select(0, &queries, &kv.layers[0], &mut scratch)
+            .unwrap();
         assert!(sel[0].contains(&32) && sel[0].contains(&33));
     }
 
@@ -184,13 +277,46 @@ mod tests {
         let (m, kv) = setup(40);
         let a = ClusterKvSelector::preprocess(&kv, SelectorConfig::with_budget(8), 11);
         let b = ClusterKvSelector::preprocess(&kv, SelectorConfig::with_budget(8), 11);
-        let g = m.geometry();
-        let queries = vec![vec![0.5; g.head_dim]; g.q_heads];
+        let queries = uniform_queries(&m, 0.5);
         let mut a = a;
         let mut b = b;
+        let mut scratch = SelectScratch::new();
         assert_eq!(
-            a.select(0, &queries, &kv.layers[0]),
-            b.select(0, &queries, &kv.layers[0])
+            a.select(0, &queries, &kv.layers[0], &mut scratch),
+            b.select(0, &queries, &kv.layers[0], &mut scratch)
         );
+    }
+
+    #[test]
+    fn scratch_selection_matches_reference() {
+        let (m, kv) = setup(56);
+        // Grow a second cache beyond the prefill so the retained-new
+        // region is exercised too.
+        let mut grown = kv.clone();
+        let emb = m.embed_tokens(&[9, 4]);
+        m.decode_step(emb.row(0), 56, &mut grown);
+        m.decode_step(emb.row(1), 57, &mut grown);
+        for (budget, sinks, tpc) in [(6, 0, 4), (13, 2, 16), (40, 3, 7), (80, 1, 16)] {
+            let cfg = SelectorConfig {
+                budget,
+                sinks,
+                tokens_per_cluster: tpc,
+                ..SelectorConfig::with_budget(budget)
+            };
+            let mut ckv = ClusterKvSelector::preprocess(&kv, cfg, 5);
+            let g = m.geometry();
+            let vals: Vec<f32> = (0..g.q_heads * g.head_dim)
+                .map(|i| ((i * 17 + budget) as f32 * 0.43).cos())
+                .collect();
+            let queries = Matrix::from_vec(g.q_heads, g.head_dim, vals);
+            let mut scratch = SelectScratch::new();
+            for layer in 0..g.layers {
+                assert_eq!(
+                    ckv.select(layer, &queries, &grown.layers[layer], &mut scratch),
+                    ckv.select_reference(layer, &queries, &grown.layers[layer]),
+                    "budget={budget} tpc={tpc} layer={layer}"
+                );
+            }
+        }
     }
 }

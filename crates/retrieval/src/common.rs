@@ -1,7 +1,17 @@
 //! Shared selection plumbing: budgets, forced positions, assembly.
+//!
+//! The assembly functions are the inner loop of every selector: they run
+//! per decode step, per layer, per KV head. They are written against the
+//! [`SelectScratch`](spec_tensor::topk::SelectScratch) arenas — bitset
+//! marking plus partial selection instead of `BTreeSet` inserts over a
+//! full argsort — and allocate nothing but the returned position vector.
+//! The original tree-based implementations are kept as `*_reference`
+//! functions (the `matmul`/`matmul_naive` contract of PR 3): property
+//! tests pin the rewritten paths to them bit-for-bit.
 
 use serde::{Deserialize, Serialize};
 use spec_tensor::topk;
+use spec_tensor::topk::{PosBitSet, RankScratch};
 use std::collections::BTreeSet;
 
 /// Configuration shared by all budgeted selectors.
@@ -63,8 +73,156 @@ pub struct SelectionStats {
 /// (`prefill_len..seq_len`) — the "complete retention of new KV" behaviour
 /// the paper identifies as Challenge 2.
 ///
+/// Runs on the caller's scratch arenas: forced and top-scoring positions
+/// are marked in the bitset, the budgeted top-k walks only the
+/// partial-select prefix (at most `budget` candidates — enough, since at
+/// most `forced` of them are already marked), and the sorted selection is
+/// assembled by one pass over the bitset words. Output is bit-identical
+/// to [`assemble_baseline_selection_reference`].
+///
 /// `prefix_scores.len()` must equal `prefill_len`.
 pub fn assemble_baseline_selection(
+    prefix_scores: &[f32],
+    prefill_len: usize,
+    seq_len: usize,
+    cfg: &SelectorConfig,
+    rank: &mut RankScratch,
+    marks: &mut PosBitSet,
+) -> (Vec<usize>, SelectionStats) {
+    assert_eq!(prefix_scores.len(), prefill_len, "score length mismatch");
+    marks.reset(seq_len.max(prefill_len));
+    // Sinks.
+    for p in 0..cfg.sinks.min(prefill_len) {
+        marks.mark(p);
+    }
+    // Recent prefix tail (only meaningful right after prefill).
+    let recent_lo = prefill_len.saturating_sub(cfg.recent.min(prefill_len));
+    for p in recent_lo..prefill_len {
+        marks.mark(p);
+    }
+    let forced = marks.count();
+    // Budgeted top-k from the prefix.
+    let remaining = cfg.budget.saturating_sub(forced);
+    let mut from_prefix = 0;
+    if remaining > 0 {
+        let candidates = (remaining + forced).min(prefill_len);
+        for &idx in rank.top_k_desc(prefix_scores, candidates) {
+            if from_prefix >= remaining {
+                break;
+            }
+            if marks.mark(idx) {
+                from_prefix += 1;
+            }
+        }
+    }
+    // Complete retention of newly generated KV pairs.
+    let retained_new = seq_len.saturating_sub(prefill_len);
+    for p in prefill_len..seq_len {
+        marks.mark(p);
+    }
+    (
+        marks.collect_sorted(),
+        SelectionStats {
+            from_prefix,
+            retained_new,
+            forced,
+        },
+    )
+}
+
+/// Assembles SpeContext's selection: a *fixed total budget* over the whole
+/// cache (prefix and generated alike — no unbounded retention), with sinks
+/// and recency forced inside the budget. Scratch-based; bit-identical to
+/// [`assemble_budgeted_selection_reference`].
+pub fn assemble_budgeted_selection(
+    scores: &[f32],
+    seq_len: usize,
+    cfg: &SelectorConfig,
+    rank: &mut RankScratch,
+    marks: &mut PosBitSet,
+) -> (Vec<usize>, SelectionStats) {
+    assert_eq!(scores.len(), seq_len, "score length mismatch");
+    marks.reset(seq_len);
+    for p in 0..cfg.sinks.min(seq_len) {
+        marks.mark(p);
+    }
+    let recent_lo = seq_len.saturating_sub(cfg.recent.min(seq_len));
+    for p in recent_lo..seq_len {
+        marks.mark(p);
+    }
+    let forced = marks.count();
+    let budget = cfg.budget.min(seq_len);
+    let mut from_scores = 0;
+    // At most `budget` candidates suffice: of the top `budget` scores, at
+    // most `forced` are already marked, leaving >= budget - forced fresh.
+    for &idx in rank.top_k_desc(scores, budget) {
+        if marks.count() >= budget {
+            break;
+        }
+        if marks.mark(idx) {
+            from_scores += 1;
+        }
+    }
+    (
+        marks.collect_sorted(),
+        SelectionStats {
+            from_prefix: from_scores,
+            retained_new: 0,
+            forced,
+        },
+    )
+}
+
+/// Budgeted walk over ranked position *groups* (Quest pages, ClusterKV
+/// clusters): after pre-marking the `sinks` initial positions, groups are
+/// visited in descending score order and their member positions marked
+/// until the position budget fills — the final group is truncated
+/// mid-member-list, exactly like the `BTreeSet` references.
+///
+/// The walk ranks only a partial selection of the group scores, starting
+/// from `initial_candidates` and doubling whenever already-marked members
+/// or a short final group leave the budget unfilled. Re-walking a longer
+/// prefix reproduces the shorter walk exactly (the ranking is a total
+/// order), so the result is independent of the starting estimate.
+///
+/// `members(g)` yields group `g`'s positions; the caller collects the
+/// marks (typically after also marking the retained-new tail).
+#[allow(clippy::too_many_arguments)]
+pub fn mark_budgeted_group_walk<I: Iterator<Item = usize>>(
+    group_scores: &[f32],
+    budget: usize,
+    initial_candidates: usize,
+    reset_len: usize,
+    sinks: usize,
+    rank: &mut RankScratch,
+    marks: &mut PosBitSet,
+    mut members: impl FnMut(usize) -> I,
+) {
+    let num_groups = group_scores.len();
+    let mut candidates = initial_candidates.max(1).min(num_groups);
+    loop {
+        marks.reset(reset_len);
+        for p in 0..sinks {
+            marks.mark(p);
+        }
+        'walk: for &group in rank.top_k_desc(group_scores, candidates) {
+            for pos in members(group) {
+                if marks.count() >= budget {
+                    break 'walk;
+                }
+                marks.mark(pos);
+            }
+        }
+        if marks.count() >= budget || candidates >= num_groups {
+            break;
+        }
+        candidates = (candidates * 2).min(num_groups);
+    }
+}
+
+/// The original `BTreeSet`-plus-argsort baseline assembly, kept as the
+/// reference the scratch path is property-pinned against.
+pub fn assemble_baseline_selection_reference(
     prefix_scores: &[f32],
     prefill_len: usize,
     seq_len: usize,
@@ -72,17 +230,14 @@ pub fn assemble_baseline_selection(
 ) -> (Vec<usize>, SelectionStats) {
     assert_eq!(prefix_scores.len(), prefill_len, "score length mismatch");
     let mut picked: BTreeSet<usize> = BTreeSet::new();
-    // Sinks.
     for p in 0..cfg.sinks.min(prefill_len) {
         picked.insert(p);
     }
-    // Recent prefix tail (only meaningful right after prefill).
     let recent_lo = prefill_len.saturating_sub(cfg.recent.min(prefill_len));
     for p in recent_lo..prefill_len {
         picked.insert(p);
     }
     let forced = picked.len();
-    // Budgeted top-k from the prefix.
     let remaining = cfg.budget.saturating_sub(forced);
     let mut from_prefix = 0;
     for idx in topk::argsort_desc(prefix_scores) {
@@ -93,7 +248,6 @@ pub fn assemble_baseline_selection(
             from_prefix += 1;
         }
     }
-    // Complete retention of newly generated KV pairs.
     let retained_new = seq_len.saturating_sub(prefill_len);
     for p in prefill_len..seq_len {
         picked.insert(p);
@@ -108,10 +262,8 @@ pub fn assemble_baseline_selection(
     )
 }
 
-/// Assembles SpeContext's selection: a *fixed total budget* over the whole
-/// cache (prefix and generated alike — no unbounded retention), with sinks
-/// and recency forced inside the budget.
-pub fn assemble_budgeted_selection(
+/// The original `BTreeSet`-plus-argsort budgeted assembly (reference).
+pub fn assemble_budgeted_selection_reference(
     scores: &[f32],
     seq_len: usize,
     cfg: &SelectorConfig,
@@ -149,6 +301,10 @@ pub fn assemble_budgeted_selection(
 /// maximum within each group (the GQA reduction of paper Fig. 5(c);
 /// for MHA `group == 1` this is the identity, for MQA it pools all heads).
 ///
+/// This is the allocating reference; the hot path pools in place via
+/// [`ScoreArena::pool_group_max`](spec_tensor::topk::ScoreArena::pool_group_max),
+/// which folds members in the same order and is pinned against this.
+///
 /// # Panics
 ///
 /// Panics if `q_scores` is empty or not a multiple of `group`.
@@ -172,6 +328,26 @@ pub fn group_max_scores(q_scores: &[Vec<f32>], group: usize) -> Vec<Vec<f32>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spec_tensor::topk::SelectScratch;
+
+    fn assemble_baseline(
+        scores: &[f32],
+        prefill: usize,
+        seq: usize,
+        cfg: &SelectorConfig,
+    ) -> (Vec<usize>, SelectionStats) {
+        let mut s = SelectScratch::new();
+        assemble_baseline_selection(scores, prefill, seq, cfg, &mut s.rank, &mut s.marks)
+    }
+
+    fn assemble_budgeted(
+        scores: &[f32],
+        seq: usize,
+        cfg: &SelectorConfig,
+    ) -> (Vec<usize>, SelectionStats) {
+        let mut s = SelectScratch::new();
+        assemble_budgeted_selection(scores, seq, cfg, &mut s.rank, &mut s.marks)
+    }
 
     #[test]
     fn baseline_keeps_sinks_topk_and_new() {
@@ -182,7 +358,7 @@ mod tests {
             ..SelectorConfig::with_budget(6)
         };
         let scores = vec![0.0, 0.0, 0.9, 0.1, 0.8, 0.2, 0.0, 0.0];
-        let (sel, stats) = assemble_baseline_selection(&scores, 8, 11, &cfg);
+        let (sel, stats) = assemble_baseline(&scores, 8, 11, &cfg);
         // sinks {0,1}, top-4 {2,4,5,3}, new {8,9,10}
         assert!(sel.contains(&0) && sel.contains(&1));
         assert!(sel.contains(&2) && sel.contains(&4));
@@ -195,8 +371,8 @@ mod tests {
     fn baseline_selection_grows_with_generation() {
         let cfg = SelectorConfig::with_budget(4);
         let scores = vec![0.5; 16];
-        let (short, _) = assemble_baseline_selection(&scores, 16, 20, &cfg);
-        let (long, _) = assemble_baseline_selection(&scores, 16, 40, &cfg);
+        let (short, _) = assemble_baseline(&scores, 16, 20, &cfg);
+        let (long, _) = assemble_baseline(&scores, 16, 40, &cfg);
         assert_eq!(long.len() - short.len(), 20);
     }
 
@@ -209,7 +385,7 @@ mod tests {
             ..SelectorConfig::with_budget(8)
         };
         let scores: Vec<f32> = (0..50).map(|i| (i % 7) as f32).collect();
-        let (sel, _) = assemble_budgeted_selection(&scores, 50, &cfg);
+        let (sel, _) = assemble_budgeted(&scores, 50, &cfg);
         assert_eq!(sel.len(), 8);
         assert!(sel.contains(&0) && sel.contains(&1), "sinks kept");
         assert!(sel.contains(&48) && sel.contains(&49), "recent kept");
@@ -219,8 +395,48 @@ mod tests {
     fn budgeted_selection_caps_at_seq_len() {
         let cfg = SelectorConfig::with_budget(100);
         let scores = vec![1.0; 10];
-        let (sel, _) = assemble_budgeted_selection(&scores, 10, &cfg);
+        let (sel, _) = assemble_budgeted(&scores, 10, &cfg);
         assert_eq!(sel.len(), 10);
+    }
+
+    #[test]
+    fn scratch_assembly_matches_reference_exactly() {
+        // Deterministic pseudo-random scores; sweep budgets and splits.
+        let scores: Vec<f32> = (0..96)
+            .map(|i| ((i * 37 + 11) as f32 * 0.71).sin())
+            .collect();
+        let mut scratch = SelectScratch::new();
+        for budget in [0, 1, 3, 8, 40, 96, 200] {
+            for (sinks, recent) in [(0, 0), (2, 3), (6, 8)] {
+                let cfg = SelectorConfig {
+                    budget,
+                    sinks,
+                    recent,
+                    ..SelectorConfig::with_budget(budget)
+                };
+                for seq in [96, 100, 130] {
+                    let got = assemble_baseline_selection(
+                        &scores,
+                        96,
+                        seq,
+                        &cfg,
+                        &mut scratch.rank,
+                        &mut scratch.marks,
+                    );
+                    let want = assemble_baseline_selection_reference(&scores, 96, seq, &cfg);
+                    assert_eq!(got, want, "baseline budget={budget} seq={seq}");
+                }
+                let got = assemble_budgeted_selection(
+                    &scores,
+                    96,
+                    &cfg,
+                    &mut scratch.rank,
+                    &mut scratch.marks,
+                );
+                let want = assemble_budgeted_selection_reference(&scores, 96, &cfg);
+                assert_eq!(got, want, "budgeted budget={budget}");
+            }
+        }
     }
 
     #[test]

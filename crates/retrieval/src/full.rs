@@ -1,6 +1,8 @@
 //! Full (dense) attention — the accuracy ceiling and throughput floor.
 
 use spec_model::{LayerKv, LayerSelector};
+use spec_tensor::topk::SelectScratch;
+use spec_tensor::Matrix;
 
 /// Selects every position (returns `None`, requesting dense attention).
 ///
@@ -9,11 +11,13 @@ use spec_model::{LayerKv, LayerSelector};
 /// ```
 /// use spec_retrieval::FullAttention;
 /// use spec_model::LayerSelector;
-/// use spec_model::{LayerKv, SimGeometry, AttentionKind};
+/// use spec_model::{LayerKv, SelectScratch, SimGeometry, AttentionKind};
+/// use spec_tensor::Matrix;
 ///
 /// let mut full = FullAttention;
 /// let kv = LayerKv::empty(&SimGeometry::tiny(AttentionKind::Gqa));
-/// assert!(full.select(0, &[], &kv).is_none());
+/// let mut scratch = SelectScratch::new();
+/// assert!(full.select(0, &Matrix::default(), &kv, &mut scratch).is_none());
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FullAttention;
@@ -22,8 +26,9 @@ impl LayerSelector for FullAttention {
     fn select(
         &mut self,
         _layer: usize,
-        _queries: &[Vec<f32>],
+        _queries: &Matrix,
         _kv: &LayerKv,
+        _scratch: &mut SelectScratch,
     ) -> Option<Vec<Vec<usize>>> {
         None
     }
@@ -38,8 +43,9 @@ mod tests {
     fn always_dense() {
         let mut f = FullAttention;
         let kv = LayerKv::empty(&SimGeometry::tiny(AttentionKind::Mha));
+        let mut scratch = SelectScratch::new();
         for l in 0..4 {
-            assert!(f.select(l, &[], &kv).is_none());
+            assert!(f.select(l, &Matrix::default(), &kv, &mut scratch).is_none());
         }
     }
 }

@@ -8,9 +8,19 @@
 //! comparison; this module implements the selection side so accuracy
 //! (speculation misses) can be measured, while `spec_runtime::dataflow`
 //! models its timing.
+//!
+//! The previous step's queries are kept in a reused flat [`Matrix`]
+//! (no per-call clone of `Vec<Vec<f32>>`), scoring pools into the
+//! [`SelectScratch`] arena, and assembly runs on the scratch;
+//! [`InfiniGenSelector::select_reference`] keeps the original allocating
+//! path for property pinning (it maintains the same speculative state).
 
-use crate::common::{assemble_baseline_selection, group_max_scores, SelectorConfig};
+use crate::common::{
+    assemble_baseline_selection, assemble_baseline_selection_reference, group_max_scores,
+    SelectorConfig,
+};
 use spec_model::{LayerKv, LayerSelector, ModelKv};
+use spec_tensor::topk::SelectScratch;
 use spec_tensor::Matrix;
 
 /// The InfiniGen selector: scores layer `l` with the query of layer
@@ -23,8 +33,9 @@ pub struct InfiniGenSelector {
     /// Prefill keys per layer per KV head (the speculation targets).
     keys: Vec<Vec<Matrix>>,
     prefill_len: usize,
-    /// The previous layer's queries within the current step.
-    last_queries: Option<Vec<Vec<f32>>>,
+    /// The previous layer's queries within the current step (empty until
+    /// the first `select` call).
+    last_queries: Matrix,
 }
 
 impl InfiniGenSelector {
@@ -47,7 +58,7 @@ impl InfiniGenSelector {
             cfg,
             keys,
             prefill_len,
-            last_queries: None,
+            last_queries: Matrix::default(),
         }
     }
 
@@ -56,9 +67,50 @@ impl InfiniGenSelector {
         self.prefill_len
     }
 
-    fn score_layer(&self, layer: usize, queries: &[Vec<f32>], seq_len: usize) -> Vec<Vec<usize>> {
+    fn score_layer(
+        &self,
+        layer: usize,
+        queries: &Matrix,
+        seq_len: usize,
+        scratch: &mut SelectScratch,
+    ) -> Vec<Vec<usize>> {
         let heads = &self.keys[layer];
-        let group = (queries.len() / heads.len()).max(1);
+        let group = (queries.rows() / heads.len()).max(1);
+        let SelectScratch {
+            scores,
+            rank,
+            marks,
+        } = scratch;
+        heads
+            .iter()
+            .enumerate()
+            .map(|(hh, keys)| {
+                scores.pool_group_max(hh * group..(hh + 1) * group, |q, buf| {
+                    let query = queries.row(q);
+                    buf.clear();
+                    buf.extend(keys.iter_rows().map(|k| spec_tensor::matrix::dot(query, k)));
+                });
+                assemble_baseline_selection(
+                    &scores.pooled,
+                    self.prefill_len,
+                    seq_len,
+                    &self.cfg,
+                    rank,
+                    marks,
+                )
+                .0
+            })
+            .collect()
+    }
+
+    fn score_layer_reference(
+        &self,
+        layer: usize,
+        queries: &Matrix,
+        seq_len: usize,
+    ) -> Vec<Vec<usize>> {
+        let heads = &self.keys[layer];
+        let group = (queries.rows() / heads.len()).max(1);
         heads
             .iter()
             .enumerate()
@@ -66,14 +118,34 @@ impl InfiniGenSelector {
                 let per_q: Vec<Vec<f32>> = (hh * group..(hh + 1) * group)
                     .map(|q| {
                         keys.iter_rows()
-                            .map(|k| spec_tensor::matrix::dot(&queries[q], k))
+                            .map(|k| spec_tensor::matrix::dot(queries.row(q), k))
                             .collect()
                     })
                     .collect();
                 let pooled = group_max_scores(&per_q, group)[0].clone();
-                assemble_baseline_selection(&pooled, self.prefill_len, seq_len, &self.cfg).0
+                assemble_baseline_selection_reference(&pooled, self.prefill_len, seq_len, &self.cfg)
+                    .0
             })
             .collect()
+    }
+
+    /// The original selection path (allocating group-max + `BTreeSet`
+    /// assembly), kept as the property-test reference. Maintains the
+    /// same speculative previous-queries state as the scratch path.
+    pub fn select_reference(
+        &mut self,
+        layer: usize,
+        queries: &Matrix,
+        kv: &LayerKv,
+    ) -> Option<Vec<Vec<usize>>> {
+        let seq_len = kv.seq_len();
+        let sel = if layer > 0 && self.last_queries.rows() == queries.rows() {
+            self.score_layer_reference(layer, &self.last_queries, seq_len)
+        } else {
+            self.score_layer_reference(layer, queries, seq_len)
+        };
+        self.last_queries.copy_from(queries);
+        Some(sel)
     }
 }
 
@@ -81,18 +153,20 @@ impl LayerSelector for InfiniGenSelector {
     fn select(
         &mut self,
         layer: usize,
-        queries: &[Vec<f32>],
+        queries: &Matrix,
         kv: &LayerKv,
+        scratch: &mut SelectScratch,
     ) -> Option<Vec<Vec<usize>>> {
         let seq_len = kv.seq_len();
         // Speculative: use the previous layer's queries when available
         // (the prefetch was issued before this layer's queries existed).
-        let effective: Vec<Vec<f32>> = match (&self.last_queries, layer) {
-            (Some(prev), l) if l > 0 => prev.clone(),
-            _ => queries.to_vec(),
+        let sel = if layer > 0 && self.last_queries.rows() == queries.rows() {
+            self.score_layer(layer, &self.last_queries, seq_len, scratch)
+        } else {
+            self.score_layer(layer, queries, seq_len, scratch)
         };
-        self.last_queries = Some(queries.to_vec());
-        Some(self.score_layer(layer, &effective, seq_len))
+        self.last_queries.copy_from(queries);
+        Some(sel)
     }
 }
 
@@ -134,22 +208,18 @@ mod tests {
         let mut spec = InfiniGenSelector::preprocess(&kv, cfg);
         let g = m.geometry();
         // Two correlated query sets (adjacent layers of a real model).
-        let q1: Vec<Vec<f32>> = (0..g.q_heads)
-            .map(|h| {
-                (0..g.head_dim)
-                    .map(|d| ((h * 7 + d) as f32 * 0.3).sin())
-                    .collect()
-            })
+        let q1_vals: Vec<f32> = (0..g.q_heads)
+            .flat_map(|h| (0..g.head_dim).map(move |d| ((h * 7 + d) as f32 * 0.3).sin()))
             .collect();
-        let q2: Vec<Vec<f32>> = q1
-            .iter()
-            .map(|q| q.iter().map(|v| v * 0.9 + 0.05).collect())
-            .collect();
+        let q1 = Matrix::from_vec(g.q_heads, g.head_dim, q1_vals);
+        let q2_vals: Vec<f32> = q1.as_slice().iter().map(|v| v * 0.9 + 0.05).collect();
+        let q2 = Matrix::from_vec(g.q_heads, g.head_dim, q2_vals);
         let layer_kv = &kv.layers[0];
-        let true_sel = spec.score_layer(1, &q2, 64);
+        let mut scratch = SelectScratch::new();
+        let true_sel = spec.score_layer(1, &q2, 64, &mut scratch);
         // Simulate: layer 0 sees q1, layer 1 speculated from q1.
-        let _ = spec.select(0, &q1, layer_kv);
-        let spec_sel = spec.select(1, &q2, layer_kv).unwrap();
+        let _ = spec.select(0, &q1, layer_kv, &mut scratch);
+        let spec_sel = spec.select(1, &q2, layer_kv, &mut scratch).unwrap();
         // spec_sel was computed from q1 (speculative), not q2.
         let overlap = stats::overlap_rate(&true_sel[0], &spec_sel[0]);
         assert!(overlap > 0.5, "speculation overlap {overlap}");
@@ -163,8 +233,41 @@ mod tests {
         m.decode_step(emb.row(0), 32, &mut kv);
         m.decode_step(emb.row(1), 33, &mut kv);
         let g = m.geometry();
-        let queries = vec![vec![0.2; g.head_dim]; g.q_heads];
-        let s = sel.select(0, &queries, &kv.layers[0]).unwrap();
+        let queries = Matrix::from_vec(g.q_heads, g.head_dim, vec![0.2; g.q_heads * g.head_dim]);
+        let mut scratch = SelectScratch::new();
+        let s = sel
+            .select(0, &queries, &kv.layers[0], &mut scratch)
+            .unwrap();
         assert!(s[0].contains(&32) && s[0].contains(&33));
+    }
+
+    #[test]
+    fn scratch_selection_matches_reference_across_layers() {
+        // Run the same multi-layer call sequence on two clones so the
+        // speculative previous-queries state evolves identically.
+        let (m, kv) = setup(40);
+        let cfg = SelectorConfig {
+            budget: 14,
+            sinks: 2,
+            recent: 3,
+            ..SelectorConfig::with_budget(14)
+        };
+        let mut fast = InfiniGenSelector::preprocess(&kv, cfg);
+        let mut refr = fast.clone();
+        let g = m.geometry();
+        let mut scratch = SelectScratch::new();
+        for step in 0..3 {
+            for layer in 0..g.layers {
+                let vals: Vec<f32> = (0..g.q_heads * g.head_dim)
+                    .map(|i| ((i * 11 + step * 5 + layer) as f32 * 0.61).sin())
+                    .collect();
+                let queries = Matrix::from_vec(g.q_heads, g.head_dim, vals);
+                assert_eq!(
+                    fast.select(layer, &queries, &kv.layers[layer], &mut scratch),
+                    refr.select_reference(layer, &queries, &kv.layers[layer]),
+                    "step={step} layer={layer}"
+                );
+            }
+        }
     }
 }

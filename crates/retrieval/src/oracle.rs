@@ -6,6 +6,7 @@
 //! and the hit rate of the selection against the model's top-`k` tokens.
 
 use spec_model::StepTrace;
+use spec_tensor::topk::PosBitSet;
 use spec_tensor::{stats, topk};
 
 /// Accumulated attention mass of an oracle top-`k` selection, averaged
@@ -32,17 +33,28 @@ pub fn oracle_mass_at(trace: &StepTrace, k: usize) -> f32 {
 pub fn selection_mass(trace: &StepTrace, selection: &[Vec<usize>], group: usize) -> f32 {
     let mut total = 0.0;
     let mut count = 0;
+    // One bitset reused across heads and layers (refilled only when the
+    // KV-head selection changes) instead of a HashSet per query head.
+    let mut sel_marks = PosBitSet::default();
+    let mut filled_for: Option<usize> = None;
     for (layer_w, layer_p) in trace.attn.iter().zip(&trace.positions) {
         for (q, head) in layer_w.iter().enumerate() {
-            let sel = &selection[(q / group).min(selection.len() - 1)];
+            let sel_idx = (q / group).min(selection.len() - 1);
+            let sel = &selection[sel_idx];
+            if filled_for != Some(sel_idx) {
+                sel_marks.reset(sel.iter().max().map_or(0, |&p| p + 1));
+                for &p in sel {
+                    sel_marks.mark(p);
+                }
+                filled_for = Some(sel_idx);
+            }
             let pos = &layer_p[q];
             // Positions in the trace may be a subset (sparse trace); map
             // selection membership through the recorded position list.
-            let sel_set: std::collections::HashSet<usize> = sel.iter().copied().collect();
             let mass: f32 = head
                 .iter()
                 .zip(pos)
-                .filter(|(_, p)| sel_set.contains(p))
+                .filter(|(_, p)| sel_marks.contains(**p))
                 .map(|(w, _)| w)
                 .sum();
             total += mass;

@@ -7,10 +7,20 @@
 //! (a cheap fused dot), the top positions are selected, and only those
 //! values are fetched — plus a key reconstruction step that the dataflow
 //! model (Fig. 7(d)) accounts for.
+//!
+//! Scoring pools into the [`SelectScratch`] arena and assembly runs on
+//! the scratch-based `assemble_baseline_selection`;
+//! [`ShadowKvSelector::select_reference`] keeps the original allocating
+//! path for property pinning.
 
-use crate::common::{assemble_baseline_selection, group_max_scores, SelectorConfig};
+use crate::common::{
+    assemble_baseline_selection, assemble_baseline_selection_reference, group_max_scores,
+    SelectorConfig,
+};
 use spec_model::{LayerKv, LayerSelector, ModelKv};
 use spec_tensor::quant::{BitWidth, QuantVec};
+use spec_tensor::topk::SelectScratch;
+use spec_tensor::Matrix;
 
 /// The ShadowKV selector. Build with [`ShadowKvSelector::preprocess`].
 #[derive(Debug, Clone)]
@@ -65,30 +75,76 @@ impl ShadowKvSelector {
             .map(QuantVec::storage_bytes)
             .sum()
     }
-}
 
-impl LayerSelector for ShadowKvSelector {
-    fn select(
-        &mut self,
+    /// The original selection path, kept as the property-test reference.
+    pub fn select_reference(
+        &self,
         layer: usize,
-        queries: &[Vec<f32>],
+        queries: &Matrix,
         kv: &LayerKv,
     ) -> Option<Vec<Vec<usize>>> {
         let heads = &self.shadow[layer];
-        let group = (queries.len() / heads.len()).max(1);
+        let group = (queries.rows() / heads.len()).max(1);
         let seq_len = kv.seq_len();
         Some(
             heads
                 .iter()
                 .enumerate()
                 .map(|(hh, qkeys)| {
-                    // Quantized dot per query head, pooled by group-max.
                     let per_q: Vec<Vec<f32>> = (hh * group..(hh + 1) * group)
-                        .map(|q| qkeys.iter().map(|k| k.dot(&queries[q])).collect())
+                        .map(|q| qkeys.iter().map(|k| k.dot(queries.row(q))).collect())
                         .collect();
                     let pooled = group_max_scores(&per_q, group)[0].clone();
-                    let (sel, _) =
-                        assemble_baseline_selection(&pooled, self.prefill_len, seq_len, &self.cfg);
+                    let (sel, _) = assemble_baseline_selection_reference(
+                        &pooled,
+                        self.prefill_len,
+                        seq_len,
+                        &self.cfg,
+                    );
+                    sel
+                })
+                .collect(),
+        )
+    }
+}
+
+impl LayerSelector for ShadowKvSelector {
+    fn select(
+        &mut self,
+        layer: usize,
+        queries: &Matrix,
+        kv: &LayerKv,
+        scratch: &mut SelectScratch,
+    ) -> Option<Vec<Vec<usize>>> {
+        let heads = &self.shadow[layer];
+        let group = (queries.rows() / heads.len()).max(1);
+        let seq_len = kv.seq_len();
+        let SelectScratch {
+            scores,
+            rank,
+            marks,
+        } = scratch;
+        let prefill_len = self.prefill_len;
+        let cfg = &self.cfg;
+        Some(
+            heads
+                .iter()
+                .enumerate()
+                .map(|(hh, qkeys)| {
+                    // Quantized dot per query head, pooled in place.
+                    scores.pool_group_max(hh * group..(hh + 1) * group, |q, buf| {
+                        let query = queries.row(q);
+                        buf.clear();
+                        buf.extend(qkeys.iter().map(|k| k.dot(query)));
+                    });
+                    let (sel, _) = assemble_baseline_selection(
+                        &scores.pooled,
+                        prefill_len,
+                        seq_len,
+                        cfg,
+                        rank,
+                        marks,
+                    );
                     sel
                 })
                 .collect(),
@@ -124,8 +180,12 @@ mod tests {
             _ => unreachable!(),
         };
         let query = keys0.row(17).to_vec();
-        let queries = vec![query.clone(); g.q_heads];
-        let sel = skv.select(0, &queries, &kv.layers[0]).unwrap();
+        let rows: Vec<&[f32]> = (0..g.q_heads).map(|_| query.as_slice()).collect();
+        let queries = Matrix::from_rows(&rows);
+        let mut scratch = SelectScratch::new();
+        let sel = skv
+            .select(0, &queries, &kv.layers[0], &mut scratch)
+            .unwrap();
         // The exact top-1 position for this query is position 17 itself;
         // int4 scoring must keep it in the selection.
         assert!(sel[0].contains(&17));
@@ -141,13 +201,47 @@ mod tests {
             m.decode_step(emb.row(i), 32 + i, &mut kv);
         }
         let g = m.geometry();
-        let queries = vec![vec![0.1; g.head_dim]; g.q_heads];
-        let sel = skv.select(0, &queries, &kv.layers[0]).unwrap();
+        let queries = Matrix::from_vec(g.q_heads, g.head_dim, vec![0.1; g.q_heads * g.head_dim]);
+        let mut scratch = SelectScratch::new();
+        let sel = skv
+            .select(0, &queries, &kv.layers[0], &mut scratch)
+            .unwrap();
         for head in &sel {
             assert!(head.contains(&32) && head.contains(&34));
             // Budget bounds the prefix part only.
             let prefix_count = head.iter().filter(|&&p| p < 32).count();
             assert!(prefix_count <= 10 + cfg.sinks + cfg.recent);
+        }
+    }
+
+    #[test]
+    fn scratch_selection_matches_reference() {
+        let (m, kv) = setup(40);
+        let mut grown = kv.clone();
+        let emb = m.embed_tokens(&[2, 9]);
+        m.decode_step(emb.row(0), 40, &mut grown);
+        m.decode_step(emb.row(1), 41, &mut grown);
+        for (budget, sinks, recent) in [(5, 0, 0), (12, 2, 3), (33, 4, 8), (64, 1, 2)] {
+            let cfg = SelectorConfig {
+                budget,
+                sinks,
+                recent,
+                ..SelectorConfig::with_budget(budget)
+            };
+            let mut skv = ShadowKvSelector::preprocess(&kv, cfg);
+            let g = m.geometry();
+            let vals: Vec<f32> = (0..g.q_heads * g.head_dim)
+                .map(|i| ((i * 23 + budget) as f32 * 0.37).sin())
+                .collect();
+            let queries = Matrix::from_vec(g.q_heads, g.head_dim, vals);
+            let mut scratch = SelectScratch::new();
+            for layer in 0..g.layers {
+                assert_eq!(
+                    skv.select(layer, &queries, &grown.layers[layer], &mut scratch),
+                    skv.select_reference(layer, &queries, &grown.layers[layer]),
+                    "budget={budget} layer={layer}"
+                );
+            }
         }
     }
 

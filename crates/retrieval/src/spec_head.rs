@@ -17,9 +17,13 @@
 //! A batch-level mapping (one shared selection for all heads) is provided
 //! for the Fig. 5(a) comparison — head-level wins.
 
-use crate::common::{assemble_budgeted_selection, group_max_scores, SelectorConfig};
+use crate::common::{
+    assemble_budgeted_selection, assemble_budgeted_selection_reference, group_max_scores,
+    SelectorConfig,
+};
 use serde::{Deserialize, Serialize};
 use spec_model::{AttentionKind, RetrievalHead, RetrievalHeadState, SimGeometry, SparsePlan};
+use spec_tensor::topk::{PosBitSet, SelectScratch};
 
 /// Mapping granularity of retrieval-head weights onto the LLM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -60,6 +64,98 @@ impl SpecSelection {
         cfg: &SelectorConfig,
         level: MappingLevel,
     ) -> Self {
+        let mut scratch = SelectScratch::new();
+        Self::from_head_scores_scratch(scores, geom, cfg, level, &mut scratch)
+    }
+
+    /// As [`from_head_scores`](Self::from_head_scores), pooling and
+    /// assembling on a caller-owned [`SelectScratch`] (the
+    /// zero-allocation hot path for serial-sized inputs). Above
+    /// [`PAR_SELECT_MIN`] the per-head assembly fans out over the worker
+    /// pool with one local scratch per head — the allocation is amortized
+    /// by the work, and the output is identical at any thread count.
+    pub fn from_head_scores_scratch(
+        scores: &[Vec<f32>],
+        geom: &SimGeometry,
+        cfg: &SelectorConfig,
+        level: MappingLevel,
+        scratch: &mut SelectScratch,
+    ) -> Self {
+        assert_eq!(
+            scores.len(),
+            geom.q_heads,
+            "expected one score vector per LLM query head"
+        );
+        let seq_len = scores[0].len();
+        let per_head: Vec<Vec<usize>> = match level {
+            MappingLevel::Head => {
+                let group = match geom.attention {
+                    AttentionKind::Mha | AttentionKind::Mla => 1,
+                    AttentionKind::Gqa | AttentionKind::Mqa => geom.group_size(),
+                };
+                let kv_heads = model_kv_heads(geom);
+                assert_eq!(scores.len() / group, kv_heads, "group mapping mismatch");
+                // Heads are independent: fan the per-head top-k assembly
+                // out over the worker pool (order-preserving, so the
+                // selection is identical at any thread count).
+                if kv_heads > 1 && kv_heads * seq_len >= PAR_SELECT_MIN {
+                    let grouped = group_max_scores(scores, group);
+                    spec_parallel::par_map(&grouped, |s| {
+                        let mut local = SelectScratch::new();
+                        assemble_budgeted_selection(
+                            s,
+                            seq_len,
+                            cfg,
+                            &mut local.rank,
+                            &mut local.marks,
+                        )
+                        .0
+                    })
+                } else {
+                    let SelectScratch {
+                        scores: arena,
+                        rank,
+                        marks,
+                    } = scratch;
+                    (0..kv_heads)
+                        .map(|hh| {
+                            arena.pool_group_max(hh * group..(hh + 1) * group, |q, buf| {
+                                buf.clear();
+                                buf.extend_from_slice(&scores[q]);
+                            });
+                            assemble_budgeted_selection(&arena.pooled, seq_len, cfg, rank, marks).0
+                        })
+                        .collect()
+                }
+            }
+            MappingLevel::Batch => {
+                let SelectScratch {
+                    scores: arena,
+                    rank,
+                    marks,
+                } = scratch;
+                arena.pool_group_max(0..scores.len(), |q, buf| {
+                    buf.clear();
+                    buf.extend_from_slice(&scores[q]);
+                });
+                let sel = assemble_budgeted_selection(&arena.pooled, seq_len, cfg, rank, marks).0;
+                vec![sel; model_kv_heads(geom)]
+            }
+        };
+        Self {
+            per_head,
+            budget: cfg.budget,
+        }
+    }
+
+    /// The original mapping path (allocating group-max + `BTreeSet`
+    /// assembly, serial), kept as the property-test reference.
+    pub fn from_head_scores_reference(
+        scores: &[Vec<f32>],
+        geom: &SimGeometry,
+        cfg: &SelectorConfig,
+        level: MappingLevel,
+    ) -> Self {
         assert_eq!(
             scores.len(),
             geom.q_heads,
@@ -73,25 +169,19 @@ impl SpecSelection {
                     AttentionKind::Gqa | AttentionKind::Mqa => geom.group_size(),
                 };
                 let grouped = group_max_scores(scores, group);
-                let kv_heads = model_kv_heads(geom);
-                assert_eq!(grouped.len(), kv_heads, "group mapping mismatch");
-                // Heads are independent: fan the per-head top-k assembly
-                // out over the worker pool (order-preserving, so the
-                // selection is identical at any thread count).
-                if grouped.len() > 1 && grouped.len() * seq_len >= PAR_SELECT_MIN {
-                    spec_parallel::par_map(&grouped, |s| {
-                        assemble_budgeted_selection(s, seq_len, cfg).0
-                    })
-                } else {
-                    grouped
-                        .iter()
-                        .map(|s| assemble_budgeted_selection(s, seq_len, cfg).0)
-                        .collect()
-                }
+                assert_eq!(
+                    grouped.len(),
+                    model_kv_heads(geom),
+                    "group mapping mismatch"
+                );
+                grouped
+                    .iter()
+                    .map(|s| assemble_budgeted_selection_reference(s, seq_len, cfg).0)
+                    .collect()
             }
             MappingLevel::Batch => {
                 let pooled = group_max_scores(scores, scores.len());
-                let sel = assemble_budgeted_selection(&pooled[0], seq_len, cfg).0;
+                let sel = assemble_budgeted_selection_reference(&pooled[0], seq_len, cfg).0;
                 vec![sel; model_kv_heads(geom)]
             }
         };
@@ -111,11 +201,21 @@ impl SpecSelection {
     /// The union of all heads' positions (the set of KV entries that must
     /// be resident on the GPU; per-head slots alias into it).
     pub fn union_positions(&self) -> Vec<usize> {
-        let mut set: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        // Position lists are sorted, so the maximum is each list's tail.
+        let len = self
+            .per_head
+            .iter()
+            .filter_map(|h| h.last().map(|&p| p + 1))
+            .max()
+            .unwrap_or(0);
+        let mut marks = PosBitSet::default();
+        marks.reset(len);
         for h in &self.per_head {
-            set.extend(h.iter().copied());
+            for &p in h {
+                marks.mark(p);
+            }
         }
-        set.into_iter().collect()
+        marks.collect_sorted()
     }
 }
 
@@ -190,6 +290,22 @@ impl SpecContextRetriever {
     ///
     /// Panics if nothing has been observed yet.
     pub fn select(&self, query_emb: &[f32], llm_geom: &SimGeometry) -> SpecSelection {
+        let mut scratch = SelectScratch::new();
+        self.select_scratch(query_emb, llm_geom, &mut scratch)
+    }
+
+    /// As [`select`](Self::select), assembling on a caller-owned
+    /// [`SelectScratch`] so a decode loop reuses one warm workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been observed yet.
+    pub fn select_scratch(
+        &self,
+        query_emb: &[f32],
+        llm_geom: &SimGeometry,
+        scratch: &mut SelectScratch,
+    ) -> SpecSelection {
         let lambda = self.cfg.query_smoothing.clamp(0.0, 1.0);
         let blended: Vec<f32> = if lambda > 0.0 && !self.ema.is_empty() {
             // Blend unit directions: the head RMS-norms its query, so only
@@ -206,7 +322,7 @@ impl SpecContextRetriever {
             query_emb.to_vec()
         };
         let scores = self.head.head_scores(&blended, &self.state);
-        SpecSelection::from_head_scores(&scores, llm_geom, &self.cfg, self.level)
+        SpecSelection::from_head_scores_scratch(&scores, llm_geom, &self.cfg, self.level, scratch)
     }
 
     /// The selector configuration.
@@ -328,6 +444,40 @@ mod tests {
             let (mut kv, _) = m.prefill_embeddings(&emb, PrefillMode::Exact);
             let out = m.decode_step_sparse(emb.row(0), 24, &mut kv, &plan);
             assert!(out.logits.iter().all(|v| v.is_finite()), "{kind}");
+        }
+    }
+
+    #[test]
+    fn scratch_mapping_matches_reference_across_thread_counts() {
+        // Sizes straddling PAR_SELECT_MIN so both the serial scratch path
+        // and the parallel fan-out are pinned to the reference.
+        for kind in [AttentionKind::Mha, AttentionKind::Gqa, AttentionKind::Mqa] {
+            let geom = SimGeometry::tiny(kind);
+            for n in [96, PAR_SELECT_MIN / geom.kv_heads + 5] {
+                let scores: Vec<Vec<f32>> = (0..geom.q_heads)
+                    .map(|h| {
+                        (0..n)
+                            .map(|i| ((i * 7 + h * 13) as f32 * 0.53).sin())
+                            .collect()
+                    })
+                    .collect();
+                let cfg = SelectorConfig {
+                    budget: 24,
+                    sinks: 2,
+                    recent: 3,
+                    ..SelectorConfig::with_budget(24)
+                };
+                for level in [MappingLevel::Head, MappingLevel::Batch] {
+                    let want =
+                        SpecSelection::from_head_scores_reference(&scores, &geom, &cfg, level);
+                    for threads in [1usize, 2, 7] {
+                        let got = spec_parallel::with_threads(threads, || {
+                            SpecSelection::from_head_scores(&scores, &geom, &cfg, level)
+                        });
+                        assert_eq!(got, want, "{kind} n={n} threads={threads}");
+                    }
+                }
+            }
         }
     }
 

@@ -6,6 +6,8 @@
 //! positions — the "attention sink" phenomenon.
 
 use spec_model::{LayerKv, LayerSelector};
+use spec_tensor::topk::SelectScratch;
+use spec_tensor::Matrix;
 
 /// Keep only the last `window` positions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,8 +32,9 @@ impl LayerSelector for SlidingWindow {
     fn select(
         &mut self,
         _layer: usize,
-        _queries: &[Vec<f32>],
+        _queries: &Matrix,
         kv: &LayerKv,
+        _scratch: &mut SelectScratch,
     ) -> Option<Vec<Vec<usize>>> {
         let len = kv.seq_len();
         let lo = len.saturating_sub(self.window);
@@ -65,12 +68,14 @@ impl LayerSelector for StreamingLlm {
     fn select(
         &mut self,
         _layer: usize,
-        _queries: &[Vec<f32>],
+        _queries: &Matrix,
         kv: &LayerKv,
+        _scratch: &mut SelectScratch,
     ) -> Option<Vec<Vec<usize>>> {
         let len = kv.seq_len();
         let lo = len.saturating_sub(self.window);
-        let mut positions: Vec<usize> = (0..self.sinks.min(lo)).collect();
+        let mut positions: Vec<usize> = Vec::with_capacity(self.sinks.min(lo) + (len - lo));
+        positions.extend(0..self.sinks.min(lo));
         positions.extend(lo..len);
         Some(vec![positions; kv_heads(kv)])
     }
@@ -100,7 +105,9 @@ mod tests {
     fn sliding_window_keeps_tail() {
         let kv = cache(10);
         let mut w = SlidingWindow::new(3);
-        let sel = w.select(0, &[], &kv).unwrap();
+        let sel = w
+            .select(0, &Matrix::default(), &kv, &mut SelectScratch::new())
+            .unwrap();
         assert_eq!(sel[0], vec![7, 8, 9]);
     }
 
@@ -108,7 +115,9 @@ mod tests {
     fn sliding_window_smaller_sequence() {
         let kv = cache(2);
         let mut w = SlidingWindow::new(5);
-        let sel = w.select(0, &[], &kv).unwrap();
+        let sel = w
+            .select(0, &Matrix::default(), &kv, &mut SelectScratch::new())
+            .unwrap();
         assert_eq!(sel[0], vec![0, 1]);
     }
 
@@ -116,7 +125,9 @@ mod tests {
     fn streaming_keeps_sinks_and_tail() {
         let kv = cache(12);
         let mut s = StreamingLlm::new(2, 3);
-        let sel = s.select(0, &[], &kv).unwrap();
+        let sel = s
+            .select(0, &Matrix::default(), &kv, &mut SelectScratch::new())
+            .unwrap();
         assert_eq!(sel[0], vec![0, 1, 9, 10, 11]);
     }
 
@@ -124,7 +135,9 @@ mod tests {
     fn streaming_no_overlap_when_window_covers_sinks() {
         let kv = cache(4);
         let mut s = StreamingLlm::new(2, 10);
-        let sel = s.select(0, &[], &kv).unwrap();
+        let sel = s
+            .select(0, &Matrix::default(), &kv, &mut SelectScratch::new())
+            .unwrap();
         assert_eq!(sel[0], vec![0, 1, 2, 3]);
     }
 
@@ -132,7 +145,9 @@ mod tests {
     fn all_heads_share_policy() {
         let kv = cache(8);
         let mut s = StreamingLlm::new(1, 2);
-        let sel = s.select(0, &[], &kv).unwrap();
+        let sel = s
+            .select(0, &Matrix::default(), &kv, &mut SelectScratch::new())
+            .unwrap();
         assert!(sel.windows(2).all(|w| w[0] == w[1]));
     }
 }

@@ -7,7 +7,7 @@
 //! side of every experiment (Figs. 5, 6(b), 8, 9).
 
 use spec_kvcache::budget::{BudgetBuffer, StepTransfer};
-use spec_model::{LayerSelector, Model, ModelKv, SparsePlan, StepOutput, StepTrace};
+use spec_model::{LayerSelector, Model, ModelKv, SelectScratch, SparsePlan, StepOutput, StepTrace};
 use spec_retrieval::spec_head::SpecContextRetriever;
 use spec_tensor::{stats, Matrix};
 
@@ -66,6 +66,9 @@ pub fn generate_teacher_forced(
     let mut res = GenerationResult::default();
     let mut buffers = make_buffers(model, strategy);
     let mut last_selection: Option<Vec<usize>> = None;
+    // One selection workspace for the whole generation (the
+    // zero-allocation hot path: warm across steps and layers).
+    let mut scratch = SelectScratch::new();
 
     for i in 0..steps {
         let x = inputs.row(i).to_vec();
@@ -80,6 +83,7 @@ pub fn generate_teacher_forced(
             &mut res,
             &mut buffers,
             &mut last_selection,
+            &mut scratch,
         );
         res.tokens.push(Model::argmax_token(&out.logits));
         res.outputs.push(out);
@@ -100,6 +104,7 @@ pub fn generate_free_running(
     let mut res = GenerationResult::default();
     let mut buffers = make_buffers(model, strategy);
     let mut last_selection: Option<Vec<usize>> = None;
+    let mut scratch = SelectScratch::new();
     let mut x = first.to_vec();
 
     for _ in 0..steps {
@@ -114,6 +119,7 @@ pub fn generate_free_running(
             &mut res,
             &mut buffers,
             &mut last_selection,
+            &mut scratch,
         );
         let tok = Model::argmax_token(&out.logits);
         res.tokens.push(tok);
@@ -148,6 +154,7 @@ fn run_step(
     res: &mut GenerationResult,
     buffers: &mut Option<BudgetBuffer>,
     last_selection: &mut Option<Vec<usize>>,
+    scratch: &mut SelectScratch,
 ) -> StepOutput {
     match strategy {
         DecodeStrategy::Dense => {
@@ -163,7 +170,7 @@ fn run_step(
         DecodeStrategy::SpeContext(retr) => {
             // The retrieval head sees the token before the LLM does.
             retr.observe(x);
-            let sel = retr.select(x, model.geometry());
+            let sel = retr.select_scratch(x, model.geometry(), scratch);
             // Elastic loading accounting.
             if let Some(buf) = buffers {
                 let per_layer: Vec<Vec<Vec<usize>>> =
@@ -190,11 +197,12 @@ fn run_step(
         }
         DecodeStrategy::LayerWise(sel) => {
             if record_traces {
-                let (out, trace) = model.decode_step_selected_traced(x, pos, kv, sel.as_mut());
+                let (out, trace) =
+                    model.decode_step_selected_traced_scratch(x, pos, kv, sel.as_mut(), scratch);
                 res.traces.push(trace);
                 out
             } else {
-                model.decode_step_selected(x, pos, kv, sel.as_mut())
+                model.decode_step_selected_scratch(x, pos, kv, sel.as_mut(), scratch)
             }
         }
     }

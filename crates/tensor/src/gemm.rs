@@ -124,7 +124,9 @@ fn vecmat_fast(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 /// Whether the running CPU has AVX2 (checked once; `false` off x86).
-fn has_avx2() -> bool {
+/// Shared by every runtime-dispatched kernel in the workspace (this
+/// matmul, the Quest page-score bound in `spec_kvcache`).
+pub fn has_avx2() -> bool {
     #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
     {
         static AVX2: std::sync::OnceLock<bool> = std::sync::OnceLock::new();

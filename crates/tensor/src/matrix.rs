@@ -330,8 +330,21 @@ impl Matrix {
     ///
     /// Panics if `x.len() != rows`.
     pub fn vecmat(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.rows, "vecmat shape mismatch");
         let mut out = vec![0.0; self.cols];
+        self.vecmat_into(x, &mut out);
+        out
+    }
+
+    /// As [`vecmat`](Self::vecmat), writing into a caller-provided buffer
+    /// (zeroed first) instead of allocating. Bit-identical to `vecmat`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows` or `out.len() != cols`.
+    pub fn vecmat_into(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.rows, "vecmat shape mismatch");
+        assert_eq!(out.len(), self.cols, "vecmat output length mismatch");
+        out.fill(0.0);
         for (xi, row) in x.iter().zip(self.iter_rows()) {
             if *xi == 0.0 {
                 continue;
@@ -340,7 +353,16 @@ impl Matrix {
                 *o += xi * w;
             }
         }
-        out
+    }
+
+    /// Makes `self` a copy of `src`, reusing the existing data buffer
+    /// when its capacity suffices (the derived `Clone` always
+    /// reallocates).
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
     }
 
     /// Number of elements.
@@ -451,6 +473,23 @@ mod tests {
         let v = vec![5.0, 6.0];
         let got = m.matvec(&v);
         assert_eq!(got, vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn vecmat_into_matches_vecmat() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[3.0, 4.0, -1.0]]);
+        let x = [0.5, -2.0];
+        let mut out = vec![9.0; 3];
+        m.vecmat_into(&x, &mut out);
+        assert_eq!(out, m.vecmat(&x));
+    }
+
+    #[test]
+    fn copy_from_replaces_contents_and_shape() {
+        let src = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut dst = Matrix::zeros(5, 7);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]

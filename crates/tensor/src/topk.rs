@@ -19,15 +19,10 @@
 /// assert_eq!(idx, vec![1, 2]);
 /// ```
 pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
-    let k = k.min(scores.len());
-    let mut idx: Vec<usize> = (0..scores.len()).collect();
-    // Partial selection: select_nth puts the k largest in the prefix.
-    if k < scores.len() {
-        idx.select_nth_unstable_by(k, |&a, &b| cmp_desc(scores, a, b));
-        idx.truncate(k);
-    }
-    idx.sort_unstable_by(|&a, &b| cmp_desc(scores, a, b));
-    idx
+    // One implementation of the selection contract: the allocating entry
+    // point delegates to the scratch kernel.
+    let mut rank = RankScratch::default();
+    rank.top_k_desc(scores, k).to_vec()
 }
 
 /// Returns the indices of the `k` largest values, sorted ascending by
@@ -47,10 +42,211 @@ fn cmp_desc(scores: &[f32], a: usize, b: usize) -> std::cmp::Ordering {
 }
 
 /// Full argsort, descending by score with ties toward smaller index.
+///
+/// This is the *full-sort* path — O(n log n) however small the wanted
+/// prefix is. The selection hot path uses [`RankScratch::top_k_desc`]
+/// (partial selection, O(n + k log k)) instead; because the comparator is
+/// a strict total order for finite scores, the partial result equals the
+/// first `k` entries of this argsort, which is what the equivalence
+/// property tests pin.
 pub fn argsort_desc(scores: &[f32]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
     idx.sort_unstable_by(|&a, &b| cmp_desc(scores, a, b));
     idx
+}
+
+// ---------------------------------------------------------------------------
+// SelectScratch: the zero-allocation selection workspace
+// ---------------------------------------------------------------------------
+
+/// Reusable workspace for the KV-selection hot path.
+///
+/// Every `LayerSelector` runs per decode step, per layer, per KV head;
+/// building that path from `BTreeSet` inserts and per-call `Vec`s made
+/// allocation the dominant cost. `SelectScratch` bundles the three
+/// arenas the rewritten path needs — pooled score buffers, a
+/// partial-select index workspace, and a position bitset — so a decode
+/// loop allocates once and every subsequent selection reuses warm,
+/// cache-contiguous memory. The three fields are public and independent
+/// precisely so callers can destructure and borrow them disjointly:
+///
+/// ```
+/// use spec_tensor::topk::SelectScratch;
+/// let mut scratch = SelectScratch::new();
+/// let SelectScratch { scores, rank, marks } = &mut scratch;
+/// scores.pool_group_max(0..2, |q, buf| {
+///     buf.clear();
+///     buf.extend([q as f32, 1.0 - q as f32]);
+/// });
+/// marks.reset(2);
+/// for &i in rank.top_k_desc(&scores.pooled, 1) {
+///     marks.mark(i);
+/// }
+/// assert_eq!(marks.collect_sorted(), vec![0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SelectScratch {
+    /// Score arenas (pooled group-max scores plus a per-member temporary).
+    pub scores: ScoreArena,
+    /// Partial-selection index workspace.
+    pub rank: RankScratch,
+    /// Bitset over cache positions.
+    pub marks: PosBitSet,
+}
+
+impl SelectScratch {
+    /// An empty scratch. No memory is allocated until first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Reusable score buffers for the GQA group-max reduction.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreArena {
+    /// The pooled (element-wise max over the group) scores of the last
+    /// [`pool_group_max`](Self::pool_group_max) call.
+    pub pooled: Vec<f32>,
+    /// Per-member temporary.
+    tmp: Vec<f32>,
+}
+
+impl ScoreArena {
+    /// Fills [`pooled`](Self::pooled) with the element-wise maximum of the
+    /// score vectors produced by `score_into` for each member of `members`
+    /// (the GQA reduction of paper Fig. 5(c)), without allocating.
+    ///
+    /// `score_into(m, buf)` must clear `buf` and fill it with member `m`'s
+    /// scores; every member must produce the same length. Members are
+    /// folded in ascending order with the first as the base, which is the
+    /// exact accumulation order of the reference `group_max_scores`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or the lengths disagree.
+    pub fn pool_group_max(
+        &mut self,
+        members: std::ops::Range<usize>,
+        mut score_into: impl FnMut(usize, &mut Vec<f32>),
+    ) {
+        assert!(!members.is_empty(), "need at least one group member");
+        let first = members.start;
+        score_into(first, &mut self.pooled);
+        for m in members.skip(1) {
+            score_into(m, &mut self.tmp);
+            assert_eq!(self.tmp.len(), self.pooled.len(), "score length mismatch");
+            for (a, b) in self.pooled.iter_mut().zip(&self.tmp) {
+                *a = a.max(*b);
+            }
+        }
+    }
+}
+
+/// Reusable index workspace for descending partial selection.
+#[derive(Debug, Clone, Default)]
+pub struct RankScratch {
+    idx: Vec<usize>,
+}
+
+impl RankScratch {
+    /// The indices of the `k` largest values in `scores`, ordered by
+    /// descending score (ties toward the smaller index) — the same
+    /// contract as [`top_k_indices`], but into a reused buffer.
+    ///
+    /// Built on `select_nth_unstable`: O(n) partition plus an
+    /// O(k log k) sort of the prefix, instead of the O(n log n) full
+    /// [`argsort_desc`]. For finite scores the comparator is a strict
+    /// total order, so the returned slice equals `argsort_desc(scores)`
+    /// truncated to `k`.
+    pub fn top_k_desc(&mut self, scores: &[f32], k: usize) -> &[usize] {
+        let k = k.min(scores.len());
+        self.idx.clear();
+        self.idx.extend(0..scores.len());
+        if k < scores.len() {
+            self.idx
+                .select_nth_unstable_by(k, |&a, &b| cmp_desc(scores, a, b));
+            self.idx.truncate(k);
+        }
+        self.idx.sort_unstable_by(|&a, &b| cmp_desc(scores, a, b));
+        &self.idx[..k]
+    }
+}
+
+/// A growable bitset over cache positions with a running popcount.
+///
+/// Replaces the `BTreeSet<usize>` the selectors used to accumulate
+/// picked positions in: `mark` is O(1) with no allocation (after the
+/// words buffer warms up), and [`collect_sorted`](Self::collect_sorted)
+/// walks the words once to emit the ascending position list — the same
+/// order `BTreeSet` iteration produced.
+#[derive(Debug, Clone, Default)]
+pub struct PosBitSet {
+    words: Vec<u64>,
+    len: usize,
+    marked: usize,
+}
+
+impl PosBitSet {
+    /// Clears all marks and sizes the set for positions `< len`.
+    pub fn reset(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+        self.len = len;
+        self.marked = 0;
+    }
+
+    /// Marks `pos`; returns `true` if it was not already marked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    #[inline]
+    pub fn mark(&mut self, pos: usize) -> bool {
+        assert!(pos < self.len, "position {pos} out of range {}", self.len);
+        let (w, bit) = (pos / 64, 1u64 << (pos % 64));
+        if self.words[w] & bit != 0 {
+            false
+        } else {
+            self.words[w] |= bit;
+            self.marked += 1;
+            true
+        }
+    }
+
+    /// Whether `pos` is marked (out-of-range positions are not).
+    #[inline]
+    pub fn contains(&self, pos: usize) -> bool {
+        pos < self.len && self.words[pos / 64] & (1u64 << (pos % 64)) != 0
+    }
+
+    /// Number of marked positions.
+    pub fn count(&self) -> usize {
+        self.marked
+    }
+
+    /// The position capacity set by the last [`reset`](Self::reset).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no position can be marked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The marked positions, ascending, in an exact-size vector (the one
+    /// unavoidable allocation: the selection the caller keeps).
+    pub fn collect_sorted(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.marked);
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                out.push(wi * 64 + w.trailing_zeros() as usize);
+                w &= w - 1;
+            }
+        }
+        out
+    }
 }
 
 /// Sum of the `k` largest values (the "attention mass" captured by an
@@ -140,5 +336,74 @@ mod tests {
     fn handles_nan_without_panicking() {
         let idx = top_k_indices(&[f32::NAN, 1.0, 2.0], 2);
         assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn rank_scratch_matches_argsort_prefix() {
+        let scores = [0.3, -1.0, 0.3, 2.5, 0.0, 2.5, -0.7];
+        let mut rank = RankScratch::default();
+        let full = argsort_desc(&scores);
+        for k in 0..=scores.len() + 2 {
+            let got = rank.top_k_desc(&scores, k);
+            assert_eq!(got, &full[..k.min(scores.len())], "k={k}");
+        }
+    }
+
+    #[test]
+    fn rank_scratch_reuses_buffer_across_calls() {
+        let mut rank = RankScratch::default();
+        assert_eq!(rank.top_k_desc(&[1.0, 3.0, 2.0], 2), &[1, 2]);
+        assert_eq!(rank.top_k_desc(&[5.0, 4.0], 1), &[0]);
+        assert_eq!(rank.top_k_desc(&[], 3), &[] as &[usize]);
+    }
+
+    #[test]
+    fn bitset_marks_and_collects_ascending() {
+        let mut bs = PosBitSet::default();
+        bs.reset(200);
+        for p in [130, 3, 64, 3, 199, 0] {
+            bs.mark(p);
+        }
+        assert_eq!(bs.count(), 5);
+        assert!(bs.contains(64) && !bs.contains(65));
+        assert!(!bs.contains(900), "out of range is simply unmarked");
+        assert_eq!(bs.collect_sorted(), vec![0, 3, 64, 130, 199]);
+    }
+
+    #[test]
+    fn bitset_reset_clears_previous_marks() {
+        let mut bs = PosBitSet::default();
+        bs.reset(70);
+        bs.mark(69);
+        bs.reset(10);
+        assert_eq!(bs.count(), 0);
+        assert!(!bs.contains(69));
+        assert!(bs.mark(9), "fresh mark after reset");
+    }
+
+    #[test]
+    fn mark_reports_freshness() {
+        let mut bs = PosBitSet::default();
+        bs.reset(8);
+        assert!(bs.mark(5));
+        assert!(!bs.mark(5));
+        assert_eq!(bs.count(), 1);
+    }
+
+    #[test]
+    fn score_arena_pools_like_group_max() {
+        let rows = [vec![1.0f32, 0.0, 3.0], vec![0.0, 2.0, -1.0]];
+        let mut arena = ScoreArena::default();
+        arena.pool_group_max(0..2, |m, buf| {
+            buf.clear();
+            buf.extend_from_slice(&rows[m]);
+        });
+        assert_eq!(arena.pooled, vec![1.0, 2.0, 3.0]);
+        // Single-member groups are the identity.
+        arena.pool_group_max(1..2, |m, buf| {
+            buf.clear();
+            buf.extend_from_slice(&rows[m]);
+        });
+        assert_eq!(arena.pooled, rows[1]);
     }
 }

@@ -38,11 +38,16 @@ proptest! {
             Box::new(ShadowKvSelector::preprocess(&kv, cfg)),
         ];
         let emb = model.embed_tokens(&[1]);
+        let mut scratch = specontext::model::SelectScratch::new();
         for sel in &mut selectors {
             // Direct selection validity.
             let g = model.geometry();
-            let queries = vec![vec![0.1f32; g.head_dim]; g.q_heads];
-            if let Some(s) = sel.select(0, &queries, &kv.layers[0]) {
+            let queries = specontext::tensor::Matrix::from_vec(
+                g.q_heads,
+                g.head_dim,
+                vec![0.1f32; g.q_heads * g.head_dim],
+            );
+            if let Some(s) = sel.select(0, &queries, &kv.layers[0], &mut scratch) {
                 for head in &s {
                     prop_assert!(head.windows(2).all(|w| w[0] < w[1]));
                     prop_assert!(head.iter().all(|&p| p < n));
