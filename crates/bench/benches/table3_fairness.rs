@@ -1,0 +1,178 @@
+//! Multi-tenant fairness extension of Table 3: per-tenant tail latency
+//! and goodput for a 2-tenant mix (a short interactive tenant sharing a
+//! fleet with a long-generation batch tenant), swept over tenant mix ×
+//! scheduling policy (queue discipline + preemption).
+//!
+//! Anchoring: the headline fairness claim is asserted, not just
+//! printed — under the interactive-heavy mix the short tenant's p95 TTFT
+//! must be strictly better with DRR queues + DRR preemption than under
+//! the plain FIFO, or the bench fails.
+
+use spec_bench::emit;
+use spec_hwsim::{fleet, DeviceSpec};
+use spec_model::ModelConfig;
+use spec_runtime::{
+    FairConfig, PreemptionPolicy, QueueDiscipline, SchedulerConfig, SystemKind, Workload,
+};
+use spec_serve::arrivals::{self, ArrivalConfig, ClusterRequest, TenantClass};
+use spec_serve::cluster::{Cluster, ClusterConfig};
+use spec_serve::router::RouterKind;
+use spec_serve::slo::{SloSpec, TenantSlo};
+use spec_tensor::SimRng;
+use specontext_core::report::Table;
+
+const BUDGET: usize = 2048;
+const SEED: u64 = 0xFA1;
+const REQUESTS: usize = 48;
+const RATE: f64 = 2.0;
+
+/// Tenant 0: short interactive requests. Tenant 1: long generations.
+fn mix_trace(interactive_weight: usize, batch_weight: usize) -> Vec<ClusterRequest> {
+    arrivals::generate(
+        &ArrivalConfig::poisson_tenanted(
+            RATE,
+            vec![
+                TenantClass::new(0, interactive_weight, vec![Workload::new(512, 256, 1)]),
+                TenantClass::new(1, batch_weight, vec![Workload::new(2048, 8192, 1)]),
+            ],
+            REQUESTS,
+        ),
+        &mut SimRng::seed(SEED ^ ((interactive_weight as u64) << 8) ^ batch_weight as u64),
+    )
+}
+
+fn policy_cfg(discipline: QueueDiscipline, preemption: PreemptionPolicy) -> ClusterConfig {
+    ClusterConfig {
+        scheduler: SchedulerConfig {
+            max_batch: 4,
+            admission_stride: 4,
+            fair: FairConfig {
+                discipline,
+                weights: vec![(0, 4), (1, 1)],
+                preemption,
+                ..FairConfig::default()
+            },
+        },
+        autoscale: None,
+    }
+}
+
+fn run_cell(
+    mix: (usize, usize),
+    discipline: QueueDiscipline,
+    preemption: PreemptionPolicy,
+) -> (TenantSlo, TenantSlo, f64, usize) {
+    let mut cluster = Cluster::from_fleet(
+        &ModelConfig::deepseek_distill_llama_8b(),
+        &fleet::homogeneous(DeviceSpec::a100_80g(), 2),
+        BUDGET,
+        SystemKind::SpeContext,
+        policy_cfg(discipline, preemption),
+        RouterKind::LeastOutstanding.build(),
+    );
+    let report = cluster.run(&mix_trace(mix.0, mix.1), &SloSpec::new(10.0, 0.02));
+    let tenant = |id: u32| {
+        report
+            .slo
+            .per_tenant
+            .iter()
+            .find(|t| t.tenant == id)
+            .cloned()
+            .unwrap_or_else(|| panic!("tenant {id} missing from report"))
+    };
+    let preemptions: usize = report.slo.per_tenant.iter().map(|t| t.preemptions).sum();
+    (tenant(0), tenant(1), report.throughput, preemptions)
+}
+
+fn main() {
+    let mixes = [(3usize, 1usize), (1usize, 1usize)];
+    let policies = [
+        ("fifo", QueueDiscipline::Fifo, PreemptionPolicy::None),
+        (
+            "drr",
+            QueueDiscipline::DeficitRoundRobin,
+            PreemptionPolicy::None,
+        ),
+        (
+            "drr+longest",
+            QueueDiscipline::DeficitRoundRobin,
+            PreemptionPolicy::LongestFirst,
+        ),
+        (
+            "drr+drr",
+            QueueDiscipline::DeficitRoundRobin,
+            PreemptionPolicy::DeficitRoundRobin,
+        ),
+    ];
+
+    let mut table = Table::new(
+        format!(
+            "Table 3 (fairness) — {REQUESTS} req @ {RATE}/s, 2xA100, tenant 0 [512,256] vs tenant 1 [2k,8k], weights 4:1, SLO: TTFT<=10s TBT<=20ms"
+        ),
+        &[
+            "mix (t0:t1)",
+            "policy",
+            "t0 TTFT p50 s",
+            "t0 TTFT p95 s",
+            "t0 attain",
+            "t1 TTFT p95 s",
+            "t1 attain",
+            "goodput tok/s",
+            "tokens/s",
+            "preemptions",
+        ],
+    );
+    // Every cell builds its own cluster and trace, so the sweep fans out
+    // over the worker pool; rows come back in grid order and the emitted
+    // JSON is byte-identical to the serial sweep.
+    type Cell<'a> = ((usize, usize), (&'a str, QueueDiscipline, PreemptionPolicy));
+    let grid: Vec<Cell> = mixes
+        .iter()
+        .flat_map(|&m| policies.iter().map(move |&p| (m, p)))
+        .collect();
+    let cells = spec_parallel::par_map(&grid, |&(mix, (label, discipline, preemption))| {
+        let (t0, t1, tokens_per_s, preemptions) = run_cell(mix, discipline, preemption);
+        let row = vec![
+            format!("{}:{}", mix.0, mix.1),
+            label.to_string(),
+            format!("{:.2}", t0.ttft.p50),
+            format!("{:.2}", t0.ttft.p95),
+            format!("{:.2}", t0.attainment),
+            format!("{:.2}", t1.ttft.p95),
+            format!("{:.2}", t1.attainment),
+            format!("{:.1}", t0.goodput_tokens_per_s + t1.goodput_tokens_per_s),
+            format!("{tokens_per_s:.1}"),
+            preemptions.to_string(),
+        ];
+        (row, t0, preemptions)
+    });
+
+    // --- the acceptance anchor -----------------------------------------
+    // Short-tenant p95 TTFT must be strictly better under DRR+preemption
+    // than under FIFO for the interactive-heavy mix; both cells come out
+    // of the sweep just computed.
+    let anchor = |label: &str| {
+        grid.iter()
+            .zip(&cells)
+            .find(|((mix, (l, _, _)), _)| *mix == (3, 1) && *l == label)
+            .map(|(_, (_, t0, preemptions))| (t0.clone(), *preemptions))
+            .expect("anchor cell in grid")
+    };
+    let (fifo_t0, _) = anchor("fifo");
+    let (fair_t0, fair_preempt) = anchor("drr+drr");
+    assert!(
+        fair_t0.ttft.p95 < fifo_t0.ttft.p95,
+        "fairness regression: short-tenant p95 TTFT {} (drr+preempt) vs {} (fifo)",
+        fair_t0.ttft.p95,
+        fifo_t0.ttft.p95
+    );
+    println!(
+        "[anchor] short-tenant p95 TTFT: fifo {:.2}s -> drr+preempt {:.2}s ({} preemptions)\n",
+        fifo_t0.ttft.p95, fair_t0.ttft.p95, fair_preempt
+    );
+
+    for (row, _, _) in cells {
+        table.push_row(row);
+    }
+    emit(&table, "table3_fairness");
+}

@@ -8,17 +8,37 @@
 //! comes from the same per-step dataflow timelines as the throughput
 //! benches, so scheduler results and Table-3 results are mutually
 //! consistent.
+//!
+//! # Multi-tenant fairness and preemption
+//!
+//! Every [`Request`] bills to a tenant. The wait "queue" is one FIFO per
+//! tenant; a [`FairConfig`] picks the admission discipline across tenants
+//! ([`QueueDiscipline::Fifo`] = global arrival order, exactly the
+//! pre-tenant behaviour; [`QueueDiscipline::DeficitRoundRobin`] =
+//! weighted deficit round-robin over tenant queues) and an optional
+//! [`PreemptionPolicy`]: when an arrived request cannot enter the batch
+//! (batch cap or memory) the scheduler may checkpoint a running victim —
+//! paying the KV save transfer at the memory model's bytes/token over the
+//! device's PCIe bandwidth — admit the waiter, and later restore the
+//! victim (paying the restore transfer on re-admission). With a single
+//! tenant and preemption off, every discipline reduces to the historical
+//! single-FIFO scheduler bit-for-bit ([`Scheduler::run_reference`] keeps
+//! that behaviour verbatim and `tests/fairness.rs` pins the equivalence).
 
 use crate::serving::{ServingSim, StepCache, SystemKind, Workload};
 use serde::{Deserialize, Serialize};
 use spec_tensor::PercentileSummary;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// One serving request.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Request {
     /// Request id (unique per run).
     pub id: usize,
+    /// Tenant (user group / workload class) the request bills to; the
+    /// fair scheduler arbitrates between tenants. Single-tenant traces
+    /// use 0.
+    pub tenant: u32,
     /// Prompt tokens.
     pub input_len: usize,
     /// Tokens to generate.
@@ -32,10 +52,17 @@ pub struct Request {
 pub struct CompletedRequest {
     /// The request.
     pub request: Request,
-    /// When decoding started (admission + prefill end).
+    /// When decoding started (first admission + prefill end).
     pub start: f64,
+    /// When the first output token existed: the end of the request's
+    /// first decode iteration (not the decode *start* — the batch
+    /// iteration has to finish before a token exists).
+    pub first_token: f64,
     /// When the last token was produced.
     pub finish: f64,
+    /// Times the request was checkpointed off the batch and later
+    /// restored (0 when it ran uninterrupted).
+    pub preemptions: usize,
 }
 
 impl CompletedRequest {
@@ -44,25 +71,106 @@ impl CompletedRequest {
         self.finish - self.request.arrival
     }
 
-    /// Queueing + prefill delay before decoding began.
+    /// Queueing + prefill + first decode iteration: arrival until the
+    /// first output token exists.
     pub fn time_to_first_token(&self) -> f64 {
-        self.start - self.request.arrival
+        self.first_token - self.request.arrival
     }
 
-    /// Mean time between output tokens over the decode span.
+    /// Mean time between output tokens: the span from the first token to
+    /// the last spread over the `output_len - 1` intervals between them
+    /// (0 for single-token outputs, which have no inter-token gap).
     pub fn time_between_tokens(&self) -> f64 {
-        (self.finish - self.start) / self.request.output_len.max(1) as f64
+        let intervals = self.request.output_len.saturating_sub(1);
+        if intervals == 0 {
+            0.0
+        } else {
+            (self.finish - self.first_token) / intervals as f64
+        }
+    }
+}
+
+/// How queued requests of different tenants are ordered for admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueDiscipline {
+    /// Global arrival order across all tenants — the historical single
+    /// FIFO. A long-generation tenant's backlog delays everyone behind
+    /// it.
+    Fifo,
+    /// Weighted deficit round-robin over per-tenant queues: tenants take
+    /// turns in id order, each visit granting `quantum × weight` tokens
+    /// of deficit, and a tenant's head is admitted once its remaining
+    /// output fits the accumulated deficit. Orders *who goes next*
+    /// without ever delaying admission the memory model would allow, so
+    /// a single-tenant trace is served exactly as under `Fifo`.
+    DeficitRoundRobin,
+}
+
+/// Whom to evict when an arrived request cannot enter the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PreemptionPolicy {
+    /// Never evict; the waiter queues until capacity frees up.
+    None,
+    /// Evict the running request with the most remaining output tokens
+    /// (ties to the smaller id).
+    LongestFirst,
+    /// Evict from the tenant that has consumed the most decode service
+    /// per unit weight this run (ties: most remaining output, then
+    /// smaller id) — the deficit-round-robin notion of "most over
+    /// served".
+    DeficitRoundRobin,
+}
+
+/// Multi-tenant fairness knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FairConfig {
+    /// Admission ordering across tenants.
+    pub discipline: QueueDiscipline,
+    /// `(tenant, weight)` pairs; unlisted tenants weigh 1. Weights scale
+    /// both the DRR deficit quantum and the preemption service ledger.
+    pub weights: Vec<(u32, u32)>,
+    /// Deficit tokens granted per DRR visit (per unit weight).
+    pub quantum_tokens: usize,
+    /// Eviction policy when an arrived request cannot enter the batch.
+    pub preemption: PreemptionPolicy,
+    /// Hard cap on how many times one request may be checkpointed — the
+    /// thrash guard that bounds save/restore churn.
+    pub max_preemptions: usize,
+}
+
+impl Default for FairConfig {
+    fn default() -> Self {
+        Self {
+            discipline: QueueDiscipline::DeficitRoundRobin,
+            weights: Vec::new(),
+            quantum_tokens: 512,
+            preemption: PreemptionPolicy::None,
+            max_preemptions: 4,
+        }
+    }
+}
+
+impl FairConfig {
+    /// The weight of `tenant` (1 unless listed).
+    pub fn weight(&self, tenant: u32) -> u32 {
+        self.weights
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map(|&(_, w)| w.max(1))
+            .unwrap_or(1)
     }
 }
 
 /// Scheduler configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SchedulerConfig {
     /// Hard cap on concurrent requests.
     pub max_batch: usize,
     /// Decode iterations between admission checks (1 = every step;
     /// larger values model chunked admission).
     pub admission_stride: usize,
+    /// Tenant fairness and preemption.
+    pub fair: FairConfig,
 }
 
 impl Default for SchedulerConfig {
@@ -70,6 +178,7 @@ impl Default for SchedulerConfig {
         Self {
             max_batch: 64,
             admission_stride: 16,
+            fair: FairConfig::default(),
         }
     }
 }
@@ -85,14 +194,17 @@ pub struct ScheduleReport {
     pub throughput: f64,
     /// End-to-end latency percentiles (arrival → last token).
     pub latency: PercentileSummary,
-    /// Time-to-first-token percentiles (arrival → decode start), the
+    /// Time-to-first-token percentiles (arrival → first token), the
     /// same definition the `spec_serve` SLO accounting uses, so
     /// single-node and cluster reports are directly comparable.
     pub ttft: PercentileSummary,
-    /// Time-between-tokens percentiles (decode span / output tokens).
+    /// Time-between-tokens percentiles (first-to-last-token span over
+    /// `output_len - 1` intervals).
     pub tbt: PercentileSummary,
     /// Requests that could never be admitted (memory).
     pub rejected: usize,
+    /// Checkpoint/restore round-trips paid across all completions.
+    pub preemptions: usize,
 }
 
 impl ScheduleReport {
@@ -123,6 +235,7 @@ impl ScheduleReport {
             ttft: PercentileSummary::from_samples(&ttfts),
             tbt: PercentileSummary::from_samples(&tbts),
             rejected,
+            preemptions: completed.iter().map(|c| c.preemptions).sum(),
             completed,
         }
     }
@@ -142,10 +255,40 @@ struct Running {
     req: Request,
     produced: usize,
     start: f64,
+    first_token: Option<f64>,
+    preemptions: usize,
 }
 
-/// The incremental state of one continuous-batching engine: wait queue,
-/// running batch, completions and the local clock.
+/// One queued unit of work: a fresh arrival (`produced == 0`) or a
+/// checkpointed request awaiting restore.
+#[derive(Debug, Clone, Copy)]
+struct QueueEntry {
+    req: Request,
+    /// Global push sequence — the FIFO discipline's ordering key.
+    seq: u64,
+    /// Tokens already produced before the last checkpoint (0 = fresh).
+    produced: usize,
+    /// Original decode start, kept across checkpoints.
+    start: Option<f64>,
+    /// When the first token was produced, kept across checkpoints.
+    first_token: Option<f64>,
+    /// Times this request has been checkpointed so far.
+    preemptions: usize,
+}
+
+/// One tenant's wait queue plus its fairness ledgers.
+#[derive(Debug, Clone, Default)]
+struct TenantQueue {
+    queue: VecDeque<QueueEntry>,
+    /// DRR deficit, in output tokens.
+    deficit: u64,
+    /// Decode service consumed this run, in output tokens (the
+    /// preemption policy's "over-served" signal).
+    served: u64,
+}
+
+/// The incremental state of one continuous-batching engine: per-tenant
+/// wait queues, running batch, completions and the local clock.
 ///
 /// [`Scheduler::run`] drives a `BatchState` to completion over a whole
 /// trace; the `spec_serve` cluster simulator instead drives one per
@@ -154,16 +297,19 @@ struct Running {
 /// 1-replica cluster reproduces `Scheduler::run` bit-for-bit.
 #[derive(Debug, Clone, Default)]
 pub struct BatchState {
-    queue: VecDeque<Request>,
+    queues: BTreeMap<u32, TenantQueue>,
     running: Vec<Running>,
     completed: Vec<CompletedRequest>,
-    rejected: usize,
+    rejected: Vec<Request>,
     now: f64,
     iter: usize,
     /// Whether the admission sweep for the current iteration already
     /// closed (hit a future arrival, a full batch, or an empty queue).
     sweep_done: bool,
     last_arrival: f64,
+    next_seq: u64,
+    /// The tenant id the DRR rotation visited last.
+    drr_last: Option<u32>,
 }
 
 impl BatchState {
@@ -172,7 +318,7 @@ impl BatchState {
         Self::default()
     }
 
-    /// Enqueues an arrived request.
+    /// Enqueues an arrived request on its tenant's queue.
     ///
     /// # Panics
     ///
@@ -186,12 +332,25 @@ impl BatchState {
             self.last_arrival
         );
         self.last_arrival = req.arrival;
-        self.queue.push_back(req);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queues
+            .entry(req.tenant)
+            .or_default()
+            .queue
+            .push_back(QueueEntry {
+                req,
+                seq,
+                produced: 0,
+                start: None,
+                first_token: None,
+                preemptions: 0,
+            });
     }
 
     /// Whether any request is still queued or decoding.
     pub fn has_work(&self) -> bool {
-        !self.queue.is_empty() || !self.running.is_empty()
+        !self.running.is_empty() || self.queues.values().any(|q| !q.queue.is_empty())
     }
 
     /// The engine's local clock, seconds.
@@ -199,9 +358,9 @@ impl BatchState {
         self.now
     }
 
-    /// Queued (not yet admitted) requests.
+    /// Queued (not yet admitted or checkpointed) requests.
     pub fn queued(&self) -> usize {
-        self.queue.len()
+        self.queues.values().map(|q| q.queue.len()).sum()
     }
 
     /// Requests currently decoding.
@@ -211,7 +370,7 @@ impl BatchState {
 
     /// Queued + running requests — the router's load signal.
     pub fn outstanding(&self) -> usize {
-        self.queue.len() + self.running.len()
+        self.queued() + self.running.len()
     }
 
     /// The requests currently decoding, in admission order.
@@ -219,9 +378,12 @@ impl BatchState {
         self.running.iter().map(|r| &r.req)
     }
 
-    /// The requests waiting for admission, in arrival order.
+    /// The requests waiting for admission, grouped by tenant id and in
+    /// queue order within each tenant.
     pub fn queued_requests(&self) -> impl Iterator<Item = &Request> {
-        self.queue.iter()
+        self.queues
+            .values()
+            .flat_map(|q| q.queue.iter().map(|e| &e.req))
     }
 
     /// Requests finished so far, in finish order.
@@ -231,12 +393,35 @@ impl BatchState {
 
     /// Requests rejected so far (could never be admitted, even alone).
     pub fn rejected(&self) -> usize {
-        self.rejected
+        self.rejected.len()
+    }
+
+    /// The rejected requests themselves (per-tenant SLO accounting needs
+    /// their tenant ids, not just the count).
+    pub fn rejected_requests(&self) -> &[Request] {
+        &self.rejected
     }
 
     /// Consumes the state into `(completed, rejected)`.
     pub fn into_outcome(self) -> (Vec<CompletedRequest>, usize) {
-        (self.completed, self.rejected)
+        (self.completed, self.rejected.len())
+    }
+
+    /// Tenant ids with any queued work, in id order.
+    fn waiting_tenants(&self) -> impl Iterator<Item = u32> + '_ {
+        self.queues
+            .iter()
+            .filter(|(_, q)| !q.queue.is_empty())
+            .map(|(&t, _)| t)
+    }
+
+    /// The earliest head arrival across tenant queues.
+    fn earliest_head_arrival(&self) -> Option<f64> {
+        self.queues
+            .values()
+            .filter_map(|q| q.queue.front())
+            .map(|e| e.req.arrival)
+            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
     }
 }
 
@@ -286,6 +471,84 @@ impl Scheduler {
         ScheduleReport::from_completed(completed, makespan, rejected)
     }
 
+    /// The pre-tenant scheduler, kept verbatim as the pinning reference
+    /// (the same convention as the selection engine's `*_reference`
+    /// kernels): one global FIFO, no preemption. `tests/fairness.rs`
+    /// property-tests that [`Scheduler::run`] under a single tenant with
+    /// preemption off reproduces this bit-for-bit, whatever the
+    /// discipline.
+    pub fn run_reference(&self, requests: &[Request]) -> ScheduleReport {
+        assert!(!requests.is_empty(), "no requests");
+        assert!(
+            self.cfg.admission_stride > 0,
+            "admission_stride must be positive"
+        );
+        let mut queue: VecDeque<Request> = requests.iter().copied().collect();
+        let mut running: Vec<Running> = Vec::new();
+        let mut completed: Vec<CompletedRequest> = Vec::new();
+        let mut rejected = 0usize;
+        let mut now = 0.0f64;
+        let mut iter = 0usize;
+        let mut cache = StepCache::new();
+        while !queue.is_empty() || !running.is_empty() {
+            if iter.is_multiple_of(self.cfg.admission_stride) {
+                // Admission sweep: pull every admissible head.
+                while let Some(&head) = queue.front() {
+                    if head.arrival > now && running.is_empty() {
+                        now = head.arrival;
+                    }
+                    if head.arrival > now || running.len() >= self.cfg.max_batch {
+                        break;
+                    }
+                    if !self.admissible(&running, &head) {
+                        if running.is_empty() {
+                            rejected += 1;
+                            queue.pop_front();
+                            continue;
+                        }
+                        break;
+                    }
+                    queue.pop_front();
+                    now += self.prefill_time(&head, &mut cache);
+                    running.push(Running {
+                        req: head,
+                        produced: 0,
+                        start: now,
+                        first_token: None,
+                        preemptions: 0,
+                    });
+                }
+            }
+            if running.is_empty() {
+                iter += 1;
+                continue;
+            }
+            now += self.iteration_time(&running, &mut cache);
+            iter += 1;
+            for r in running.iter_mut() {
+                r.produced += 1;
+                if r.first_token.is_none() {
+                    r.first_token = Some(now);
+                }
+            }
+            running.retain(|r| {
+                if r.produced >= r.req.output_len {
+                    completed.push(CompletedRequest {
+                        request: r.req,
+                        start: r.start,
+                        first_token: r.first_token.expect("token after iteration"),
+                        finish: now,
+                        preemptions: r.preemptions,
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        ScheduleReport::from_completed(completed, now, rejected)
+    }
+
     /// Executes one scheduling micro-step: a single admission decision
     /// while an admission sweep is open, otherwise a single decode
     /// iteration for the running batch (a step with an empty batch only
@@ -293,9 +556,11 @@ impl Scheduler {
     /// [`Scheduler::run`] split at decision granularity, exposed so
     /// external event loops (the `spec_serve` replicas) can interleave
     /// stepping with routing: the clock never advances by more than one
-    /// admission or one iteration per call, so a router can inject an
-    /// arrival the moment the replica's clock passes it — exactly what
-    /// the closed loop sees with the full trace queued upfront.
+    /// admission decision (a preemptive admission charges the victim's
+    /// checkpoint and the waiter's prefill/restore as one decision) or
+    /// one iteration per call, so a router can inject an arrival the
+    /// moment the replica's clock passes it — exactly what the closed
+    /// loop sees with the full trace queued upfront.
     ///
     /// # Panics
     ///
@@ -305,36 +570,9 @@ impl Scheduler {
             self.cfg.admission_stride > 0,
             "admission_stride must be positive"
         );
-        // Admission: one head decision per call while the sweep is open.
+        // Admission: one decision per call while the sweep is open.
         if state.iter.is_multiple_of(self.cfg.admission_stride) && !state.sweep_done {
-            if let Some(&head) = state.queue.front() {
-                if head.arrival > state.now && state.running.is_empty() {
-                    state.now = head.arrival; // idle: jump to next arrival
-                }
-                if head.arrival > state.now || state.running.len() >= self.cfg.max_batch {
-                    state.sweep_done = true;
-                    return;
-                }
-                if !self.admissible(&state.running, &head) {
-                    if state.running.is_empty() {
-                        // Can never run, even alone.
-                        state.rejected += 1;
-                        state.queue.pop_front();
-                        return; // sweep stays open for the next head
-                    }
-                    state.sweep_done = true;
-                    return;
-                }
-                state.queue.pop_front();
-                state.now += self.prefill_time(&head, cache);
-                state.running.push(Running {
-                    req: head,
-                    produced: 0,
-                    start: state.now,
-                });
-                return; // sweep stays open for the next head
-            }
-            state.sweep_done = true;
+            self.admission_decision(state, cache);
             return;
         }
         if state.running.is_empty() {
@@ -346,17 +584,25 @@ impl Scheduler {
         state.now += self.iteration_time(&state.running, cache);
         state.iter += 1;
         state.sweep_done = false;
+        let now = state.now;
         for r in state.running.iter_mut() {
             r.produced += 1;
+            if r.first_token.is_none() {
+                r.first_token = Some(now);
+            }
         }
-        let now = state.now;
+        for r in &state.running {
+            state.queues.entry(r.req.tenant).or_default().served += 1;
+        }
         let completed = &mut state.completed;
         state.running.retain(|r| {
             if r.produced >= r.req.output_len {
                 completed.push(CompletedRequest {
                     request: r.req,
                     start: r.start,
+                    first_token: r.first_token.expect("token after iteration"),
                     finish: now,
+                    preemptions: r.preemptions,
                 });
                 false
             } else {
@@ -365,17 +611,264 @@ impl Scheduler {
         });
     }
 
+    /// One admission decision: pick the next waiting request under the
+    /// configured discipline, then admit, reject, preempt-and-admit, or
+    /// close the sweep.
+    fn admission_decision(&self, state: &mut BatchState, cache: &mut StepCache) {
+        if state.queued() == 0 {
+            state.sweep_done = true;
+            return;
+        }
+        // Idle engine: jump the clock to the next arrival, exactly like
+        // the single-FIFO reference.
+        if state.running.is_empty() {
+            let earliest = state.earliest_head_arrival().expect("queued work");
+            if earliest > state.now {
+                state.now = earliest;
+            }
+        }
+        let Some(tenant) = self.select_tenant(state) else {
+            // Heads exist but none has arrived yet.
+            state.sweep_done = true;
+            return;
+        };
+        let entry = *state.queues[&tenant].queue.front().expect("selected head");
+        if state.running.len() >= self.cfg.max_batch {
+            self.preempt_for(state, cache, tenant, &entry);
+            return;
+        }
+        if !self.admissible(&state.running, &entry.req) {
+            if state.running.is_empty() {
+                // Can never run, even alone.
+                let q = state.queues.get_mut(&tenant).expect("selected queue");
+                q.queue.pop_front();
+                if q.queue.is_empty() {
+                    q.deficit = 0;
+                }
+                state.rejected.push(entry.req);
+                return; // sweep stays open for the next head
+            }
+            self.preempt_for(state, cache, tenant, &entry);
+            return;
+        }
+        self.admit(state, cache, tenant);
+    }
+
+    /// Pops `tenant`'s head and moves it into the running batch,
+    /// charging prefill (fresh) or the KV restore transfer (checkpointed).
+    fn admit(&self, state: &mut BatchState, cache: &mut StepCache, tenant: u32) {
+        let q = state.queues.get_mut(&tenant).expect("selected queue");
+        let entry = q.queue.pop_front().expect("selected head");
+        let cost = remaining_tokens(&entry) as u64;
+        q.deficit = q.deficit.saturating_sub(cost);
+        if q.queue.is_empty() {
+            q.deficit = 0;
+        }
+        if entry.produced == 0 {
+            state.now += self.prefill_time(&entry.req, cache);
+        } else {
+            state.now += self.kv_transfer_time(&entry.req, entry.produced);
+        }
+        state.running.push(Running {
+            req: entry.req,
+            produced: entry.produced,
+            start: entry.start.unwrap_or(state.now),
+            first_token: entry.first_token,
+            preemptions: entry.preemptions,
+        });
+    }
+
+    /// Tries to checkpoint a running victim so the blocked `entry` can
+    /// enter the batch this decision; closes the sweep when the policy
+    /// yields no eligible victim or evicting one would not unblock the
+    /// waiter.
+    fn preempt_for(
+        &self,
+        state: &mut BatchState,
+        cache: &mut StepCache,
+        tenant: u32,
+        entry: &QueueEntry,
+    ) {
+        let Some(victim_idx) = self.pick_victim(state, entry) else {
+            state.sweep_done = true;
+            return;
+        };
+        // Eviction must actually unblock the waiter memory-wise (the
+        // batch slot is never the issue: the batch can't exceed
+        // max_batch, so one eviction always frees a slot).
+        let victim = state.running[victim_idx];
+        if !self.admissible_without(&state.running, victim_idx, &entry.req) {
+            state.sweep_done = true;
+            return;
+        }
+        // Checkpoint: save the victim's resident KV over PCIe and park
+        // it at the front of its tenant queue (it resumes before that
+        // tenant's fresh arrivals).
+        state.now += self.kv_transfer_time(&victim.req, victim.produced);
+        state.running.remove(victim_idx);
+        state
+            .queues
+            .entry(victim.req.tenant)
+            .or_default()
+            .queue
+            .push_front(QueueEntry {
+                req: victim.req,
+                seq: 0, // resumes first under FIFO too: it predates the queue
+                produced: victim.produced,
+                start: Some(victim.start),
+                first_token: victim.first_token,
+                preemptions: victim.preemptions + 1,
+            });
+        self.admit(state, cache, tenant);
+    }
+
+    /// The index of the victim the preemption policy picks for the
+    /// blocked `entry`, or `None` when no running request is eligible.
+    /// Eligibility: a different tenant, strictly more remaining output
+    /// than the waiter (so the preemption chain terminates), at least
+    /// one produced token (its restore has something to checkpoint), and
+    /// under the per-request preemption cap.
+    fn pick_victim(&self, state: &BatchState, entry: &QueueEntry) -> Option<usize> {
+        if self.cfg.fair.preemption == PreemptionPolicy::None {
+            return None;
+        }
+        let waiter_remaining = remaining_tokens(entry);
+        let eligible = |r: &Running| {
+            r.req.tenant != entry.req.tenant
+                && r.produced > 0
+                && r.preemptions < self.cfg.fair.max_preemptions
+                && r.req.output_len - r.produced > waiter_remaining
+        };
+        let remaining = |r: &Running| r.req.output_len - r.produced;
+        match self.cfg.fair.preemption {
+            PreemptionPolicy::None => None,
+            PreemptionPolicy::LongestFirst => state
+                .running
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| eligible(r))
+                .max_by(|(_, a), (_, b)| {
+                    remaining(a)
+                        .cmp(&remaining(b))
+                        .then(b.req.id.cmp(&a.req.id))
+                })
+                .map(|(i, _)| i),
+            PreemptionPolicy::DeficitRoundRobin => {
+                // Most over-served tenant first: served tokens per unit
+                // weight, exact in integers via cross-multiplication.
+                let norm = |r: &Running| {
+                    let served = state
+                        .queues
+                        .get(&r.req.tenant)
+                        .map(|q| q.served)
+                        .unwrap_or(0);
+                    (served, self.cfg.fair.weight(r.req.tenant) as u64)
+                };
+                state
+                    .running
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| eligible(r))
+                    .max_by(|(_, a), (_, b)| {
+                        let (sa, wa) = norm(a);
+                        let (sb, wb) = norm(b);
+                        (sa * wb)
+                            .cmp(&(sb * wa))
+                            .then(remaining(a).cmp(&remaining(b)))
+                            .then(b.req.id.cmp(&a.req.id))
+                    })
+                    .map(|(i, _)| i)
+            }
+        }
+    }
+
+    /// Picks the tenant whose head goes next, among tenants whose head
+    /// has arrived. `None` when every queued head is still in the
+    /// future.
+    fn select_tenant(&self, state: &mut BatchState) -> Option<u32> {
+        let arrived: Vec<u32> = state
+            .waiting_tenants()
+            .filter(|t| {
+                state.queues[t]
+                    .queue
+                    .front()
+                    .is_some_and(|e| e.req.arrival <= state.now)
+            })
+            .collect();
+        match (arrived.as_slice(), self.cfg.fair.discipline) {
+            ([], _) => None,
+            ([only], _) => Some(*only),
+            (_, QueueDiscipline::Fifo) => {
+                // Global push order: the smallest sequence number wins
+                // (checkpointed entries carry seq 0 and resume first).
+                arrived
+                    .iter()
+                    .copied()
+                    .min_by_key(|t| state.queues[t].queue.front().map(|e| e.seq))
+            }
+            (_, QueueDiscipline::DeficitRoundRobin) => {
+                // Rotate in tenant-id order from the last visited tenant,
+                // granting quantum × weight per visit, until some arrived
+                // head's remaining output fits its tenant's deficit. The
+                // deficit only ever *orders* tenants — it keeps growing
+                // until someone affords, so admission is never delayed
+                // beyond what memory allows.
+                let quantum = self.cfg.fair.quantum_tokens.max(1) as u64;
+                loop {
+                    let next = arrived
+                        .iter()
+                        .copied()
+                        .find(|&t| state.drr_last.is_none_or(|last| t > last))
+                        .or_else(|| arrived.first().copied())
+                        .expect("nonempty arrived set");
+                    state.drr_last = Some(next);
+                    let q = state.queues.get_mut(&next).expect("arrived tenant");
+                    let cost = q.queue.front().map(remaining_tokens).unwrap_or(0) as u64;
+                    if q.deficit >= cost {
+                        return Some(next);
+                    }
+                    q.deficit += quantum * self.cfg.fair.weight(next) as u64;
+                }
+            }
+        }
+    }
+
     /// Whether adding `req` to the running batch fits in GPU memory at
     /// the *final* lengths (conservative admission).
     fn admissible(&self, running: &[Running], req: &Request) -> bool {
+        self.admissible_at(
+            running.iter().map(|r| r.req.input_len + r.req.output_len),
+            running.len() + 1,
+            req,
+        )
+    }
+
+    /// [`Scheduler::admissible`] with the running request at `skip`
+    /// excluded — the preemption check "would evicting this victim
+    /// unblock the waiter", without materializing the reduced batch.
+    fn admissible_without(&self, running: &[Running], skip: usize, req: &Request) -> bool {
+        self.admissible_at(
+            running
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, r)| r.req.input_len + r.req.output_len),
+            running.len(),
+            req,
+        )
+    }
+
+    fn admissible_at(
+        &self,
+        final_lens: impl Iterator<Item = usize>,
+        batch: usize,
+        req: &Request,
+    ) -> bool {
         let mm = self.sim.memory_model();
-        let max_len = running
-            .iter()
-            .map(|r| r.req.input_len + r.req.output_len)
+        let max_len = final_lens
             .chain([req.input_len + req.output_len])
             .max()
             .unwrap_or(0);
-        let batch = running.len() + 1;
         match self.system {
             SystemKind::SpeContext => {
                 // Adaptive placement: admissible if full offload fits.
@@ -387,6 +880,27 @@ impl Scheduler {
 
     fn sim_budget(&self) -> usize {
         self.sim.budget()
+    }
+
+    /// Tokens of `req`'s KV resident on the GPU once `produced` tokens
+    /// exist — the checkpoint/restore transfer size. Sparse systems keep
+    /// at most the retrieval budget per request; full systems keep the
+    /// whole context.
+    fn resident_tokens(&self, req: &Request, produced: usize) -> usize {
+        let total = req.input_len + produced;
+        match self.system {
+            SystemKind::SpeContext => total.min(self.sim.budget()),
+            _ => total,
+        }
+    }
+
+    /// The one-way PCIe time to move `req`'s resident KV at the memory
+    /// model's bytes/token — paid once to checkpoint and once to
+    /// restore.
+    fn kv_transfer_time(&self, req: &Request, produced: usize) -> f64 {
+        let bytes = self.resident_tokens(req, produced) as f64
+            * self.sim.memory_model().kv_token_total_bytes();
+        self.sim.device().pcie_time(bytes)
     }
 
     /// Prefill latency for one prompt, memoized per `(system, input_len)`
@@ -419,6 +933,10 @@ impl Scheduler {
     }
 }
 
+fn remaining_tokens(entry: &QueueEntry) -> usize {
+    entry.req.output_len.saturating_sub(entry.produced)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,6 +955,7 @@ mod tests {
         (0..n)
             .map(|i| Request {
                 id: i,
+                tenant: 0,
                 input_len: 2048,
                 output_len: 1024,
                 arrival: i as f64 * spacing,
@@ -454,6 +973,8 @@ mod tests {
         for c in &report.completed {
             assert!(c.finish > c.start);
             assert!(c.start >= c.request.arrival);
+            assert!(c.first_token > c.start, "first token needs an iteration");
+            assert!(c.first_token <= c.finish);
         }
     }
 
@@ -483,6 +1004,7 @@ mod tests {
         let reqs: Vec<Request> = (0..8)
             .map(|i| Request {
                 id: i,
+                tenant: 0,
                 input_len: 2048,
                 output_len: 31 * 1024,
                 arrival: 0.0,
@@ -503,6 +1025,7 @@ mod tests {
     fn oversized_requests_are_rejected_not_hung() {
         let reqs = vec![Request {
             id: 0,
+            tenant: 0,
             input_len: 10_000_000, // cannot fit even alone
             output_len: 10_000_000,
             arrival: 0.0,
@@ -522,5 +1045,170 @@ mod tests {
         let s = Scheduler::new(sim(), SystemKind::SpeContext, SchedulerConfig::default());
         let report = s.run(&trace(10, 0.5));
         assert!(report.latency.p95 >= report.latency.mean * 0.5);
+    }
+
+    #[test]
+    fn ttft_includes_the_first_decode_iteration() {
+        let s = Scheduler::new(sim(), SystemKind::SpeContext, SchedulerConfig::default());
+        let report = s.run(&trace(1, 0.0));
+        let c = &report.completed[0];
+        // TTFT strictly exceeds queueing + prefill: the first iteration
+        // has to finish before a token exists.
+        assert!(c.time_to_first_token() > c.start - c.request.arrival);
+        // TBT spans output_len - 1 intervals from the first token.
+        let expect = (c.finish - c.first_token) / (c.request.output_len - 1) as f64;
+        assert!((c.time_between_tokens() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_token_output_has_zero_tbt() {
+        let done = CompletedRequest {
+            request: Request {
+                id: 0,
+                tenant: 0,
+                input_len: 128,
+                output_len: 1,
+                arrival: 0.0,
+            },
+            start: 1.0,
+            first_token: 1.5,
+            finish: 1.5,
+            preemptions: 0,
+        };
+        assert_eq!(done.time_between_tokens(), 0.0);
+    }
+
+    fn two_tenant_trace() -> Vec<Request> {
+        // Tenant 1 floods long generations at t=0; tenant 0 sends short
+        // interactive requests while the batch is saturated.
+        let mut reqs: Vec<Request> = (0..6)
+            .map(|i| Request {
+                id: i,
+                tenant: 1,
+                input_len: 2048,
+                output_len: 8192,
+                arrival: 0.0,
+            })
+            .collect();
+        for i in 0..4 {
+            reqs.push(Request {
+                id: 6 + i,
+                tenant: 0,
+                input_len: 512,
+                output_len: 128,
+                arrival: 2.0 + i as f64,
+            });
+        }
+        reqs
+    }
+
+    fn fair_cfg(preemption: PreemptionPolicy) -> SchedulerConfig {
+        SchedulerConfig {
+            max_batch: 4,
+            admission_stride: 4,
+            fair: FairConfig {
+                discipline: QueueDiscipline::DeficitRoundRobin,
+                weights: vec![(0, 4), (1, 1)],
+                preemption,
+                ..FairConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn preemption_rescues_short_tenant_ttft() {
+        let reqs = two_tenant_trace();
+        let fifo_cfg = SchedulerConfig {
+            max_batch: 4,
+            admission_stride: 4,
+            fair: FairConfig {
+                discipline: QueueDiscipline::Fifo,
+                ..FairConfig::default()
+            },
+        };
+        let fifo = Scheduler::new(sim(), SystemKind::SpeContext, fifo_cfg).run(&reqs);
+        let fair = Scheduler::new(
+            sim(),
+            SystemKind::SpeContext,
+            fair_cfg(PreemptionPolicy::DeficitRoundRobin),
+        )
+        .run(&reqs);
+        let short_ttft = |rep: &ScheduleReport| {
+            let v: Vec<f64> = rep
+                .completed
+                .iter()
+                .filter(|c| c.request.tenant == 0)
+                .map(CompletedRequest::time_to_first_token)
+                .collect();
+            assert_eq!(v.len(), 4);
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert_eq!(fifo.completed.len() + fifo.rejected, 10);
+        assert_eq!(fair.completed.len() + fair.rejected, 10);
+        assert!(
+            fair.preemptions > 0,
+            "saturated batch must trigger eviction"
+        );
+        assert!(
+            short_ttft(&fair) < short_ttft(&fifo),
+            "fair {} vs fifo {}",
+            short_ttft(&fair),
+            short_ttft(&fifo)
+        );
+    }
+
+    #[test]
+    fn preempted_requests_still_complete_with_all_tokens() {
+        for policy in [
+            PreemptionPolicy::LongestFirst,
+            PreemptionPolicy::DeficitRoundRobin,
+        ] {
+            let reqs = two_tenant_trace();
+            let rep = Scheduler::new(sim(), SystemKind::SpeContext, fair_cfg(policy)).run(&reqs);
+            assert_eq!(rep.completed.len() + rep.rejected, reqs.len());
+            for c in &rep.completed {
+                assert!(c.preemptions <= FairConfig::default().max_preemptions);
+                assert!(c.first_token >= c.start);
+                assert!(c.finish >= c.first_token);
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_charges_the_victims() {
+        // Preemption is not free: the evicted tenant pays the save and
+        // restore transfers plus the wait, so its mean latency strictly
+        // exceeds the no-preemption run's on the same trace. (Makespan is
+        // *not* monotone — evictions change batch compositions and the
+        // iteration-time integrand with them.)
+        let reqs = two_tenant_trace();
+        let none = Scheduler::new(
+            sim(),
+            SystemKind::SpeContext,
+            fair_cfg(PreemptionPolicy::None),
+        )
+        .run(&reqs);
+        let preempt = Scheduler::new(
+            sim(),
+            SystemKind::SpeContext,
+            fair_cfg(PreemptionPolicy::LongestFirst),
+        )
+        .run(&reqs);
+        assert!(preempt.preemptions > 0);
+        let victim_latency = |rep: &ScheduleReport| {
+            let v: Vec<f64> = rep
+                .completed
+                .iter()
+                .filter(|c| c.request.tenant == 1)
+                .map(CompletedRequest::latency)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            victim_latency(&preempt) > victim_latency(&none),
+            "victims must pay: {} vs {}",
+            victim_latency(&preempt),
+            victim_latency(&none)
+        );
     }
 }

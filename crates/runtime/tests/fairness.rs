@@ -1,0 +1,214 @@
+//! Property tests pinning the fair scheduler to its references.
+//!
+//! The contract of the multi-tenant rework: a single-tenant trace with
+//! preemption off is served **bit-for-bit** like the historical
+//! single-FIFO scheduler ([`Scheduler::run_reference`], kept verbatim),
+//! whatever the queue discipline — DRR only ever reorders *between*
+//! tenants. On top of that, multi-tenant runs must conserve requests,
+//! respect the preemption cap, and DRR must actually protect a short
+//! interactive tenant from a long-generation tenant.
+
+use proptest::prelude::*;
+use spec_hwsim::DeviceSpec;
+use spec_model::ModelConfig;
+use spec_runtime::{
+    FairConfig, PreemptionPolicy, QueueDiscipline, Request, ScheduleReport, Scheduler,
+    SchedulerConfig, ServingSim, SystemKind,
+};
+use spec_tensor::SimRng;
+
+fn sim() -> ServingSim {
+    ServingSim::new(
+        ModelConfig::deepseek_distill_llama_8b(),
+        DeviceSpec::a100_80g(),
+        2048,
+    )
+}
+
+/// A deterministic single-tenant trace with mixed shapes.
+fn single_tenant_trace(seed: u64, count: usize, rate: f64) -> Vec<Request> {
+    let mut rng = SimRng::seed(seed);
+    let mut t = 0.0f64;
+    (0..count)
+        .map(|id| {
+            t += -(1.0 - rng.uniform() as f64).ln() / rate;
+            let (input_len, output_len) = match rng.below(3) {
+                0 => (512, 256),
+                1 => (2048, 1024),
+                _ => (4096, 2048),
+            };
+            Request {
+                id,
+                tenant: 0,
+                input_len,
+                output_len,
+                arrival: t,
+            }
+        })
+        .collect()
+}
+
+/// A two-tenant trace: tenant 1 long generations, tenant 0 shorts.
+fn two_tenant_trace(seed: u64, count: usize, rate: f64) -> Vec<Request> {
+    let mut rng = SimRng::seed(seed);
+    let mut t = 0.0f64;
+    (0..count)
+        .map(|id| {
+            t += -(1.0 - rng.uniform() as f64).ln() / rate;
+            let long = rng.below(2) == 1;
+            Request {
+                id,
+                tenant: long as u32,
+                input_len: if long { 2048 } else { 512 },
+                output_len: if long { 4096 } else { 256 },
+                arrival: t,
+            }
+        })
+        .collect()
+}
+
+fn assert_bitwise_equal(a: &ScheduleReport, b: &ScheduleReport) {
+    assert_eq!(a, b);
+    assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+    for (x, y) in a.completed.iter().zip(&b.completed) {
+        assert_eq!(x.start.to_bits(), y.start.to_bits());
+        assert_eq!(x.first_token.to_bits(), y.first_token.to_bits());
+        assert_eq!(x.finish.to_bits(), y.finish.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Single tenant + preemption off == the historical FIFO scheduler,
+    /// bit-for-bit, under both disciplines and across strides/batches.
+    #[test]
+    fn single_tenant_matches_reference_bit_for_bit(
+        seed in 0u64..1000,
+        count in 2usize..16,
+        rate in 1.0f64..16.0,
+        stride in 1usize..20,
+        max_batch in 1usize..12,
+        drr in any::<bool>(),
+    ) {
+        let reqs = single_tenant_trace(seed, count, rate);
+        let cfg = SchedulerConfig {
+            max_batch,
+            admission_stride: stride,
+            fair: FairConfig {
+                discipline: if drr {
+                    QueueDiscipline::DeficitRoundRobin
+                } else {
+                    QueueDiscipline::Fifo
+                },
+                ..FairConfig::default()
+            },
+        };
+        let s = Scheduler::new(sim(), SystemKind::SpeContext, cfg);
+        assert_bitwise_equal(&s.run(&reqs), &s.run_reference(&reqs));
+    }
+
+    /// The equivalence also holds for a full-attention baseline, where
+    /// memory (not the batch cap) gates admission.
+    #[test]
+    fn baseline_single_tenant_matches_reference(
+        seed in 0u64..500,
+        count in 2usize..10,
+    ) {
+        let reqs = single_tenant_trace(seed, count, 4.0);
+        let s = Scheduler::new(
+            sim(),
+            SystemKind::FullFlashInfer,
+            SchedulerConfig::default(),
+        );
+        assert_bitwise_equal(&s.run(&reqs), &s.run_reference(&reqs));
+    }
+
+    /// Multi-tenant preemptive runs conserve requests and bound
+    /// preemptions, under every policy.
+    #[test]
+    fn preemptive_runs_conserve_requests(
+        seed in 0u64..1000,
+        count in 4usize..20,
+        rate in 2.0f64..16.0,
+    ) {
+        for preemption in [
+            PreemptionPolicy::None,
+            PreemptionPolicy::LongestFirst,
+            PreemptionPolicy::DeficitRoundRobin,
+        ] {
+            let reqs = two_tenant_trace(seed, count, rate);
+            let cfg = SchedulerConfig {
+                max_batch: 4,
+                admission_stride: 4,
+                fair: FairConfig {
+                    discipline: QueueDiscipline::DeficitRoundRobin,
+                    weights: vec![(0, 4), (1, 1)],
+                    preemption,
+                    ..FairConfig::default()
+                },
+            };
+            let rep = Scheduler::new(sim(), SystemKind::SpeContext, cfg).run(&reqs);
+            prop_assert_eq!(rep.completed.len() + rep.rejected, count);
+            let mut ids: Vec<usize> = rep.completed.iter().map(|c| c.request.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), rep.completed.len(), "duplicated completion");
+            for c in &rep.completed {
+                prop_assert!(c.preemptions <= FairConfig::default().max_preemptions);
+                prop_assert!(c.start >= c.request.arrival);
+                prop_assert!(c.first_token > c.start - 1e-12);
+                prop_assert!(c.finish >= c.first_token);
+            }
+        }
+    }
+}
+
+/// DRR + preemption beats FIFO on the short tenant's worst-case TTFT in
+/// a saturating two-tenant mix — the single-node version of the
+/// `table3_fairness` acceptance claim.
+#[test]
+fn drr_preemption_protects_short_tenant_tail() {
+    let reqs = two_tenant_trace(0xFA15, 24, 8.0);
+    let fifo = Scheduler::new(
+        sim(),
+        SystemKind::SpeContext,
+        SchedulerConfig {
+            max_batch: 4,
+            admission_stride: 4,
+            fair: FairConfig {
+                discipline: QueueDiscipline::Fifo,
+                ..FairConfig::default()
+            },
+        },
+    )
+    .run(&reqs);
+    let fair = Scheduler::new(
+        sim(),
+        SystemKind::SpeContext,
+        SchedulerConfig {
+            max_batch: 4,
+            admission_stride: 4,
+            fair: FairConfig {
+                discipline: QueueDiscipline::DeficitRoundRobin,
+                weights: vec![(0, 4), (1, 1)],
+                preemption: PreemptionPolicy::DeficitRoundRobin,
+                ..FairConfig::default()
+            },
+        },
+    )
+    .run(&reqs);
+    let short_worst = |rep: &ScheduleReport| {
+        rep.completed
+            .iter()
+            .filter(|c| c.request.tenant == 0)
+            .map(|c| c.time_to_first_token())
+            .fold(0.0f64, f64::max)
+    };
+    assert!(
+        short_worst(&fair) < short_worst(&fifo),
+        "fair {} vs fifo {}",
+        short_worst(&fair),
+        short_worst(&fifo)
+    );
+}

@@ -47,6 +47,32 @@ pub enum ArrivalProcess {
     },
 }
 
+/// One tenant class in a multi-tenant mix: who sends, how often
+/// relative to the others, and what their requests look like.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantClass {
+    /// Tenant id stamped on the generated requests.
+    pub tenant: u32,
+    /// Mixture weight: the fraction of arrivals billed to this tenant is
+    /// `weight / Σ weights`.
+    pub weight: usize,
+    /// Shape mixture for this tenant's requests (each [`Workload`]'s
+    /// `requests` field is its weight within the class). Must be
+    /// non-empty.
+    pub shapes: Vec<Workload>,
+}
+
+impl TenantClass {
+    /// Convenience constructor.
+    pub fn new(tenant: u32, weight: usize, shapes: Vec<Workload>) -> Self {
+        Self {
+            tenant,
+            weight,
+            shapes,
+        }
+    }
+}
+
 /// A trace generator configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ArrivalConfig {
@@ -56,6 +82,12 @@ pub struct ArrivalConfig {
     /// mixture weight (Table-3 shapes reused verbatim have weight equal
     /// to their batch size).
     pub shapes: Vec<Workload>,
+    /// Multi-tenant mix. Empty (the default) stamps every request with
+    /// tenant 0 and draws shapes from `shapes`, leaving the RNG stream —
+    /// and therefore every pre-tenant trace — byte-identical. Non-empty
+    /// draws each arrival's tenant class by weight, then its shape from
+    /// that class's own mixture (`shapes` above is ignored).
+    pub tenants: Vec<TenantClass>,
     /// Number of distinct sessions to spread requests over.
     pub sessions: usize,
     /// Number of requests to generate.
@@ -68,6 +100,19 @@ impl ArrivalConfig {
         Self {
             process: ArrivalProcess::Poisson { rate },
             shapes,
+            tenants: Vec::new(),
+            sessions: (count / 4).max(1),
+            count,
+        }
+    }
+
+    /// A Poisson trace over a multi-tenant mix with one session per four
+    /// requests.
+    pub fn poisson_tenanted(rate: f64, tenants: Vec<TenantClass>, count: usize) -> Self {
+        Self {
+            process: ArrivalProcess::Poisson { rate },
+            shapes: Vec::new(),
+            tenants,
             sessions: (count / 4).max(1),
             count,
         }
@@ -88,6 +133,7 @@ impl ArrivalConfig {
                 switch_prob,
             },
             shapes,
+            tenants: Vec::new(),
             sessions: (count / 4).max(1),
             count,
         }
@@ -98,9 +144,22 @@ impl ArrivalConfig {
 ///
 /// # Panics
 ///
-/// Panics if `shapes` is empty or any rate is non-positive.
+/// Panics if the shape mixture is empty (`shapes` when `tenants` is
+/// empty, any class's `shapes` otherwise), if a tenant class has zero
+/// total weight, or if any rate is non-positive.
 pub fn generate(cfg: &ArrivalConfig, rng: &mut SimRng) -> Vec<ClusterRequest> {
-    assert!(!cfg.shapes.is_empty(), "no request shapes");
+    if cfg.tenants.is_empty() {
+        assert!(!cfg.shapes.is_empty(), "no request shapes");
+    } else {
+        assert!(
+            cfg.tenants.iter().all(|c| !c.shapes.is_empty()),
+            "every tenant class needs request shapes"
+        );
+        assert!(
+            cfg.tenants.iter().map(|c| c.weight).sum::<usize>() > 0,
+            "tenant mix has zero total weight"
+        );
+    }
     match cfg.process {
         ArrivalProcess::Poisson { rate } => assert!(rate > 0.0, "rate must be positive"),
         ArrivalProcess::Bursty {
@@ -112,8 +171,18 @@ pub fn generate(cfg: &ArrivalConfig, rng: &mut SimRng) -> Vec<ClusterRequest> {
             "rates must be positive"
         ),
     }
-    let weights: Vec<usize> = cfg.shapes.iter().map(|w| w.requests.max(1)).collect();
-    let total_weight: usize = weights.iter().sum();
+    let tenant_weights: Vec<usize> = cfg.tenants.iter().map(|c| c.weight).collect();
+    let tenant_total: usize = tenant_weights.iter().sum();
+    // Shape mixtures are fixed per class, so hoist the weight tables out
+    // of the per-request loop.
+    let shape_table = |shapes: &[Workload]| -> (Vec<usize>, usize) {
+        let w: Vec<usize> = shapes.iter().map(|x| x.requests.max(1)).collect();
+        let total = w.iter().sum();
+        (w, total)
+    };
+    let base_table = shape_table(&cfg.shapes);
+    let class_tables: Vec<(Vec<usize>, usize)> =
+        cfg.tenants.iter().map(|c| shape_table(&c.shapes)).collect();
     let sessions = cfg.sessions.max(1);
     let mut t = 0.0f64;
     let mut in_burst = false;
@@ -140,18 +209,23 @@ pub fn generate(cfg: &ArrivalConfig, rng: &mut SimRng) -> Vec<ClusterRequest> {
             // the argument of ln is in (0, 1] and dt is finite.
             let u = rng.uniform() as f64;
             t += -(1.0 - u).ln() / rate;
-            let mut pick = rng.below(total_weight);
-            let mut shape = cfg.shapes[0];
-            for (w, s) in weights.iter().zip(&cfg.shapes) {
-                if pick < *w {
-                    shape = *s;
-                    break;
-                }
-                pick -= w;
-            }
+            // The class draw only happens for tenanted configs, so
+            // tenant-free traces keep their historical RNG stream.
+            let (tenant, shapes, table) = if cfg.tenants.is_empty() {
+                (0u32, cfg.shapes.as_slice(), &base_table)
+            } else {
+                let i = weighted_pick(rng, &tenant_weights, tenant_total);
+                (
+                    cfg.tenants[i].tenant,
+                    cfg.tenants[i].shapes.as_slice(),
+                    &class_tables[i],
+                )
+            };
+            let shape = shapes[weighted_pick(rng, &table.0, table.1)];
             ClusterRequest {
                 request: Request {
                     id,
+                    tenant,
                     input_len: shape.input_len,
                     output_len: shape.output_len,
                     arrival: t,
@@ -160,6 +234,18 @@ pub fn generate(cfg: &ArrivalConfig, rng: &mut SimRng) -> Vec<ClusterRequest> {
             }
         })
         .collect()
+}
+
+/// One weighted index draw: the standard cumulative-weight walk.
+fn weighted_pick(rng: &mut SimRng, weights: &[usize], total: usize) -> usize {
+    let mut pick = rng.below(total);
+    for (i, w) in weights.iter().enumerate() {
+        if pick < *w {
+            return i;
+        }
+        pick -= w;
+    }
+    weights.len() - 1
 }
 
 /// Builds a trace from explicit `(arrival, input_len, output_len)`
@@ -180,6 +266,7 @@ pub fn from_trace(items: &[(f64, usize, usize)]) -> Vec<ClusterRequest> {
         .map(|(id, &(arrival, input_len, output_len))| ClusterRequest {
             request: Request {
                 id,
+                tenant: 0,
                 input_len,
                 output_len,
                 arrival,
@@ -268,5 +355,59 @@ mod tests {
     #[should_panic(expected = "sorted")]
     fn unsorted_trace_panics() {
         from_trace(&[(1.0, 100, 10), (0.5, 100, 10)]);
+    }
+
+    #[test]
+    fn tenant_free_configs_stamp_tenant_zero() {
+        let cfg = ArrivalConfig::poisson(2.0, shapes(), 32);
+        let trace = generate(&cfg, &mut SimRng::seed(4));
+        assert!(trace.iter().all(|r| r.request.tenant == 0));
+    }
+
+    #[test]
+    fn tenant_mix_follows_class_weights_and_shapes() {
+        let classes = vec![
+            TenantClass::new(0, 3, vec![Workload::new(512, 128, 1)]),
+            TenantClass::new(1, 1, vec![Workload::new(2048, 8192, 1)]),
+        ];
+        let cfg = ArrivalConfig::poisson_tenanted(2.0, classes, 4000);
+        let trace = generate(&cfg, &mut SimRng::seed(21));
+        let t0 = trace.iter().filter(|r| r.request.tenant == 0).count();
+        let frac = t0 as f64 / trace.len() as f64;
+        assert!((frac - 0.75).abs() < 0.05, "tenant-0 fraction {frac}");
+        for r in &trace {
+            match r.request.tenant {
+                0 => assert_eq!(r.request.input_len, 512),
+                1 => assert_eq!(r.request.output_len, 8192),
+                t => panic!("unexpected tenant {t}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tenanted_and_plain_traces_share_arrival_times() {
+        // The tenant draw must not perturb the arrival process itself for
+        // the plain config (gated draws), and the tenanted config's
+        // arrivals are deterministic per seed.
+        let plain = generate(
+            &ArrivalConfig::poisson(2.0, shapes(), 16),
+            &mut SimRng::seed(8),
+        );
+        let plain2 = generate(
+            &ArrivalConfig::poisson(2.0, shapes(), 16),
+            &mut SimRng::seed(8),
+        );
+        assert_eq!(plain, plain2);
+        let classes = vec![TenantClass::new(7, 1, shapes())];
+        let ten = generate(
+            &ArrivalConfig::poisson_tenanted(2.0, classes.clone(), 16),
+            &mut SimRng::seed(8),
+        );
+        let ten2 = generate(
+            &ArrivalConfig::poisson_tenanted(2.0, classes, 16),
+            &mut SimRng::seed(8),
+        );
+        assert_eq!(ten, ten2);
+        assert!(ten.iter().all(|r| r.request.tenant == 7));
     }
 }

@@ -43,7 +43,7 @@ impl Default for AutoscaleConfig {
 }
 
 /// Cluster-wide configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ClusterConfig {
     /// Per-replica continuous-batching configuration.
     pub scheduler: SchedulerConfig,
@@ -94,12 +94,13 @@ pub struct Cluster {
 
 impl Cluster {
     /// Builds a cluster with one replica per serving simulator. With
-    /// autoscaling, replicas beyond `min_replicas` start parked.
+    /// autoscaling, replicas beyond `min_replicas` start parked;
+    /// `min_replicas` is clamped to at least 1, so a fleet can never
+    /// start (or scale) to zero active replicas.
     ///
     /// # Panics
     ///
-    /// Panics if `sims` is empty or `min_replicas` is zero with
-    /// autoscaling enabled.
+    /// Panics if `sims` is empty.
     pub fn new(
         sims: Vec<ServingSim>,
         system: SystemKind,
@@ -109,12 +110,12 @@ impl Cluster {
         assert!(!sims.is_empty(), "a cluster needs at least one replica");
         let mut replicas: Vec<Replica> = sims
             .into_iter()
-            .map(|sim| Replica::new(sim, system, cfg.scheduler))
+            .map(|sim| Replica::new(sim, system, cfg.scheduler.clone()))
             .collect();
         if let Some(auto) = &cfg.autoscale {
-            assert!(auto.min_replicas > 0, "min_replicas must be positive");
+            let min = auto.min_replicas.max(1);
             for (i, rep) in replicas.iter_mut().enumerate() {
-                rep.set_active(i < auto.min_replicas);
+                rep.set_active(i < min);
             }
         }
         let peak_active = replicas.iter().filter(|r| r.is_active()).count();
@@ -217,6 +218,7 @@ impl Cluster {
         let Some(auto) = self.cfg.autoscale else {
             return;
         };
+        let min_replicas = auto.min_replicas.max(1);
         let active: Vec<usize> = (0..self.replicas.len())
             .filter(|&i| self.replicas[i].is_active())
             .collect();
@@ -232,7 +234,7 @@ impl Cluster {
                 return;
             }
         }
-        if active.len() > auto.min_replicas && total_outstanding <= auto.scale_down_outstanding {
+        if active.len() > min_replicas && total_outstanding <= auto.scale_down_outstanding {
             // Park the highest-index active replica that has run dry.
             if let Some(&idle) = active.iter().rev().find(|&&i| !self.replicas[i].has_work()) {
                 self.replicas[idle].set_active(false);
@@ -271,6 +273,15 @@ impl Cluster {
                 .then(a.request.id.cmp(&b.request.id))
         });
         let rejected: usize = self.replicas.iter().map(Replica::rejected).sum();
+        // Attribute rejections to tenants for the per-tenant SLO slices.
+        let mut rejected_by_tenant: std::collections::BTreeMap<u32, usize> =
+            std::collections::BTreeMap::new();
+        for rep in &self.replicas {
+            for req in rep.rejected_requests() {
+                *rejected_by_tenant.entry(req.tenant).or_insert(0) += 1;
+            }
+        }
+        let rejected_by_tenant: Vec<(u32, usize)> = rejected_by_tenant.into_iter().collect();
         let total_tokens: usize = all.iter().map(|c| c.request.output_len).sum();
         ClusterReport {
             completed: all.len(),
@@ -281,7 +292,7 @@ impl Cluster {
             } else {
                 0.0
             },
-            slo: slo::evaluate(&all, rejected, makespan, slo),
+            slo: slo::evaluate_tenanted(&all, rejected, &rejected_by_tenant, makespan, slo),
             queue_depth,
             peak_active: self.peak_active,
             replicas,
@@ -421,6 +432,58 @@ mod tests {
         let report = c.run(&reqs, &SloSpec::default());
         assert_eq!(report.queue_depth.len(), 16);
         assert!(report.queue_depth.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn zero_min_replicas_is_clamped_and_never_panics() {
+        // Regression: min_replicas 0 used to leave every replica parked,
+        // and RoundRobin divided by zero on the empty active set.
+        let auto = AutoscaleConfig {
+            min_replicas: 0,
+            scale_up_outstanding: 1000,
+            scale_down_outstanding: 0,
+        };
+        let mut c = cluster(3, RouterKind::RoundRobin, Some(auto));
+        let report = c.run(&trace(2.0, 12, 13), &SloSpec::default());
+        assert_eq!(report.completed, 12);
+        assert!(report.peak_active >= 1);
+    }
+
+    #[test]
+    fn session_affinity_repins_when_target_parks_mid_trace() {
+        let mut c = cluster(2, RouterKind::SessionAffinity, None);
+        let mk = |id: usize, arrival: f64| ClusterRequest {
+            request: spec_runtime::Request {
+                id,
+                tenant: 0,
+                input_len: 1024,
+                output_len: 256,
+                arrival,
+            },
+            session: 42,
+        };
+        c.run(&[mk(0, 0.0), mk(1, 0.1)], &SloSpec::default());
+        let pinned = (0..2)
+            .find(|&i| c.replicas[i].assigned() > 0)
+            .expect("session routed somewhere");
+        assert_eq!(c.replicas[pinned].assigned(), 2, "session pinned");
+        let other = 1 - pinned;
+        // Park the pinned replica mid-trace: the next request must fall
+        // back AND move the pin.
+        c.replicas[pinned].set_active(false);
+        let t = c.replicas.iter().map(Replica::now).fold(0.0f64, f64::max) + 1.0;
+        c.run(&[mk(2, t)], &SloSpec::default());
+        assert_eq!(c.replicas[other].assigned(), 1, "fallback target");
+        // Unpark the old target and make it strictly more attractive: a
+        // stale pin would route back, a moved pin stays on the fallback.
+        c.replicas[pinned].set_active(true);
+        let t = c.replicas.iter().map(Replica::now).fold(0.0f64, f64::max) + 1.0;
+        c.run(&[mk(3, t)], &SloSpec::default());
+        assert_eq!(
+            c.replicas[other].assigned(),
+            2,
+            "session must stay re-pinned to its fallback target"
+        );
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //!   (Markov-modulated) processes over the runtime's `Workload` shapes,
 //!   plus trace-driven replay; deterministic via `spec_tensor::SimRng`;
 //! * [`router`] — pluggable routing policies: round-robin,
-//!   least-outstanding, least-KV-pressure, and session affinity;
+//!   least-outstanding, least-KV-pressure, session affinity, and
+//!   weighted-tenant fleet partitioning;
 //! * [`replica`] — one serving engine: the runtime scheduler's stepping
 //!   core plus KV occupancy accounting through `spec_kvcache`'s block
 //!   allocator;
@@ -20,7 +21,7 @@
 //!   route, optionally autoscale on queue depth, drain, report;
 //!   heterogeneous fleets come from `spec_hwsim::Fleet`;
 //! * [`slo`] — per-request TTFT/TBT/latency percentiles, SLO attainment
-//!   and goodput.
+//!   and goodput, fleet-wide and broken down per tenant.
 //!
 //! A 1-replica cluster under round-robin routing reproduces
 //! [`Scheduler::run`](spec_runtime::Scheduler::run) bit-for-bit: both
@@ -65,8 +66,8 @@ pub mod replica;
 pub mod router;
 pub mod slo;
 
-pub use arrivals::{ArrivalConfig, ArrivalProcess, ClusterRequest};
+pub use arrivals::{ArrivalConfig, ArrivalProcess, ClusterRequest, TenantClass};
 pub use cluster::{AutoscaleConfig, Cluster, ClusterConfig, ClusterReport, ReplicaReport};
 pub use replica::Replica;
-pub use router::{ReplicaSnapshot, RoutePolicy, RouterKind};
-pub use slo::{SloReport, SloSpec};
+pub use router::{ReplicaSnapshot, RoutePolicy, RouterKind, WeightedTenant};
+pub use slo::{SloReport, SloSpec, TenantSlo};

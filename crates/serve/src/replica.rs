@@ -123,6 +123,11 @@ impl Replica {
         self.state.rejected()
     }
 
+    /// The rejected requests themselves (per-tenant SLO attribution).
+    pub fn rejected_requests(&self) -> &[Request] {
+        self.state.rejected_requests()
+    }
+
     /// Hands an arrived request to this replica's engine.
     pub fn push(&mut self, req: Request) {
         self.assigned += 1;
@@ -234,6 +239,7 @@ mod tests {
     fn req(id: usize, arrival: f64) -> Request {
         Request {
             id,
+            tenant: 0,
             input_len: 2048,
             output_len: 512,
             arrival,

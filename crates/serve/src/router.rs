@@ -47,13 +47,19 @@ pub trait RoutePolicy {
     fn route(&mut self, req: &ClusterRequest, replicas: &[ReplicaSnapshot]) -> usize;
 }
 
+/// The all-parked fallback: the least-index replica. Every policy
+/// degrades to this instead of panicking when autoscaling (or a caller
+/// driving snapshots by hand) leaves no replica active.
+fn least_index(replicas: &[ReplicaSnapshot]) -> usize {
+    replicas.iter().map(|r| r.index).min().unwrap_or(0)
+}
+
 fn least_outstanding(replicas: &[ReplicaSnapshot]) -> usize {
     replicas
         .iter()
         .filter(|r| r.active)
         .min_by_key(|r| (r.outstanding(), r.index))
-        .expect("at least one active replica")
-        .index
+        .map_or_else(|| least_index(replicas), |r| r.index)
 }
 
 /// Cycles through active replicas in index order.
@@ -73,6 +79,12 @@ impl RoutePolicy for RoundRobin {
             .filter(|r| r.active)
             .map(|r| r.index)
             .collect();
+        if active.is_empty() {
+            // A fully parked fleet (min_replicas would have to be 0 and
+            // every replica scaled down) must not divide by zero; fall
+            // back to the least-index replica without moving the cursor.
+            return least_index(replicas);
+        }
         let idx = active[self.cursor % active.len()];
         self.cursor += 1;
         idx
@@ -114,8 +126,7 @@ impl RoutePolicy for LeastKvPressure {
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then(a.index.cmp(&b.index))
             })
-            .expect("at least one active replica")
-            .index
+            .map_or_else(|| least_index(replicas), |r| r.index)
     }
 }
 
@@ -143,6 +154,80 @@ impl RoutePolicy for SessionAffinity {
     }
 }
 
+/// Partitions the active fleet among tenants in proportion to their
+/// weights, then joins the least-outstanding replica inside the tenant's
+/// partition — noisy-neighbour isolation at the routing layer: a batch
+/// tenant's backlog piles onto its own slice of the fleet instead of
+/// every queue.
+///
+/// The partition is recomputed per decision from the tenants seen so far
+/// (sorted by id, contiguous slices of the active list, largest-weight
+/// shares first by cumulative rounding), so it adapts as autoscaling
+/// parks and wakes replicas. A tenant whose share rounds to zero
+/// replicas falls back to the global least-outstanding pick.
+#[derive(Debug, Clone, Default)]
+pub struct WeightedTenant {
+    /// `(tenant, weight)` pairs; unlisted tenants weigh 1.
+    weights: Vec<(u32, u32)>,
+    seen: std::collections::BTreeSet<u32>,
+}
+
+impl WeightedTenant {
+    /// A policy with explicit tenant weights (unlisted tenants weigh 1).
+    pub fn with_weights(weights: Vec<(u32, u32)>) -> Self {
+        Self {
+            weights,
+            seen: std::collections::BTreeSet::new(),
+        }
+    }
+
+    fn weight(&self, tenant: u32) -> u64 {
+        self.weights
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map(|&(_, w)| w.max(1) as u64)
+            .unwrap_or(1)
+    }
+}
+
+impl RoutePolicy for WeightedTenant {
+    fn name(&self) -> &'static str {
+        RouterKind::WeightedTenant.name()
+    }
+
+    fn route(&mut self, req: &ClusterRequest, replicas: &[ReplicaSnapshot]) -> usize {
+        self.seen.insert(req.request.tenant);
+        let active: Vec<ReplicaSnapshot> = replicas.iter().filter(|r| r.active).copied().collect();
+        if active.is_empty() {
+            return least_index(replicas);
+        }
+        // Cumulative-weight slice boundaries over the active list.
+        let total: u64 = self.seen.iter().map(|&t| self.weight(t)).sum();
+        let n = active.len() as u64;
+        let mut cum = 0u64;
+        let mut slice: Option<(usize, usize)> = None;
+        for &t in &self.seen {
+            let start = (cum * n / total) as usize;
+            cum += self.weight(t);
+            let end = (cum * n / total) as usize;
+            if t == req.request.tenant {
+                slice = Some((start, end));
+                break;
+            }
+        }
+        let (start, end) = slice.expect("tenant was just inserted");
+        if start >= end {
+            // Share rounded to zero replicas: fall back fleet-wide.
+            return least_outstanding(replicas);
+        }
+        active[start..end]
+            .iter()
+            .min_by_key(|r| (r.outstanding(), r.index))
+            .expect("non-empty slice")
+            .index
+    }
+}
+
 /// The built-in policies, as a sweepable enum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RouterKind {
@@ -154,16 +239,20 @@ pub enum RouterKind {
     LeastKvPressure,
     /// [`SessionAffinity`].
     SessionAffinity,
+    /// [`WeightedTenant`] with default (equal) weights; build
+    /// [`WeightedTenant::with_weights`] directly for a custom mix.
+    WeightedTenant,
 }
 
 impl RouterKind {
     /// All built-in policies, in sweep order.
-    pub fn all() -> [RouterKind; 4] {
+    pub fn all() -> [RouterKind; 5] {
         [
             RouterKind::RoundRobin,
             RouterKind::LeastOutstanding,
             RouterKind::LeastKvPressure,
             RouterKind::SessionAffinity,
+            RouterKind::WeightedTenant,
         ]
     }
 
@@ -174,6 +263,7 @@ impl RouterKind {
             RouterKind::LeastOutstanding => Box::new(LeastOutstanding),
             RouterKind::LeastKvPressure => Box::new(LeastKvPressure),
             RouterKind::SessionAffinity => Box::new(SessionAffinity::default()),
+            RouterKind::WeightedTenant => Box::new(WeightedTenant::default()),
         }
     }
 
@@ -185,6 +275,7 @@ impl RouterKind {
             RouterKind::LeastOutstanding => "least-outstanding",
             RouterKind::LeastKvPressure => "least-kv-pressure",
             RouterKind::SessionAffinity => "session-affinity",
+            RouterKind::WeightedTenant => "weighted-tenant",
         }
     }
 }
@@ -201,9 +292,14 @@ mod tests {
     use spec_runtime::Request;
 
     fn req(id: usize, session: u64) -> ClusterRequest {
+        tenant_req(id, session, 0)
+    }
+
+    fn tenant_req(id: usize, session: u64, tenant: u32) -> ClusterRequest {
         ClusterRequest {
             request: Request {
                 id,
+                tenant,
                 input_len: 128,
                 output_len: 64,
                 arrival: 0.0,
@@ -277,8 +373,78 @@ mod tests {
                 "round-robin",
                 "least-outstanding",
                 "least-kv-pressure",
-                "session-affinity"
+                "session-affinity",
+                "weighted-tenant"
             ]
         );
+    }
+
+    #[test]
+    fn every_policy_survives_a_fully_parked_fleet() {
+        // Regression: `active[self.cursor % active.len()]` divided by zero
+        // when autoscaling parked every replica. All policies now fall
+        // back to the least-index replica instead of panicking.
+        let parked = [snap(0, false, 3, 0.5), snap(1, false, 0, 0.1)];
+        for kind in RouterKind::all() {
+            let mut policy = kind.build();
+            assert_eq!(policy.route(&req(0, 9), &parked), 0, "policy {kind}");
+        }
+    }
+
+    #[test]
+    fn round_robin_cursor_survives_park_unpark() {
+        let mut rr = RoundRobin::default();
+        let both = [snap(0, true, 0, 0.0), snap(1, true, 0, 0.0)];
+        let parked = [snap(0, false, 0, 0.0), snap(1, false, 0, 0.0)];
+        assert_eq!(rr.route(&req(0, 0), &both), 0);
+        assert_eq!(rr.route(&req(1, 0), &parked), 0); // fallback, no cursor move
+        assert_eq!(rr.route(&req(2, 0), &both), 1); // rotation resumes
+    }
+
+    #[test]
+    fn weighted_tenant_partitions_the_fleet() {
+        let mut wt = WeightedTenant::with_weights(vec![(0, 1), (1, 1)]);
+        let snaps = [
+            snap(0, true, 0, 0.0),
+            snap(1, true, 0, 0.0),
+            snap(2, true, 0, 0.0),
+            snap(3, true, 0, 0.0),
+        ];
+        // Register both tenants, then check isolation: tenant 0 stays in
+        // the low half, tenant 1 in the high half, regardless of load.
+        wt.route(&tenant_req(0, 0, 0), &snaps);
+        wt.route(&tenant_req(1, 0, 1), &snaps);
+        let loaded = [
+            snap(0, true, 9, 0.0),
+            snap(1, true, 9, 0.0),
+            snap(2, true, 0, 0.0),
+            snap(3, true, 0, 0.0),
+        ];
+        let t0 = wt.route(&tenant_req(2, 0, 0), &loaded);
+        let t1 = wt.route(&tenant_req(3, 0, 1), &loaded);
+        assert!(t0 < 2, "tenant 0 must stay in its slice, got {t0}");
+        assert!(t1 >= 2, "tenant 1 must stay in its slice, got {t1}");
+    }
+
+    #[test]
+    fn weighted_tenant_zero_share_falls_back_fleet_wide() {
+        // One-to-nine weights on a 2-replica fleet: the light tenant's
+        // share rounds to zero replicas (cumulative floor boundary 0..0),
+        // so it joins the global least-outstanding pick instead of
+        // wedging.
+        let mut wt = WeightedTenant::with_weights(vec![(0, 1), (1, 9)]);
+        let snaps = [snap(0, true, 5, 0.0), snap(1, true, 0, 0.0)];
+        wt.route(&tenant_req(0, 0, 1), &snaps);
+        let pick = wt.route(&tenant_req(1, 0, 0), &snaps);
+        assert_eq!(pick, 1);
+    }
+
+    #[test]
+    fn weighted_tenant_single_replica_serves_everyone() {
+        let mut wt = WeightedTenant::default();
+        let snaps = [snap(0, true, 0, 0.0)];
+        for t in 0..5u32 {
+            assert_eq!(wt.route(&tenant_req(t as usize, 0, t), &snaps), 0);
+        }
     }
 }

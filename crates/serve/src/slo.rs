@@ -41,6 +41,32 @@ impl Default for SloSpec {
     }
 }
 
+/// One tenant's slice of the SLO accounting — same definitions as the
+/// fleet-level [`SloReport`], restricted to that tenant's requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSlo {
+    /// The tenant id.
+    pub tenant: u32,
+    /// Time-to-first-token percentiles, seconds.
+    pub ttft: PercentileSummary,
+    /// Time-between-tokens percentiles, seconds.
+    pub tbt: PercentileSummary,
+    /// End-to-end latency percentiles, seconds.
+    pub latency: PercentileSummary,
+    /// Fraction of the tenant's submitted requests that attained the SLO.
+    pub attainment: f64,
+    /// The tenant's SLO-attaining output tokens/s over the makespan.
+    pub goodput_tokens_per_s: f64,
+    /// The tenant's completed-request output tokens/s over the makespan.
+    pub throughput_tokens_per_s: f64,
+    /// Completed requests.
+    pub completed: usize,
+    /// Rejected (never-admissible) requests.
+    pub rejected: usize,
+    /// Checkpoint/restore round-trips the tenant's requests paid.
+    pub preemptions: usize,
+}
+
 /// SLO accounting over a set of completions.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SloReport {
@@ -62,24 +88,29 @@ pub struct SloReport {
     pub completed: usize,
     /// Rejected (never-admissible) requests.
     pub rejected: usize,
+    /// Per-tenant breakdown, in tenant-id order. Tenant goodput sums to
+    /// the fleet goodput (same makespan denominator, disjoint token
+    /// sets); rejected requests are attributed to their tenants when the
+    /// caller provides the per-tenant counts ([`evaluate_tenanted`]).
+    pub per_tenant: Vec<TenantSlo>,
 }
 
-/// Evaluates completions against an SLO over a run of length `makespan`.
-pub fn evaluate(
-    completed: &[CompletedRequest],
+fn slice_report(
+    completed: &[&CompletedRequest],
     rejected: usize,
     makespan: f64,
     slo: &SloSpec,
-) -> SloReport {
-    let ttfts: Vec<f64> = completed
-        .iter()
-        .map(CompletedRequest::time_to_first_token)
-        .collect();
-    let tbts: Vec<f64> = completed
-        .iter()
-        .map(CompletedRequest::time_between_tokens)
-        .collect();
-    let latencies: Vec<f64> = completed.iter().map(CompletedRequest::latency).collect();
+) -> (
+    PercentileSummary,
+    PercentileSummary,
+    PercentileSummary,
+    f64,
+    f64,
+    f64,
+) {
+    let ttfts: Vec<f64> = completed.iter().map(|c| c.time_to_first_token()).collect();
+    let tbts: Vec<f64> = completed.iter().map(|c| c.time_between_tokens()).collect();
+    let latencies: Vec<f64> = completed.iter().map(|c| c.latency()).collect();
     let attains = |c: &CompletedRequest| {
         c.time_to_first_token() <= slo.ttft_s && c.time_between_tokens() <= slo.tbt_s
     };
@@ -97,19 +128,89 @@ pub fn evaluate(
             0.0
         }
     };
-    SloReport {
-        ttft: PercentileSummary::from_samples(&ttfts),
-        tbt: PercentileSummary::from_samples(&tbts),
-        latency: PercentileSummary::from_samples(&latencies),
-        attainment: if submitted > 0 {
+    (
+        PercentileSummary::from_samples(&ttfts),
+        PercentileSummary::from_samples(&tbts),
+        PercentileSummary::from_samples(&latencies),
+        if submitted > 0 {
             completed.iter().filter(|c| attains(c)).count() as f64 / submitted as f64
         } else {
             0.0
         },
-        goodput_tokens_per_s: per_s(good_tokens),
-        throughput_tokens_per_s: per_s(all_tokens),
+        per_s(good_tokens),
+        per_s(all_tokens),
+    )
+}
+
+/// Evaluates completions against an SLO over a run of length `makespan`.
+/// Rejected requests drag fleet attainment but are not attributed to any
+/// tenant; use [`evaluate_tenanted`] when per-tenant rejection counts are
+/// known.
+pub fn evaluate(
+    completed: &[CompletedRequest],
+    rejected: usize,
+    makespan: f64,
+    slo: &SloSpec,
+) -> SloReport {
+    evaluate_tenanted(completed, rejected, &[], makespan, slo)
+}
+
+/// [`evaluate`] with rejected requests attributed per tenant:
+/// `rejected_by_tenant` is `(tenant, count)` pairs whose counts must sum
+/// to at most `rejected` (tenants of untracked rejections stay
+/// unattributed at fleet level).
+pub fn evaluate_tenanted(
+    completed: &[CompletedRequest],
+    rejected: usize,
+    rejected_by_tenant: &[(u32, usize)],
+    makespan: f64,
+    slo: &SloSpec,
+) -> SloReport {
+    let all: Vec<&CompletedRequest> = completed.iter().collect();
+    let (ttft, tbt, latency, attainment, goodput, throughput) =
+        slice_report(&all, rejected, makespan, slo);
+    let mut tenants: std::collections::BTreeMap<u32, Vec<&CompletedRequest>> =
+        std::collections::BTreeMap::new();
+    for c in completed {
+        tenants.entry(c.request.tenant).or_default().push(c);
+    }
+    for &(t, _) in rejected_by_tenant {
+        tenants.entry(t).or_default();
+    }
+    let per_tenant: Vec<TenantSlo> = tenants
+        .iter()
+        .map(|(&tenant, slice)| {
+            let t_rejected = rejected_by_tenant
+                .iter()
+                .filter(|(t, _)| *t == tenant)
+                .map(|&(_, n)| n)
+                .sum();
+            let (ttft, tbt, latency, attainment, goodput, throughput) =
+                slice_report(slice, t_rejected, makespan, slo);
+            TenantSlo {
+                tenant,
+                ttft,
+                tbt,
+                latency,
+                attainment,
+                goodput_tokens_per_s: goodput,
+                throughput_tokens_per_s: throughput,
+                completed: slice.len(),
+                rejected: t_rejected,
+                preemptions: slice.iter().map(|c| c.preemptions).sum(),
+            }
+        })
+        .collect();
+    SloReport {
+        ttft,
+        tbt,
+        latency,
+        attainment,
+        goodput_tokens_per_s: goodput,
+        throughput_tokens_per_s: throughput,
         completed: completed.len(),
         rejected,
+        per_tenant,
     }
 }
 
@@ -125,15 +226,29 @@ mod tests {
         finish: f64,
         output_len: usize,
     ) -> CompletedRequest {
+        tenant_done(id, 0, arrival, start, finish, output_len)
+    }
+
+    fn tenant_done(
+        id: usize,
+        tenant: u32,
+        arrival: f64,
+        start: f64,
+        finish: f64,
+        output_len: usize,
+    ) -> CompletedRequest {
         CompletedRequest {
             request: Request {
                 id,
+                tenant,
                 input_len: 128,
                 output_len,
                 arrival,
             },
             start,
+            first_token: start,
             finish,
+            preemptions: 0,
         }
     }
 
@@ -165,6 +280,64 @@ mod tests {
         assert_eq!(rep.attainment, 0.0);
         assert_eq!(rep.goodput_tokens_per_s, 0.0);
         assert_eq!(rep.ttft, PercentileSummary::default());
+    }
+
+    #[test]
+    fn all_rejected_trace_has_zero_attainment_and_no_nan() {
+        let rep = evaluate_tenanted(&[], 5, &[(0, 3), (1, 2)], 4.0, &SloSpec::default());
+        assert_eq!(rep.completed, 0);
+        assert_eq!(rep.rejected, 5);
+        assert_eq!(rep.attainment, 0.0);
+        assert!(rep.attainment.is_finite());
+        assert_eq!(rep.goodput_tokens_per_s, 0.0);
+        assert!(rep.ttft.p99.is_finite());
+        assert_eq!(rep.per_tenant.len(), 2);
+        for t in &rep.per_tenant {
+            assert_eq!(t.completed, 0);
+            assert_eq!(t.attainment, 0.0);
+            assert!(t.attainment.is_finite() && t.goodput_tokens_per_s.is_finite());
+            assert!(t.ttft.p95.is_finite());
+        }
+        assert_eq!(rep.per_tenant[0].rejected, 3);
+        assert_eq!(rep.per_tenant[1].rejected, 2);
+    }
+
+    #[test]
+    fn zero_makespan_run_reports_zero_rates_not_inf() {
+        let completed = [done(0, 0.0, 0.0, 0.0, 10)];
+        let rep = evaluate(&completed, 0, 0.0, &SloSpec::default());
+        assert_eq!(rep.goodput_tokens_per_s, 0.0);
+        assert_eq!(rep.throughput_tokens_per_s, 0.0);
+        assert!(rep.goodput_tokens_per_s.is_finite());
+        for t in &rep.per_tenant {
+            assert_eq!(t.goodput_tokens_per_s, 0.0);
+            assert_eq!(t.throughput_tokens_per_s, 0.0);
+        }
+    }
+
+    #[test]
+    fn per_tenant_goodput_and_counts_sum_to_fleet() {
+        let slo = SloSpec::new(1.0, 1.0);
+        let completed = [
+            tenant_done(0, 0, 0.0, 0.5, 2.0, 100),
+            tenant_done(1, 1, 0.0, 0.3, 1.5, 50),
+            tenant_done(2, 0, 0.0, 5.0, 9.0, 70), // misses TTFT
+            tenant_done(3, 2, 0.0, 0.1, 3.0, 30),
+        ];
+        let rep = evaluate_tenanted(&completed, 1, &[(1, 1)], 10.0, &slo);
+        assert_eq!(rep.per_tenant.len(), 3);
+        let good_sum: f64 = rep.per_tenant.iter().map(|t| t.goodput_tokens_per_s).sum();
+        assert!((good_sum - rep.goodput_tokens_per_s).abs() < 1e-9);
+        let thr_sum: f64 = rep
+            .per_tenant
+            .iter()
+            .map(|t| t.throughput_tokens_per_s)
+            .sum();
+        assert!((thr_sum - rep.throughput_tokens_per_s).abs() < 1e-9);
+        let completed_sum: usize = rep.per_tenant.iter().map(|t| t.completed).sum();
+        assert_eq!(completed_sum, rep.completed);
+        let rejected_sum: usize = rep.per_tenant.iter().map(|t| t.rejected).sum();
+        assert_eq!(rejected_sum, rep.rejected);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use proptest::prelude::*;
 use spec_hwsim::DeviceSpec;
 use spec_model::ModelConfig;
 use spec_runtime::{Scheduler, SchedulerConfig, ServingSim, SystemKind, Workload};
-use spec_serve::arrivals::{self, ArrivalConfig, ArrivalProcess, ClusterRequest};
+use spec_serve::arrivals::{self, ArrivalConfig, ArrivalProcess, ClusterRequest, TenantClass};
 use spec_serve::cluster::{Cluster, ClusterConfig};
 use spec_serve::router::RouterKind;
 use spec_serve::slo::SloSpec;
@@ -53,9 +53,24 @@ fn make_trace(seed: u64, count: usize, rate: f64, bursty: bool) -> Vec<ClusterRe
         &ArrivalConfig {
             process,
             shapes: vec![Workload::new(2048, 512, 3), Workload::new(4096, 1024, 1)],
+            tenants: Vec::new(),
             sessions: (count / 3).max(1),
             count,
         },
+        &mut SimRng::seed(seed),
+    )
+}
+
+fn make_tenanted_trace(seed: u64, count: usize, rate: f64) -> Vec<ClusterRequest> {
+    arrivals::generate(
+        &ArrivalConfig::poisson_tenanted(
+            rate,
+            vec![
+                TenantClass::new(0, 3, vec![Workload::new(512, 128, 1)]),
+                TenantClass::new(1, 1, vec![Workload::new(2048, 4096, 1)]),
+            ],
+            count,
+        ),
         &mut SimRng::seed(seed),
     )
 }
@@ -135,6 +150,78 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Per-tenant goodput, throughput, completions and rejections sum to
+    /// the fleet totals, for any router over a 2-tenant mix.
+    #[test]
+    fn per_tenant_slo_sums_to_fleet(
+        seed in 0u64..1000,
+        count in 6usize..24,
+        replicas in 1usize..4,
+    ) {
+        let trace = make_tenanted_trace(seed, count, 4.0);
+        for kind in RouterKind::all() {
+            let mut c = cluster(replicas, kind);
+            let report = c.run(&trace, &SloSpec::default());
+            let s = &report.slo;
+            let good: f64 = s.per_tenant.iter().map(|t| t.goodput_tokens_per_s).sum();
+            let thr: f64 = s.per_tenant.iter().map(|t| t.throughput_tokens_per_s).sum();
+            let done: usize = s.per_tenant.iter().map(|t| t.completed).sum();
+            let rej: usize = s.per_tenant.iter().map(|t| t.rejected).sum();
+            prop_assert!((good - s.goodput_tokens_per_s).abs() <= 1e-9 * good.max(1.0),
+                "goodput {} vs sum {} under {}", s.goodput_tokens_per_s, good, kind);
+            prop_assert!((thr - s.throughput_tokens_per_s).abs() <= 1e-9 * thr.max(1.0));
+            prop_assert_eq!(done, s.completed);
+            prop_assert_eq!(rej, s.rejected);
+            prop_assert!(s.per_tenant.iter().all(|t| t.attainment.is_finite()));
+        }
+    }
+
+    /// Tenanted traces are conserved under preemptive fair scheduling
+    /// too: every request completes once or is rejected once, and no
+    /// completion exceeds the preemption cap.
+    #[test]
+    fn preemptive_cluster_conserves_requests(
+        seed in 0u64..1000,
+        count in 6usize..20,
+        replicas in 1usize..3,
+    ) {
+        use spec_runtime::{FairConfig, PreemptionPolicy, QueueDiscipline};
+        let trace = make_tenanted_trace(seed, count, 8.0);
+        let cfg = ClusterConfig {
+            scheduler: SchedulerConfig {
+                max_batch: 4,
+                admission_stride: 4,
+                fair: FairConfig {
+                    discipline: QueueDiscipline::DeficitRoundRobin,
+                    weights: vec![(0, 4), (1, 1)],
+                    preemption: PreemptionPolicy::DeficitRoundRobin,
+                    ..FairConfig::default()
+                },
+            },
+            ..ClusterConfig::default()
+        };
+        let mut c = Cluster::new(
+            (0..replicas).map(|_| sim()).collect(),
+            SystemKind::SpeContext,
+            cfg,
+            RouterKind::LeastOutstanding.build(),
+        );
+        let report = c.run(&trace, &SloSpec::default());
+        prop_assert_eq!(report.completed + report.rejected, count);
+        let cap = FairConfig::default().max_preemptions;
+        for rep in &report.replicas {
+            for done in &rep.report.completed {
+                prop_assert!(done.preemptions <= cap);
+                prop_assert!(done.first_token >= done.start);
+                prop_assert!(done.finish >= done.first_token);
+            }
+        }
+    }
+}
+
 /// The same equivalence holds for a batching baseline system and for a
 /// tight admission stride (admission every iteration).
 #[test]
@@ -150,7 +237,7 @@ fn one_replica_equivalence_for_baseline_and_tight_stride() {
             admission_stride: stride,
             ..SchedulerConfig::default()
         };
-        let single = Scheduler::new(sim(), system, cfg).run(&requests);
+        let single = Scheduler::new(sim(), system, cfg.clone()).run(&requests);
         let mut c = Cluster::new(
             vec![sim()],
             system,

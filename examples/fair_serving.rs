@@ -1,0 +1,151 @@
+//! Multi-tenant fair serving: a short interactive tenant sharing a
+//! 2×A100 fleet with a long-generation batch tenant, compared across
+//! scheduling policies (FIFO vs weighted DRR queues, with and without
+//! preemption) and across routers (least-outstanding vs weighted-tenant
+//! fleet partitioning), with per-tenant SLO accounting.
+//!
+//! Run with `cargo run --release --example fair_serving`.
+
+use specontext::core::report::Table;
+use specontext::hwsim::{fleet, DeviceSpec};
+use specontext::model::ModelConfig;
+use specontext::runtime::{
+    FairConfig, PreemptionPolicy, QueueDiscipline, SchedulerConfig, SystemKind, Workload,
+};
+use specontext::serve::arrivals::{self, ArrivalConfig, ClusterRequest, TenantClass};
+use specontext::serve::cluster::{Cluster, ClusterConfig};
+use specontext::serve::router::{RoutePolicy, RouterKind, WeightedTenant};
+use specontext::serve::slo::SloSpec;
+use specontext::tensor::SimRng;
+
+/// Tenant 0: interactive [512 in, 256 out]. Tenant 1: batch [2k, 8k].
+fn trace() -> Vec<ClusterRequest> {
+    arrivals::generate(
+        &ArrivalConfig::poisson_tenanted(
+            2.0,
+            vec![
+                TenantClass::new(0, 3, vec![Workload::new(512, 256, 1)]),
+                TenantClass::new(1, 1, vec![Workload::new(2048, 8192, 1)]),
+            ],
+            40,
+        ),
+        &mut SimRng::seed(0xFA1A),
+    )
+}
+
+fn cluster_with(fair: FairConfig, router: Box<dyn RoutePolicy>) -> Cluster {
+    Cluster::from_fleet(
+        &ModelConfig::deepseek_distill_llama_8b(),
+        &fleet::homogeneous(DeviceSpec::a100_80g(), 2),
+        2048,
+        SystemKind::SpeContext,
+        ClusterConfig {
+            scheduler: SchedulerConfig {
+                max_batch: 4,
+                admission_stride: 4,
+                fair,
+            },
+            autoscale: None,
+        },
+        router,
+    )
+}
+
+fn main() {
+    let slo = SloSpec::new(10.0, 0.02);
+    let reqs = trace();
+
+    // --- scheduling policy comparison -----------------------------------
+    let mut table = Table::new(
+        "tenant fairness: 40 req @ 2/s on 2xA100, tenant 0 short (w=4) vs tenant 1 long (w=1)",
+        &[
+            "policy",
+            "t0 TTFT p95 s",
+            "t0 attain",
+            "t1 TTFT p95 s",
+            "t1 attain",
+            "goodput tok/s",
+            "preemptions",
+        ],
+    );
+    let policies: [(&str, QueueDiscipline, PreemptionPolicy); 3] = [
+        ("fifo", QueueDiscipline::Fifo, PreemptionPolicy::None),
+        (
+            "drr queues",
+            QueueDiscipline::DeficitRoundRobin,
+            PreemptionPolicy::None,
+        ),
+        (
+            "drr + preemption",
+            QueueDiscipline::DeficitRoundRobin,
+            PreemptionPolicy::DeficitRoundRobin,
+        ),
+    ];
+    for (label, discipline, preemption) in policies {
+        let fair = FairConfig {
+            discipline,
+            weights: vec![(0, 4), (1, 1)],
+            preemption,
+            ..FairConfig::default()
+        };
+        let mut c = cluster_with(fair, RouterKind::LeastOutstanding.build());
+        let r = c.run(&reqs, &slo);
+        let t = |id: u32| {
+            r.slo
+                .per_tenant
+                .iter()
+                .find(|t| t.tenant == id)
+                .expect("tenant present")
+                .clone()
+        };
+        let (t0, t1) = (t(0), t(1));
+        table.push_row(vec![
+            label.to_string(),
+            format!("{:.2}", t0.ttft.p95),
+            format!("{:.2}", t0.attainment),
+            format!("{:.2}", t1.ttft.p95),
+            format!("{:.2}", t1.attainment),
+            format!("{:.1}", r.slo.goodput_tokens_per_s),
+            (t0.preemptions + t1.preemptions).to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    // --- router comparison under the fair scheduler ---------------------
+    let mut table = Table::new(
+        "routers under drr + preemption: shared queues vs weighted fleet partition",
+        &["router", "t0 TTFT p95 s", "t1 TTFT p95 s", "goodput tok/s"],
+    );
+    let routers: [(&str, Box<dyn RoutePolicy>); 2] = [
+        ("least-outstanding", RouterKind::LeastOutstanding.build()),
+        (
+            "weighted-tenant 1:1",
+            Box::new(WeightedTenant::with_weights(vec![(0, 1), (1, 1)])),
+        ),
+    ];
+    for (label, router) in routers {
+        let fair = FairConfig {
+            discipline: QueueDiscipline::DeficitRoundRobin,
+            weights: vec![(0, 4), (1, 1)],
+            preemption: PreemptionPolicy::DeficitRoundRobin,
+            ..FairConfig::default()
+        };
+        let mut c = cluster_with(fair, router);
+        let r = c.run(&reqs, &slo);
+        let p95 = |id: u32| {
+            r.slo
+                .per_tenant
+                .iter()
+                .find(|t| t.tenant == id)
+                .map(|t| t.ttft.p95)
+                .unwrap_or(0.0)
+        };
+        table.push_row(vec![
+            label.to_string(),
+            format!("{:.2}", p95(0)),
+            format!("{:.2}", p95(1)),
+            format!("{:.1}", r.slo.goodput_tokens_per_s),
+        ]);
+    }
+    println!("{table}");
+}

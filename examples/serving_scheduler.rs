@@ -26,6 +26,7 @@ fn main() {
             arrival += rng.uniform_range(0.5, 5.0) as f64;
             Request {
                 id,
+                tenant: 0,
                 input_len: 2048,
                 output_len: 8 * 1024,
                 arrival,

@@ -92,3 +92,54 @@ fn paper_scale_facts_are_plausible() {
         "retrieval head of {head_mb:.0} MB is not lightweight"
     );
 }
+
+/// The fair-serving example's flow, shrunk: a 2-tenant mix under DRR
+/// queues with preemption completes with per-tenant SLO accounting and
+/// the short tenant protected.
+#[test]
+fn fair_serving_flow_end_to_end() {
+    use specontext::runtime::{FairConfig, PreemptionPolicy, QueueDiscipline, SchedulerConfig};
+    use specontext::serve::arrivals::TenantClass;
+
+    let mut cluster = Cluster::from_fleet(
+        &ModelConfig::deepseek_distill_llama_8b(),
+        &Fleet::new().with(DeviceSpec::a100_80g(), 1).build(),
+        2048,
+        SystemKind::SpeContext,
+        ClusterConfig {
+            scheduler: SchedulerConfig {
+                max_batch: 4,
+                admission_stride: 4,
+                fair: FairConfig {
+                    discipline: QueueDiscipline::DeficitRoundRobin,
+                    weights: vec![(0, 4), (1, 1)],
+                    preemption: PreemptionPolicy::DeficitRoundRobin,
+                    ..FairConfig::default()
+                },
+            },
+            autoscale: None,
+        },
+        RouterKind::LeastOutstanding.build(),
+    );
+    let trace = arrivals::generate(
+        &ArrivalConfig::poisson_tenanted(
+            2.0,
+            vec![
+                TenantClass::new(0, 3, vec![Workload::new(512, 256, 1)]),
+                TenantClass::new(1, 1, vec![Workload::new(2048, 8192, 1)]),
+            ],
+            16,
+        ),
+        &mut SimRng::seed(0xFA1A),
+    );
+    let report = cluster.run(&trace, &SloSpec::new(10.0, 0.02));
+    assert_eq!(report.completed + report.rejected, 16);
+    assert_eq!(report.slo.per_tenant.len(), 2);
+    let good_sum: f64 = report
+        .slo
+        .per_tenant
+        .iter()
+        .map(|t| t.goodput_tokens_per_s)
+        .sum();
+    assert!((good_sum - report.slo.goodput_tokens_per_s).abs() < 1e-9);
+}
