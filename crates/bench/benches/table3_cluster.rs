@@ -12,7 +12,7 @@ use spec_bench::emit;
 use spec_hwsim::{fleet, DeviceSpec};
 use spec_model::ModelConfig;
 use spec_runtime::{Scheduler, SchedulerConfig, ServingSim, SystemKind, Workload};
-use spec_serve::arrivals::{self, ArrivalConfig, ClusterRequest};
+use spec_serve::arrivals::{self, ClusterRequest, TraceConfig};
 use spec_serve::cluster::{Cluster, ClusterConfig};
 use spec_serve::router::RouterKind;
 use spec_serve::slo::SloSpec;
@@ -29,11 +29,12 @@ fn trace_at(rate: f64) -> Vec<ClusterRequest> {
     // affinity router. A lone replica sustains ~0.2 req/s of this mix,
     // so the rate sweep spans under- and over-subscription.
     arrivals::generate(
-        &ArrivalConfig::poisson(
-            rate,
-            vec![Workload::new(2048, 8192, 3), Workload::new(8192, 2048, 1)],
-            REQUESTS,
-        ),
+        &TraceConfig::poisson(rate)
+            .shapes(vec![
+                Workload::new(2048, 8192, 3),
+                Workload::new(8192, 2048, 1),
+            ])
+            .count(REQUESTS),
         &mut SimRng::seed(SEED ^ rate.to_bits()),
     )
 }
@@ -44,7 +45,7 @@ fn cluster_for(system: SystemKind, replicas: usize, router: RouterKind) -> Clust
         &fleet::homogeneous(DeviceSpec::a100_80g(), replicas),
         BUDGET,
         system,
-        ClusterConfig::default(),
+        ClusterConfig::new(),
         router.build(),
     )
 }

@@ -14,7 +14,7 @@ use spec_model::ModelConfig;
 use spec_runtime::{
     FairConfig, PreemptionPolicy, QueueDiscipline, SchedulerConfig, SystemKind, Workload,
 };
-use spec_serve::arrivals::{self, ArrivalConfig, ClusterRequest, TenantClass};
+use spec_serve::arrivals::{self, ClusterRequest, TenantClass, TraceConfig};
 use spec_serve::cluster::{Cluster, ClusterConfig};
 use spec_serve::router::RouterKind;
 use spec_serve::slo::{SloSpec, TenantSlo};
@@ -29,32 +29,27 @@ const RATE: f64 = 2.0;
 /// Tenant 0: short interactive requests. Tenant 1: long generations.
 fn mix_trace(interactive_weight: usize, batch_weight: usize) -> Vec<ClusterRequest> {
     arrivals::generate(
-        &ArrivalConfig::poisson_tenanted(
-            RATE,
-            vec![
+        &TraceConfig::poisson(RATE)
+            .tenants(vec![
                 TenantClass::new(0, interactive_weight, vec![Workload::new(512, 256, 1)]),
                 TenantClass::new(1, batch_weight, vec![Workload::new(2048, 8192, 1)]),
-            ],
-            REQUESTS,
-        ),
+            ])
+            .count(REQUESTS),
         &mut SimRng::seed(SEED ^ ((interactive_weight as u64) << 8) ^ batch_weight as u64),
     )
 }
 
 fn policy_cfg(discipline: QueueDiscipline, preemption: PreemptionPolicy) -> ClusterConfig {
-    ClusterConfig {
-        scheduler: SchedulerConfig {
-            max_batch: 4,
-            admission_stride: 4,
-            fair: FairConfig {
-                discipline,
-                weights: vec![(0, 4), (1, 1)],
-                preemption,
-                ..FairConfig::default()
-            },
+    ClusterConfig::new().scheduler(SchedulerConfig {
+        max_batch: 4,
+        admission_stride: 4,
+        fair: FairConfig {
+            discipline,
+            weights: vec![(0, 4), (1, 1)],
+            preemption,
+            ..FairConfig::default()
         },
-        autoscale: None,
-    }
+    })
 }
 
 fn run_cell(

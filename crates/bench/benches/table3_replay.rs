@@ -1,0 +1,203 @@
+//! Trace-replay extension of Table 3: record a bursty multi-tenant
+//! trace into the compact binary format, prove the replay is
+//! bit-for-bit, then sweep router × scheduling policy under a
+//! flash-crowd trace replayed from bytes.
+//!
+//! Anchoring, before the sweep:
+//!  - the recorded bursty trace must fit the 16-bytes/request budget
+//!    and decode → re-encode byte-identically;
+//!  - streaming the bytes back must yield exactly the requests the
+//!    generator produced (arrivals within one 1 µs quantization tick);
+//!  - replaying the flash-crowd trace through a cluster twice must
+//!    produce identical reports, equal to running the decoded trace
+//!    directly.
+
+use spec_bench::emit;
+use spec_hwsim::{fleet, DeviceSpec};
+use spec_model::ModelConfig;
+use spec_runtime::{
+    FairConfig, PreemptionPolicy, QueueDiscipline, SchedulerConfig, SystemKind, Workload,
+};
+use spec_serve::arrivals::{ArrivalSource, TenantClass, TraceConfig};
+use spec_serve::cluster::{Cluster, ClusterConfig};
+use spec_serve::router::RouterKind;
+use spec_serve::slo::SloSpec;
+use spec_serve::trace::{decode, encode, sample_trace_config, ReplayArrivals};
+use specontext_core::report::Table;
+
+const BUDGET: usize = 2048;
+const REQUESTS: usize = 48;
+
+/// Flash-crowd mix: an interactive tenant and a batch tenant at a calm
+/// 0.5 req/s base rate, spiking to 8 req/s for 10 s mid-trace.
+fn flash_config() -> TraceConfig {
+    TraceConfig::flash_crowd(0.5, 8.0, 20.0, 10.0)
+        .tenants(vec![
+            TenantClass::new(0, 3, vec![Workload::new(512, 256, 1)]),
+            TenantClass::new(1, 1, vec![Workload::new(2048, 2048, 1)]),
+        ])
+        .count(REQUESTS)
+        .seed(0xF1A5)
+}
+
+fn policy_cfg(discipline: QueueDiscipline, preemption: PreemptionPolicy) -> ClusterConfig {
+    ClusterConfig::new().scheduler(SchedulerConfig {
+        max_batch: 4,
+        admission_stride: 4,
+        fair: FairConfig {
+            discipline,
+            weights: vec![(0, 4), (1, 1)],
+            preemption,
+            ..FairConfig::default()
+        },
+    })
+}
+
+fn cluster_for(cfg: ClusterConfig, router: RouterKind) -> Cluster {
+    Cluster::from_fleet(
+        &ModelConfig::deepseek_distill_llama_8b(),
+        &fleet::homogeneous(DeviceSpec::a100_80g(), 2),
+        BUDGET,
+        SystemKind::SpeContext,
+        cfg,
+        router.build(),
+    )
+}
+
+fn main() {
+    // --- anchor 1: record → size budget → lossless re-encode -----------
+    let recorded = encode(sample_trace_config().source());
+    let replay = ReplayArrivals::new(recorded.clone()).expect("recorded trace validates");
+    assert!(
+        replay.bytes_per_request() <= 16.0,
+        "bursty multi-tenant trace encodes at {:.2} bytes/request, over the 16-byte budget",
+        replay.bytes_per_request()
+    );
+    let reencoded = encode(decode(&recorded).expect("decodes"));
+    assert_eq!(
+        recorded, reencoded,
+        "decode -> re-encode must be byte-identical"
+    );
+
+    // --- anchor 2: the byte stream replays the generator exactly -------
+    // Arrivals are quantized to the trace tick (1 µs) at record time, so
+    // the replayed clock may differ from the live f64 by up to half a
+    // tick; everything else must match bit-for-bit.
+    let mut streamed = replay;
+    let live = sample_trace_config().source();
+    let mut compared = 0usize;
+    for want in live {
+        let got = streamed.next_request().expect("replay as long as live");
+        assert_eq!(got.request.id, want.request.id);
+        assert_eq!(got.request.tenant, want.request.tenant);
+        assert_eq!(got.request.input_len, want.request.input_len);
+        assert_eq!(got.request.output_len, want.request.output_len);
+        assert_eq!(got.session, want.session, "request {compared} session");
+        assert!(
+            (got.request.arrival - want.request.arrival).abs() <= 1e-6,
+            "request {compared} arrival off by more than one tick: {} vs {}",
+            got.request.arrival,
+            want.request.arrival
+        );
+        compared += 1;
+    }
+    assert!(
+        streamed.next_request().is_none(),
+        "replay has extra records"
+    );
+    println!(
+        "[anchor] recorded {} requests at {:.2} bytes/request; replay is bit-for-bit\n",
+        compared,
+        recorded.len() as f64 / compared as f64,
+    );
+
+    // --- anchor 3: replayed cluster runs are deterministic -------------
+    let flash_bytes = encode(flash_config().source());
+    let flash_trace = decode(&flash_bytes).expect("flash trace decodes");
+    let run_replayed = || {
+        cluster_for(ClusterConfig::new(), RouterKind::LeastOutstanding).run_source(
+            &mut ReplayArrivals::new(flash_bytes.clone()).expect("validates"),
+            &SloSpec::new(10.0, 0.02),
+        )
+    };
+    let first = run_replayed();
+    let second = run_replayed();
+    let direct = cluster_for(ClusterConfig::new(), RouterKind::LeastOutstanding)
+        .run(&flash_trace, &SloSpec::new(10.0, 0.02));
+    assert_eq!(first, second, "replaying the same bytes twice must match");
+    assert_eq!(first, direct, "replay must match running the decoded trace");
+    println!("[anchor] flash-crowd replay: two passes and the direct run all agree\n");
+
+    // --- the sweep: router × policy under the flash-crowd replay -------
+    let routers = [
+        RouterKind::RoundRobin,
+        RouterKind::LeastOutstanding,
+        RouterKind::LeastKvPressure,
+    ];
+    let policies = [
+        ("fifo", QueueDiscipline::Fifo, PreemptionPolicy::None),
+        (
+            "drr",
+            QueueDiscipline::DeficitRoundRobin,
+            PreemptionPolicy::None,
+        ),
+        (
+            "drr+drr",
+            QueueDiscipline::DeficitRoundRobin,
+            PreemptionPolicy::DeficitRoundRobin,
+        ),
+    ];
+    let mut table = Table::new(
+        format!(
+            "Table 3 (replay) — flash crowd 0.5->8 req/s for 10s, {REQUESTS} req replayed from {} bytes on 2xA100, SLO: TTFT<=10s TBT<=20ms",
+            flash_bytes.len()
+        ),
+        &[
+            "router",
+            "policy",
+            "tokens/s",
+            "goodput tok/s",
+            "SLO attain",
+            "t0 TTFT p95 s",
+            "TTFT p99 s",
+            "makespan s",
+            "rejected",
+        ],
+    );
+    // Every cell replays the same recorded bytes through its own
+    // cluster, so the sweep fans out over the worker pool; rows come
+    // back in grid order and the emitted JSON is byte-identical to the
+    // serial sweep.
+    type Cell<'a> = (RouterKind, (&'a str, QueueDiscipline, PreemptionPolicy));
+    let grid: Vec<Cell> = routers
+        .iter()
+        .flat_map(|&r| policies.iter().map(move |&p| (r, p)))
+        .collect();
+    let rows = spec_parallel::par_map(&grid, |&(router, (label, discipline, preemption))| {
+        let mut source = ReplayArrivals::new(flash_bytes.clone()).expect("validates");
+        let mut c = cluster_for(policy_cfg(discipline, preemption), router);
+        let r = c.run_source(&mut source, &SloSpec::new(10.0, 0.02));
+        let t0_p95 = r
+            .slo
+            .per_tenant
+            .iter()
+            .find(|t| t.tenant == 0)
+            .map(|t| t.ttft.p95)
+            .unwrap_or(0.0);
+        vec![
+            router.to_string(),
+            label.to_string(),
+            format!("{:.1}", r.throughput),
+            format!("{:.1}", r.slo.goodput_tokens_per_s),
+            format!("{:.2}", r.slo.attainment),
+            format!("{t0_p95:.2}"),
+            format!("{:.1}", r.slo.ttft.p99),
+            format!("{:.1}", r.makespan),
+            r.rejected.to_string(),
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
+    }
+    emit(&table, "table3_replay");
+}

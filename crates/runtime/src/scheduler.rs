@@ -47,6 +47,28 @@ pub struct Request {
     pub arrival: f64,
 }
 
+impl Request {
+    /// Builds a request from its fields, in declaration order — the one
+    /// construction site arrival generators share, so adding a field
+    /// means fixing one constructor instead of every trace producer.
+    pub fn new(id: usize, tenant: u32, input_len: usize, output_len: usize, arrival: f64) -> Self {
+        Self {
+            id,
+            tenant,
+            input_len,
+            output_len,
+            arrival,
+        }
+    }
+
+    /// Builds a request shaped like one [`Workload`] row (its
+    /// `requests` batch-size field is a mixture weight to trace
+    /// generators and is ignored here).
+    pub fn with_shape(id: usize, tenant: u32, shape: &Workload, arrival: f64) -> Self {
+        Self::new(id, tenant, shape.input_len, shape.output_len, arrival)
+    }
+}
+
 /// A finished request with its timing.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CompletedRequest {

@@ -1,0 +1,410 @@
+//! Trace characterization: one streaming pass over an encoded trace,
+//! out come the numbers that tell you what kind of workload it is.
+//!
+//! The SPEC CPU2026 characterization papers make the case that a
+//! benchmark suite is only trustworthy once its footprints and dynamics
+//! are quantified; same here — before replaying a trace against routers
+//! and autoscalers, [`characterize`] reports its request count, tenant
+//! mix, length histograms, burstiness (interarrival coefficient of
+//! variation), and peak-to-mean rate, as both markdown (for humans and
+//! the README) and JSON (for tooling). The pass is single-scan and O(1)
+//! in trace length apart from the per-tenant/per-session tallies, so it
+//! handles million-request traces in milliseconds.
+
+use crate::trace::{ticks_to_seconds, TraceCursor, TraceError};
+use std::collections::{HashMap, HashSet};
+
+/// Log₂-bucketed length histogram: bucket `i` counts values in
+/// `[2^i, 2^(i+1))`, bucket 0 also holding 0.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Log2Histogram {
+    /// Count per power-of-two bucket.
+    pub buckets: Vec<u64>,
+}
+
+impl Log2Histogram {
+    fn add(&mut self, value: usize) {
+        let b = (usize::BITS - value.leading_zeros()).saturating_sub(1) as usize;
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+    }
+
+    /// Renders `bucket-lo: count` lines, skipping empty buckets.
+    fn to_markdown(&self, indent: &str) -> String {
+        let total: u64 = self.buckets.iter().sum();
+        let mut out = String::new();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let lo = 1usize << i;
+            let hi = (1usize << (i + 1)) - 1;
+            out.push_str(&format!(
+                "{indent}| {lo}–{hi} | {n} | {:.1}% |\n",
+                100.0 * n as f64 / total as f64
+            ));
+        }
+        out
+    }
+
+    fn to_json(&self) -> String {
+        let inner: Vec<String> = self.buckets.iter().map(u64::to_string).collect();
+        format!("[{}]", inner.join(","))
+    }
+}
+
+/// One tenant's share of the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantShare {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Requests billed to this tenant.
+    pub requests: u64,
+    /// Total tokens (input + output) billed to this tenant.
+    pub tokens: u64,
+}
+
+/// The full characterization of one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Characterization {
+    /// Trace name (caller-chosen; lands in the report headings).
+    pub name: String,
+    /// Total requests.
+    pub requests: u64,
+    /// Span from first to last arrival, seconds.
+    pub duration_s: f64,
+    /// Mean arrival rate over the span, requests/second.
+    pub mean_rate: f64,
+    /// Peak arrival rate over any 1-second window, requests/second.
+    pub peak_rate: f64,
+    /// Peak-to-mean rate ratio (1.0 = perfectly smooth).
+    pub peak_to_mean: f64,
+    /// Coefficient of variation of inter-arrival times (1.0 = Poisson;
+    /// higher = burstier).
+    pub interarrival_cv: f64,
+    /// Distinct session ids.
+    pub sessions: u64,
+    /// Total input tokens.
+    pub input_tokens: u64,
+    /// Total output tokens.
+    pub output_tokens: u64,
+    /// Per-tenant shares, sorted by tenant id.
+    pub tenants: Vec<TenantShare>,
+    /// Input-length histogram (log₂ buckets).
+    pub input_hist: Log2Histogram,
+    /// Output-length histogram (log₂ buckets).
+    pub output_hist: Log2Histogram,
+    /// Encoded trace size, bytes (header included).
+    pub encoded_bytes: u64,
+    /// Encoded payload bytes per request (header excluded).
+    pub bytes_per_request: f64,
+}
+
+/// Characterizes an encoded trace in one streaming pass.
+pub fn characterize(name: &str, bytes: &[u8]) -> Result<Characterization, TraceError> {
+    let mut cursor = TraceCursor::new(bytes)?;
+    let tick_ns = cursor.tick_ns();
+    let header = header_offset(bytes);
+
+    let mut requests: u64 = 0;
+    let mut first_ticks: u64 = 0;
+    let mut last_ticks: u64 = 0;
+    let mut prev_ticks: Option<u64> = None;
+    // Welford running moments of the inter-arrival times.
+    let (mut ia_mean, mut ia_m2, mut ia_n) = (0.0f64, 0.0f64, 0u64);
+    // Peak 1-second-window rate: bucket arrivals into whole seconds.
+    let ticks_per_s = (1_000_000_000 / tick_ns).max(1);
+    let mut window_start: u64 = 0;
+    let mut window_count: u64 = 0;
+    let mut peak_window: u64 = 0;
+    let mut sessions: HashSet<u64> = HashSet::new();
+    let mut tenants: HashMap<u32, (u64, u64)> = HashMap::new();
+    let (mut input_tokens, mut output_tokens) = (0u64, 0u64);
+    let mut input_hist = Log2Histogram::default();
+    let mut output_hist = Log2Histogram::default();
+
+    while let Some(rec) = cursor.next_record()? {
+        if requests == 0 {
+            first_ticks = rec.ticks;
+            window_start = rec.ticks;
+        }
+        last_ticks = rec.ticks;
+        if let Some(prev) = prev_ticks {
+            let dt = ticks_to_seconds(rec.ticks - prev, tick_ns);
+            ia_n += 1;
+            let d = dt - ia_mean;
+            ia_mean += d / ia_n as f64;
+            ia_m2 += d * (dt - ia_mean);
+        }
+        prev_ticks = Some(rec.ticks);
+        while rec.ticks >= window_start + ticks_per_s {
+            peak_window = peak_window.max(window_count);
+            window_start += ticks_per_s;
+            window_count = 0;
+        }
+        window_count += 1;
+        sessions.insert(rec.session);
+        let t = tenants.entry(rec.tenant).or_insert((0, 0));
+        t.0 += 1;
+        t.1 += (rec.input_len + rec.output_len) as u64;
+        input_tokens += rec.input_len as u64;
+        output_tokens += rec.output_len as u64;
+        input_hist.add(rec.input_len);
+        output_hist.add(rec.output_len);
+        requests += 1;
+    }
+    peak_window = peak_window.max(window_count);
+
+    let duration_s = ticks_to_seconds(last_ticks - first_ticks, tick_ns);
+    let mean_rate = if duration_s > 0.0 {
+        requests as f64 / duration_s
+    } else {
+        0.0
+    };
+    let peak_rate = peak_window as f64;
+    let interarrival_cv = if ia_n > 1 && ia_mean > 0.0 {
+        (ia_m2 / ia_n as f64).sqrt() / ia_mean
+    } else {
+        0.0
+    };
+    let mut tenant_shares: Vec<TenantShare> = tenants
+        .into_iter()
+        .map(|(tenant, (reqs, tokens))| TenantShare {
+            tenant,
+            requests: reqs,
+            tokens,
+        })
+        .collect();
+    tenant_shares.sort_by_key(|t| t.tenant);
+
+    Ok(Characterization {
+        name: name.to_string(),
+        requests,
+        duration_s,
+        mean_rate,
+        peak_rate,
+        peak_to_mean: if mean_rate > 0.0 {
+            peak_rate / mean_rate
+        } else {
+            0.0
+        },
+        interarrival_cv,
+        sessions: sessions.len() as u64,
+        input_tokens,
+        output_tokens,
+        tenants: tenant_shares,
+        input_hist,
+        output_hist,
+        encoded_bytes: bytes.len() as u64,
+        bytes_per_request: if requests > 0 {
+            (bytes.len() - header) as f64 / requests as f64
+        } else {
+            0.0
+        },
+    })
+}
+
+/// Byte offset of the first record (magic + version + tick varint).
+fn header_offset(bytes: &[u8]) -> usize {
+    let mut pos = 5;
+    while pos < bytes.len() && bytes[pos] & 0x80 != 0 {
+        pos += 1;
+    }
+    pos + 1
+}
+
+impl Characterization {
+    /// The report as markdown (the shape committed to `results/`).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# Trace characterization: {}\n\n", self.name));
+        out.push_str("| metric | value |\n|---|---|\n");
+        out.push_str(&format!("| requests | {} |\n", self.requests));
+        out.push_str(&format!("| duration | {:.1} s |\n", self.duration_s));
+        out.push_str(&format!("| mean rate | {:.2} req/s |\n", self.mean_rate));
+        out.push_str(&format!(
+            "| peak rate (1 s window) | {:.0} req/s |\n",
+            self.peak_rate
+        ));
+        out.push_str(&format!("| peak-to-mean | {:.2}× |\n", self.peak_to_mean));
+        out.push_str(&format!(
+            "| interarrival CV | {:.2} (1.0 = Poisson) |\n",
+            self.interarrival_cv
+        ));
+        out.push_str(&format!("| sessions | {} |\n", self.sessions));
+        out.push_str(&format!(
+            "| tokens | {} in / {} out |\n",
+            self.input_tokens, self.output_tokens
+        ));
+        out.push_str(&format!(
+            "| encoded size | {} bytes ({:.2} bytes/request) |\n\n",
+            self.encoded_bytes, self.bytes_per_request
+        ));
+
+        out.push_str(
+            "## Tenant mix\n\n| tenant | requests | share | tokens |\n|---|---|---|---|\n",
+        );
+        for t in &self.tenants {
+            out.push_str(&format!(
+                "| {} | {} | {:.1}% | {} |\n",
+                t.tenant,
+                t.requests,
+                100.0 * t.requests as f64 / self.requests.max(1) as f64,
+                t.tokens
+            ));
+        }
+
+        out.push_str("\n## Input lengths (tokens)\n\n| range | count | share |\n|---|---|---|\n");
+        out.push_str(&self.input_hist.to_markdown(""));
+        out.push_str("\n## Output lengths (tokens)\n\n| range | count | share |\n|---|---|---|\n");
+        out.push_str(&self.output_hist.to_markdown(""));
+        out
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let tenants: Vec<String> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"tenant\":{},\"requests\":{},\"tokens\":{}}}",
+                    t.tenant, t.requests, t.tokens
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"name\": \"{}\",\n",
+                "  \"requests\": {},\n",
+                "  \"duration_s\": {:.6},\n",
+                "  \"mean_rate\": {:.6},\n",
+                "  \"peak_rate\": {:.1},\n",
+                "  \"peak_to_mean\": {:.4},\n",
+                "  \"interarrival_cv\": {:.4},\n",
+                "  \"sessions\": {},\n",
+                "  \"input_tokens\": {},\n",
+                "  \"output_tokens\": {},\n",
+                "  \"tenants\": [{}],\n",
+                "  \"input_hist_log2\": {},\n",
+                "  \"output_hist_log2\": {},\n",
+                "  \"encoded_bytes\": {},\n",
+                "  \"bytes_per_request\": {:.4}\n",
+                "}}\n"
+            ),
+            self.name,
+            self.requests,
+            self.duration_s,
+            self.mean_rate,
+            self.peak_rate,
+            self.peak_to_mean,
+            self.interarrival_cv,
+            self.sessions,
+            self.input_tokens,
+            self.output_tokens,
+            tenants.join(","),
+            self.input_hist.to_json(),
+            self.output_hist.to_json(),
+            self.encoded_bytes,
+            self.bytes_per_request,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::{generate, TenantClass, TraceConfig};
+    use crate::trace::encode;
+    use spec_runtime::Workload;
+    use spec_tensor::SimRng;
+
+    #[test]
+    fn characterizes_a_poisson_trace() {
+        let cfg = TraceConfig::poisson(4.0)
+            .shapes(vec![Workload::new(2048, 1024, 1)])
+            .count(2000)
+            .seed(3);
+        let bytes = encode(generate(&cfg, &mut SimRng::seed(3)));
+        let c = characterize("poisson", &bytes).unwrap();
+        assert_eq!(c.requests, 2000);
+        assert!((c.mean_rate - 4.0).abs() < 0.5, "mean rate {}", c.mean_rate);
+        // Poisson interarrivals: CV ≈ 1.
+        assert!(
+            (c.interarrival_cv - 1.0).abs() < 0.15,
+            "CV {}",
+            c.interarrival_cv
+        );
+        assert_eq!(c.input_tokens, 2000 * 2048);
+        assert_eq!(c.tenants.len(), 1);
+        assert!(c.bytes_per_request <= 16.0);
+        assert!(c.sessions > 0 && c.sessions <= 500);
+    }
+
+    #[test]
+    fn bursty_traces_report_higher_cv_and_peak() {
+        let shapes = vec![Workload::new(2048, 1024, 1)];
+        let p = encode(generate(
+            &TraceConfig::poisson(2.0).shapes(shapes.clone()).count(3000),
+            &mut SimRng::seed(7),
+        ));
+        let b = encode(generate(
+            &TraceConfig::bursty(0.5, 30.0, 0.04)
+                .shapes(shapes)
+                .count(3000),
+            &mut SimRng::seed(7),
+        ));
+        let cp = characterize("p", &p).unwrap();
+        let cb = characterize("b", &b).unwrap();
+        assert!(cb.interarrival_cv > cp.interarrival_cv * 1.3);
+        assert!(cb.peak_to_mean > cp.peak_to_mean);
+    }
+
+    #[test]
+    fn tenant_shares_sum_to_total() {
+        let cfg = TraceConfig::poisson(2.0)
+            .tenants(vec![
+                TenantClass::new(0, 3, vec![Workload::new(512, 256, 1)]),
+                TenantClass::new(4, 1, vec![Workload::new(2048, 8192, 1)]),
+            ])
+            .count(1000);
+        let bytes = encode(generate(&cfg, &mut SimRng::seed(9)));
+        let c = characterize("mix", &bytes).unwrap();
+        assert_eq!(c.tenants.iter().map(|t| t.requests).sum::<u64>(), 1000);
+        assert_eq!(c.tenants[0].tenant, 0);
+        assert_eq!(c.tenants[1].tenant, 4);
+        let share0 = c.tenants[0].requests as f64 / 1000.0;
+        assert!((share0 - 0.75).abs() < 0.05, "tenant-0 share {share0}");
+    }
+
+    #[test]
+    fn reports_render() {
+        let cfg = TraceConfig::poisson(2.0)
+            .shapes(vec![Workload::new(2048, 1024, 1)])
+            .count(100);
+        let bytes = encode(generate(&cfg, &mut SimRng::seed(1)));
+        let c = characterize("render", &bytes).unwrap();
+        let md = c.to_markdown();
+        assert!(md.contains("# Trace characterization: render"));
+        assert!(md.contains("| requests | 100 |"));
+        assert!(md.contains("## Tenant mix"));
+        let json = c.to_json();
+        assert!(json.contains("\"requests\": 100"));
+        assert!(json.contains("\"input_hist_log2\": ["));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Log2Histogram::default();
+        h.add(1);
+        h.add(2);
+        h.add(3);
+        h.add(2048);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[11], 1);
+    }
+}

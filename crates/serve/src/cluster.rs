@@ -1,16 +1,28 @@
 //! The cluster event loop.
 //!
-//! A [`Cluster`] owns N [`Replica`]s and a routing policy. Its `run`
-//! walks an arrival-ordered trace: before each arrival it advances every
-//! replica's engine to the arrival instant (replicas run independently —
-//! a decode iteration may overshoot, exactly as on a real engine), takes
-//! an autoscaling decision on queue depth, snapshots the fleet, routes
-//! the request, and finally drains all replicas. Because replicas are
-//! driven through the runtime scheduler's own micro-steps, a 1-replica
-//! cluster reproduces `Scheduler::run` bit-for-bit, which pins the whole
-//! subsystem to the single-node Table-3 ground truth.
+//! A [`Cluster`] owns N [`Replica`]s and a routing policy.
+//! [`Cluster::run_source`] pulls from a streaming
+//! [`ArrivalSource`] one request at a time — a million-request trace is
+//! never materialized. For *open-loop* sources, before each arrival it
+//! advances every replica's engine to the arrival instant (replicas run
+//! independently — a decode iteration may overshoot, exactly as on a
+//! real engine), takes an autoscaling decision on queue depth, snapshots
+//! the fleet, routes the request, and finally drains all replicas.
+//! Because replicas are driven through the runtime scheduler's own
+//! micro-steps, a 1-replica cluster reproduces `Scheduler::run`
+//! bit-for-bit, which pins the whole subsystem to the single-node
+//! Table-3 ground truth. ([`Cluster::run`] is the same loop over a
+//! pre-materialized slice.)
+//!
+//! *Closed-loop* sources need finer event interleaving — a session's
+//! next request departs only after its previous response — so the loop
+//! micro-steps the laggard replica one scheduler decision at a time,
+//! feeding completions (and rejections) back into the source between
+//! steps in a deterministic `(finish, id)` order. That path is serial by
+//! construction, so closed-loop runs are `SPEC_THREADS`-invariant for
+//! free.
 
-use crate::arrivals::ClusterRequest;
+use crate::arrivals::{ArrivalSource, ClusterRequest, SliceSource};
 use crate::replica::Replica;
 use crate::router::{ReplicaSnapshot, RoutePolicy};
 use crate::slo::{self, SloReport, SloSpec};
@@ -42,13 +54,39 @@ impl Default for AutoscaleConfig {
     }
 }
 
-/// Cluster-wide configuration.
+/// Cluster-wide configuration, built fluently:
+///
+/// ```
+/// use spec_serve::cluster::{AutoscaleConfig, ClusterConfig};
+///
+/// let cfg = ClusterConfig::new().autoscale(AutoscaleConfig::default());
+/// assert!(cfg.autoscale.is_some());
+/// ```
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ClusterConfig {
     /// Per-replica continuous-batching configuration.
     pub scheduler: SchedulerConfig,
     /// Autoscaling; `None` keeps the whole fleet active throughout.
     pub autoscale: Option<AutoscaleConfig>,
+}
+
+impl ClusterConfig {
+    /// The default configuration; chain the builder methods.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-replica scheduler configuration.
+    pub fn scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Enables queue-depth autoscaling.
+    pub fn autoscale(mut self, autoscale: AutoscaleConfig) -> Self {
+        self.autoscale = Some(autoscale);
+        self
+    }
 }
 
 /// One replica's slice of a cluster run.
@@ -155,51 +193,56 @@ impl Cluster {
         self.router.name()
     }
 
-    /// Runs an arrival-ordered trace to completion under `slo`.
+    /// Runs an arrival-ordered trace to completion under `slo` — the
+    /// same event loop as [`Cluster::run_source`] over a
+    /// pre-materialized slice.
     ///
     /// # Panics
     ///
     /// Panics if the trace is not sorted by arrival time.
     pub fn run(&mut self, trace: &[ClusterRequest], slo: &SloSpec) -> ClusterReport {
-        assert!(
-            trace
-                .windows(2)
-                .all(|w| w[0].request.arrival <= w[1].request.arrival),
-            "trace must be sorted by arrival"
-        );
-        let mut queue_depth = Vec::with_capacity(trace.len());
-        for cr in trace {
-            let t = cr.request.arrival;
-            // Replicas run independently between cluster events, so their
-            // micro-stepping fans out over the worker pool. Each replica's
-            // state depends only on its own trace slice, so the cluster
-            // outcome is identical at any thread count — which is what
-            // keeps the 1-replica anchor bit-for-bit on `Scheduler::run`.
-            // Idle replicas return from `advance_until` immediately, so
-            // only spawn workers when several have stepping to do.
-            if self.replicas.iter().filter(|r| r.has_work()).count() > 1 {
-                spec_parallel::par_for_each_mut(&mut self.replicas, |_, rep| rep.advance_until(t));
-            } else {
-                for rep in &mut self.replicas {
-                    rep.advance_until(t);
+        self.run_source(&mut SliceSource::new(trace), slo)
+    }
+
+    /// Runs a streaming [`ArrivalSource`] to completion under `slo`.
+    ///
+    /// Open-loop sources walk the exact event sequence [`Cluster::run`]
+    /// always walked (advance fleet → autoscale → snapshot → route →
+    /// push, then drain), so existing traces replay bit-for-bit and a
+    /// 1-replica cluster still reproduces `Scheduler::run`. Closed-loop
+    /// sources get the fine-grained path: micro-step the laggard
+    /// replica, feed completions back, re-peek — so a completion can
+    /// release a session's next turn before the fleet moves past it.
+    pub fn run_source<S: ArrivalSource + ?Sized>(
+        &mut self,
+        source: &mut S,
+        slo: &SloSpec,
+    ) -> ClusterReport {
+        let mut queue_depth = Vec::with_capacity(source.remaining_hint().unwrap_or(0));
+        if source.closed_loop() {
+            self.run_closed_loop(source, &mut queue_depth);
+        } else {
+            while let Some(cr) = source.next_request() {
+                let t = cr.request.arrival;
+                // Replicas run independently between cluster events, so
+                // their micro-stepping fans out over the worker pool.
+                // Each replica's state depends only on its own trace
+                // slice, so the cluster outcome is identical at any
+                // thread count — which is what keeps the 1-replica
+                // anchor bit-for-bit on `Scheduler::run`. Idle replicas
+                // return from `advance_until` immediately, so only spawn
+                // workers when several have stepping to do.
+                if self.replicas.iter().filter(|r| r.has_work()).count() > 1 {
+                    spec_parallel::par_for_each_mut(&mut self.replicas, |_, rep| {
+                        rep.advance_until(t)
+                    });
+                } else {
+                    for rep in &mut self.replicas {
+                        rep.advance_until(t);
+                    }
                 }
+                self.route_arrived(&cr, &mut queue_depth);
             }
-            self.autoscale();
-            let snapshots: Vec<ReplicaSnapshot> = self
-                .replicas
-                .iter()
-                .enumerate()
-                .map(|(i, r)| r.snapshot(i))
-                .collect();
-            let idx = self.router.route(cr, &snapshots);
-            assert!(
-                self.replicas.get(idx).is_some_and(Replica::is_active),
-                "router {} picked an unavailable replica {idx}",
-                self.router.name()
-            );
-            self.replicas[idx].push(cr.request);
-            let outstanding: usize = self.replicas.iter().map(Replica::outstanding).sum();
-            queue_depth.push((t, outstanding));
         }
         if self.replicas.iter().filter(|r| r.has_work()).count() > 1 {
             spec_parallel::par_for_each_mut(&mut self.replicas, |_, rep| rep.drain());
@@ -209,6 +252,108 @@ impl Cluster {
             }
         }
         self.report(queue_depth, slo)
+    }
+
+    /// The closed-loop event path: one replica micro-step per iteration,
+    /// completions fed back between steps. Serial by construction, so
+    /// the outcome is identical at any `SPEC_THREADS`.
+    fn run_closed_loop<S: ArrivalSource + ?Sized>(
+        &mut self,
+        source: &mut S,
+        queue_depth: &mut Vec<(f64, usize)>,
+    ) {
+        let mut flushed_done = vec![0usize; self.replicas.len()];
+        let mut flushed_rejects = vec![0usize; self.replicas.len()];
+        loop {
+            self.flush_feedback(source, &mut flushed_done, &mut flushed_rejects);
+            let Some(t) = source.peek_arrival() else {
+                // Nothing ready to depart: either turns are in flight
+                // (step the laggard so a completion can unlock one) or
+                // the source is exhausted / every session ended.
+                let Some(i) = self.laggard_below(f64::INFINITY) else {
+                    break;
+                };
+                self.replicas[i].step_once();
+                continue;
+            };
+            if let Some(i) = self.laggard_below(t) {
+                // A working replica is still behind the departure
+                // instant; step it and re-peek — its completion may
+                // release an *earlier* turn than the one we just saw.
+                self.replicas[i].step_once();
+                continue;
+            }
+            let cr = source.next_request().expect("peeked arrival vanished");
+            self.route_arrived(&cr, queue_depth);
+        }
+    }
+
+    /// The lowest-clock working replica strictly behind `t` (ties to the
+    /// lowest index), or `None` when the whole fleet has caught up.
+    fn laggard_below(&self, t: f64) -> Option<usize> {
+        (0..self.replicas.len())
+            .filter(|&i| self.replicas[i].has_work() && self.replicas[i].now() < t)
+            .min_by(|&a, &b| {
+                self.replicas[a]
+                    .now()
+                    .partial_cmp(&self.replicas[b].now())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            })
+    }
+
+    /// Feeds completions and rejections the source has not seen yet back
+    /// into it, completions in `(finish, id)` order so the stream is
+    /// deterministic regardless of replica interleaving.
+    fn flush_feedback<S: ArrivalSource + ?Sized>(
+        &self,
+        source: &mut S,
+        flushed_done: &mut [usize],
+        flushed_rejects: &mut [usize],
+    ) {
+        let mut fresh: Vec<CompletedRequest> = Vec::new();
+        for (i, rep) in self.replicas.iter().enumerate() {
+            let all = rep.completed();
+            fresh.extend_from_slice(&all[flushed_done[i]..]);
+            flushed_done[i] = all.len();
+        }
+        fresh.sort_by(|a, b| {
+            a.finish
+                .partial_cmp(&b.finish)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.request.id.cmp(&b.request.id))
+        });
+        for done in &fresh {
+            source.on_complete(done);
+        }
+        for (i, rep) in self.replicas.iter().enumerate() {
+            let all = rep.rejected_requests();
+            for req in &all[flushed_rejects[i]..] {
+                source.on_reject(req);
+            }
+            flushed_rejects[i] = all.len();
+        }
+    }
+
+    /// The routing block every arrival goes through: scale decision,
+    /// fleet snapshot, route, hand over, record queue depth.
+    fn route_arrived(&mut self, cr: &ClusterRequest, queue_depth: &mut Vec<(f64, usize)>) {
+        self.autoscale();
+        let snapshots: Vec<ReplicaSnapshot> = self
+            .replicas
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r.snapshot(i))
+            .collect();
+        let idx = self.router.route(cr, &snapshots);
+        assert!(
+            self.replicas.get(idx).is_some_and(Replica::is_active),
+            "router {} picked an unavailable replica {idx}",
+            self.router.name()
+        );
+        self.replicas[idx].push(cr.request);
+        let outstanding: usize = self.replicas.iter().map(Replica::outstanding).sum();
+        queue_depth.push((cr.request.arrival, outstanding));
     }
 
     /// One scale decision, taken at an arrival instant: scale up when
@@ -313,7 +458,7 @@ impl std::fmt::Debug for Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::arrivals::{self, ArrivalConfig};
+    use crate::arrivals::{self, ClosedLoopConfig, TraceConfig};
     use crate::router::RouterKind;
     use spec_hwsim::{fleet, DeviceSpec, Fleet};
     use spec_runtime::Workload;
@@ -325,21 +470,24 @@ mod tests {
 
     fn trace(rate: f64, count: usize, seed: u64) -> Vec<ClusterRequest> {
         arrivals::generate(
-            &ArrivalConfig::poisson(rate, vec![Workload::new(2048, 1024, 1)], count),
+            &TraceConfig::poisson(rate)
+                .shapes(vec![Workload::new(2048, 1024, 1)])
+                .count(count),
             &mut SimRng::seed(seed),
         )
     }
 
     fn cluster(n: usize, kind: RouterKind, autoscale: Option<AutoscaleConfig>) -> Cluster {
+        let cfg = match autoscale {
+            Some(auto) => ClusterConfig::new().autoscale(auto),
+            None => ClusterConfig::new(),
+        };
         Cluster::from_fleet(
             &model(),
             &fleet::homogeneous(DeviceSpec::a100_80g(), n),
             2048,
             SystemKind::SpeContext,
-            ClusterConfig {
-                autoscale,
-                ..ClusterConfig::default()
-            },
+            cfg,
             kind.build(),
         )
     }
@@ -484,6 +632,84 @@ mod tests {
             2,
             "session must stay re-pinned to its fallback target"
         );
+    }
+
+    #[test]
+    fn run_source_over_a_slice_matches_run() {
+        let reqs = trace(2.0, 24, 41);
+        let a = cluster(3, RouterKind::LeastOutstanding, None).run(&reqs, &SloSpec::default());
+        let b = cluster(3, RouterKind::LeastOutstanding, None)
+            .run_source(&mut arrivals::SliceSource::new(&reqs), &SloSpec::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streaming_generator_matches_materialized_trace() {
+        let cfg = TraceConfig::bursty(1.0, 10.0, 0.1)
+            .shapes(vec![Workload::new(2048, 1024, 1)])
+            .count(32)
+            .seed(19);
+        let eager = arrivals::generate(&cfg, &mut SimRng::seed(19));
+        let a = cluster(2, RouterKind::LeastKvPressure, None).run(&eager, &SloSpec::default());
+        let b = cluster(2, RouterKind::LeastKvPressure, None)
+            .run_source(&mut cfg.source(), &SloSpec::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn closed_loop_sessions_run_to_completion() {
+        let cfg = ClosedLoopConfig::new(4, 3)
+            .think(0.5)
+            .shapes(vec![Workload::new(1024, 256, 1)])
+            .seed(2);
+        let mut c = cluster(2, RouterKind::LeastOutstanding, None);
+        let report = c.run_source(&mut cfg.source(), &SloSpec::default());
+        assert_eq!(report.completed, 12, "4 sessions × 3 turns");
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.queue_depth.len(), 12);
+        assert!(report.queue_depth.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn closed_loop_turns_depart_after_the_previous_response() {
+        // With one session there is never more than one request in the
+        // system: each turn's arrival must be at or after the previous
+        // turn's finish.
+        let cfg = ClosedLoopConfig::new(1, 4)
+            .think(0.1)
+            .shapes(vec![Workload::new(1024, 256, 1)]);
+        let mut c = cluster(1, RouterKind::LeastOutstanding, None);
+        let report = c.run_source(&mut cfg.source(), &SloSpec::default());
+        assert_eq!(report.completed, 4);
+        let done = &report.replicas[0].report.completed;
+        for w in done.windows(2) {
+            assert!(
+                w[1].request.arrival >= w[0].finish,
+                "turn at {} departed before the previous finish {}",
+                w[1].request.arrival,
+                w[0].finish
+            );
+        }
+    }
+
+    #[test]
+    fn closed_loop_runs_are_deterministic_and_thread_invariant() {
+        let cfg = ClosedLoopConfig::new(6, 2)
+            .think(0.2)
+            .ramp(1.0)
+            .shapes(vec![Workload::new(2048, 512, 1)])
+            .seed(5);
+        let run = |threads: usize| {
+            spec_parallel::with_threads(threads, || {
+                cluster(3, RouterKind::LeastOutstanding, None)
+                    .run_source(&mut cfg.source(), &SloSpec::default())
+            })
+        };
+        let reference = run(1);
+        assert_eq!(reference.completed, 12);
+        for t in [2usize, 7] {
+            assert_eq!(run(t), reference, "threads={t}");
+        }
     }
 
     #[test]

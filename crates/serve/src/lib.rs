@@ -5,20 +5,28 @@
 //! closed-loop workload. This crate adds the layer between "one engine"
 //! and "a fleet": an event-driven cluster simulator that composes N
 //! replicas of the existing `ServingSim`/`Scheduler` stack behind a
-//! pluggable router, drives them with open-loop arrival processes, and
+//! pluggable router, drives them from streaming arrival sources —
+//! open-loop processes, recorded traces, closed-loop sessions — and
 //! accounts results against latency SLOs.
 //!
-//! * [`arrivals`] — open-loop request generation: Poisson and bursty
-//!   (Markov-modulated) processes over the runtime's `Workload` shapes,
-//!   plus trace-driven replay; deterministic via `spec_tensor::SimRng`;
+//! * [`arrivals`] — the streaming [`ArrivalSource`](arrivals::ArrivalSource)
+//!   API and its generators: Poisson, bursty (Markov-modulated), diurnal
+//!   and flash-crowd processes over the runtime's `Workload` shapes, plus
+//!   closed-loop sessions whose next request departs only after the
+//!   previous response; deterministic via `spec_tensor::SimRng`;
+//! * [`trace`] — compact binary traces (~10 bytes/request): record any
+//!   source, replay it bit-for-bit with O(1) memory;
+//! * [`characterize`] — one-pass trace characterization (tenant mix,
+//!   length histograms, burstiness, peak-to-mean) as markdown + JSON;
 //! * [`router`] — pluggable routing policies: round-robin,
 //!   least-outstanding, least-KV-pressure, session affinity, and
 //!   weighted-tenant fleet partitioning;
 //! * [`replica`] — one serving engine: the runtime scheduler's stepping
 //!   core plus KV occupancy accounting through `spec_kvcache`'s block
 //!   allocator;
-//! * [`cluster`] — the event loop: advance replicas to each arrival,
-//!   route, optionally autoscale on queue depth, drain, report;
+//! * [`cluster`] — the event loop: pull arrivals from the source, advance
+//!   replicas, route, optionally autoscale on queue depth, feed
+//!   completions back to closed-loop sources, drain, report;
 //!   heterogeneous fleets come from `spec_hwsim::Fleet`;
 //! * [`slo`] — per-request TTFT/TBT/latency percentiles, SLO attainment
 //!   and goodput, fleet-wide and broken down per tenant.
@@ -36,12 +44,11 @@
 //! use spec_model::ModelConfig;
 //! use spec_runtime::{SystemKind, Workload};
 //! use spec_serve::{
-//!     arrivals::{self, ArrivalConfig},
+//!     arrivals::TraceConfig,
 //!     cluster::{Cluster, ClusterConfig},
 //!     router::RouterKind,
 //!     slo::SloSpec,
 //! };
-//! use spec_tensor::SimRng;
 //!
 //! let fleet = Fleet::new().with(DeviceSpec::a100_80g(), 2).build();
 //! let mut cluster = Cluster::from_fleet(
@@ -49,25 +56,34 @@
 //!     &fleet,
 //!     2048,
 //!     SystemKind::SpeContext,
-//!     ClusterConfig::default(),
+//!     ClusterConfig::new(),
 //!     RouterKind::LeastOutstanding.build(),
 //! );
-//! let trace = arrivals::generate(
-//!     &ArrivalConfig::poisson(0.5, vec![Workload::new(2048, 1024, 1)], 8),
-//!     &mut SimRng::seed(7),
-//! );
-//! let report = cluster.run(&trace, &SloSpec::default());
+//! let cfg = TraceConfig::poisson(0.5)
+//!     .shapes(vec![Workload::new(2048, 1024, 1)])
+//!     .count(8)
+//!     .seed(7);
+//! let report = cluster.run_source(&mut cfg.source(), &SloSpec::default());
 //! assert_eq!(report.completed, 8);
 //! ```
 
 pub mod arrivals;
+pub mod characterize;
 pub mod cluster;
 pub mod replica;
 pub mod router;
 pub mod slo;
+pub mod trace;
 
-pub use arrivals::{ArrivalConfig, ArrivalProcess, ClusterRequest, TenantClass};
+#[allow(deprecated)]
+pub use arrivals::ArrivalConfig;
+pub use arrivals::{
+    ArrivalProcess, ArrivalSource, ClosedLoopConfig, ClosedLoopSource, ClusterRequest,
+    GeneratedArrivals, SliceSource, TenantClass, TraceConfig,
+};
+pub use characterize::{characterize, Characterization};
 pub use cluster::{AutoscaleConfig, Cluster, ClusterConfig, ClusterReport, ReplicaReport};
 pub use replica::Replica;
 pub use router::{ReplicaSnapshot, RoutePolicy, RouterKind, WeightedTenant};
 pub use slo::{SloReport, SloSpec, TenantSlo};
+pub use trace::{RecordingSource, ReplayArrivals, TraceCursor, TraceError, TraceWriter};

@@ -145,6 +145,16 @@ impl Replica {
         self.sync_kv();
     }
 
+    /// One scheduler micro-step (closed-loop event granularity: the
+    /// cluster interleaves single steps with completion feedback), then
+    /// refreshes the KV occupancy mirror. No-op when idle.
+    pub fn step_once(&mut self) {
+        if self.state.has_work() {
+            self.scheduler.step(&mut self.state, &mut self.cache);
+        }
+        self.sync_kv();
+    }
+
     /// Runs all remaining assigned work to completion.
     pub fn drain(&mut self) {
         while self.state.has_work() {

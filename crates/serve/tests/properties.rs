@@ -16,7 +16,7 @@ use proptest::prelude::*;
 use spec_hwsim::DeviceSpec;
 use spec_model::ModelConfig;
 use spec_runtime::{Scheduler, SchedulerConfig, ServingSim, SystemKind, Workload};
-use spec_serve::arrivals::{self, ArrivalConfig, ArrivalProcess, ClusterRequest, TenantClass};
+use spec_serve::arrivals::{self, ArrivalProcess, ClusterRequest, TenantClass, TraceConfig};
 use spec_serve::cluster::{Cluster, ClusterConfig};
 use spec_serve::router::RouterKind;
 use spec_serve::slo::SloSpec;
@@ -50,27 +50,25 @@ fn make_trace(seed: u64, count: usize, rate: f64, bursty: bool) -> Vec<ClusterRe
         ArrivalProcess::Poisson { rate }
     };
     arrivals::generate(
-        &ArrivalConfig {
-            process,
-            shapes: vec![Workload::new(2048, 512, 3), Workload::new(4096, 1024, 1)],
-            tenants: Vec::new(),
-            sessions: (count / 3).max(1),
-            count,
-        },
+        &TraceConfig::new(process)
+            .shapes(vec![
+                Workload::new(2048, 512, 3),
+                Workload::new(4096, 1024, 1),
+            ])
+            .sessions((count / 3).max(1))
+            .count(count),
         &mut SimRng::seed(seed),
     )
 }
 
 fn make_tenanted_trace(seed: u64, count: usize, rate: f64) -> Vec<ClusterRequest> {
     arrivals::generate(
-        &ArrivalConfig::poisson_tenanted(
-            rate,
-            vec![
+        &TraceConfig::poisson(rate)
+            .tenants(vec![
                 TenantClass::new(0, 3, vec![Workload::new(512, 128, 1)]),
                 TenantClass::new(1, 1, vec![Workload::new(2048, 4096, 1)]),
-            ],
-            count,
-        ),
+            ])
+            .count(count),
         &mut SimRng::seed(seed),
     )
 }
@@ -190,19 +188,16 @@ proptest! {
     ) {
         use spec_runtime::{FairConfig, PreemptionPolicy, QueueDiscipline};
         let trace = make_tenanted_trace(seed, count, 8.0);
-        let cfg = ClusterConfig {
-            scheduler: SchedulerConfig {
-                max_batch: 4,
-                admission_stride: 4,
-                fair: FairConfig {
-                    discipline: QueueDiscipline::DeficitRoundRobin,
-                    weights: vec![(0, 4), (1, 1)],
-                    preemption: PreemptionPolicy::DeficitRoundRobin,
-                    ..FairConfig::default()
-                },
+        let cfg = ClusterConfig::new().scheduler(SchedulerConfig {
+            max_batch: 4,
+            admission_stride: 4,
+            fair: FairConfig {
+                discipline: QueueDiscipline::DeficitRoundRobin,
+                weights: vec![(0, 4), (1, 1)],
+                preemption: PreemptionPolicy::DeficitRoundRobin,
+                ..FairConfig::default()
             },
-            ..ClusterConfig::default()
-        };
+        });
         let mut c = Cluster::new(
             (0..replicas).map(|_| sim()).collect(),
             SystemKind::SpeContext,
@@ -241,10 +236,7 @@ fn one_replica_equivalence_for_baseline_and_tight_stride() {
         let mut c = Cluster::new(
             vec![sim()],
             system,
-            ClusterConfig {
-                scheduler: cfg,
-                ..ClusterConfig::default()
-            },
+            ClusterConfig::new().scheduler(cfg),
             RouterKind::RoundRobin.build(),
         );
         let report = c.run(&trace, &SloSpec::default());
@@ -263,7 +255,8 @@ fn oversized_requests_reject_cluster_wide() {
         (0.0, 2048, 512),
         (0.5, 10_000_000, 10_000_000),
         (1.0, 2048, 512),
-    ]);
+    ])
+    .expect("sorted trace");
     let mut c = cluster(2, RouterKind::LeastOutstanding);
     let report = c.run(&trace, &SloSpec::default());
     assert_eq!(report.completed, 2);

@@ -9,7 +9,7 @@ use specontext::core::report::Table;
 use specontext::hwsim::{DeviceSpec, Fleet};
 use specontext::model::ModelConfig;
 use specontext::runtime::{SystemKind, Workload};
-use specontext::serve::arrivals::{self, ArrivalConfig, ClusterRequest};
+use specontext::serve::arrivals::{self, ClusterRequest, TraceConfig};
 use specontext::serve::cluster::{AutoscaleConfig, Cluster, ClusterConfig};
 use specontext::serve::router::RouterKind;
 use specontext::serve::slo::SloSpec;
@@ -28,9 +28,9 @@ fn cluster(router: RouterKind, autoscale: Option<AutoscaleConfig>) -> Cluster {
         &fleet(),
         2048,
         SystemKind::SpeContext,
-        ClusterConfig {
-            autoscale,
-            ..ClusterConfig::default()
+        match autoscale {
+            Some(auto) => ClusterConfig::new().autoscale(auto),
+            None => ClusterConfig::new(),
         },
         router.build(),
     )
@@ -45,7 +45,7 @@ fn main() {
 
     // --- router comparison under steady Poisson load --------------------
     let steady: Vec<ClusterRequest> = arrivals::generate(
-        &ArrivalConfig::poisson(1.0, shapes(), 32),
+        &TraceConfig::poisson(1.0).shapes(shapes()).count(32),
         &mut SimRng::seed(0xF1EE7),
     );
     let mut table = Table::new(
@@ -81,7 +81,9 @@ fn main() {
 
     // --- bursty load with autoscaling -----------------------------------
     let bursty: Vec<ClusterRequest> = arrivals::generate(
-        &ArrivalConfig::bursty(0.3, 4.0, 0.08, shapes(), 32),
+        &TraceConfig::bursty(0.3, 4.0, 0.08)
+            .shapes(shapes())
+            .count(32),
         &mut SimRng::seed(0xB0057),
     );
     let mut table = Table::new(

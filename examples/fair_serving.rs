@@ -12,7 +12,7 @@ use specontext::model::ModelConfig;
 use specontext::runtime::{
     FairConfig, PreemptionPolicy, QueueDiscipline, SchedulerConfig, SystemKind, Workload,
 };
-use specontext::serve::arrivals::{self, ArrivalConfig, ClusterRequest, TenantClass};
+use specontext::serve::arrivals::{self, ClusterRequest, TenantClass, TraceConfig};
 use specontext::serve::cluster::{Cluster, ClusterConfig};
 use specontext::serve::router::{RoutePolicy, RouterKind, WeightedTenant};
 use specontext::serve::slo::SloSpec;
@@ -21,14 +21,12 @@ use specontext::tensor::SimRng;
 /// Tenant 0: interactive [512 in, 256 out]. Tenant 1: batch [2k, 8k].
 fn trace() -> Vec<ClusterRequest> {
     arrivals::generate(
-        &ArrivalConfig::poisson_tenanted(
-            2.0,
-            vec![
+        &TraceConfig::poisson(2.0)
+            .tenants(vec![
                 TenantClass::new(0, 3, vec![Workload::new(512, 256, 1)]),
                 TenantClass::new(1, 1, vec![Workload::new(2048, 8192, 1)]),
-            ],
-            40,
-        ),
+            ])
+            .count(40),
         &mut SimRng::seed(0xFA1A),
     )
 }
@@ -39,14 +37,11 @@ fn cluster_with(fair: FairConfig, router: Box<dyn RoutePolicy>) -> Cluster {
         &fleet::homogeneous(DeviceSpec::a100_80g(), 2),
         2048,
         SystemKind::SpeContext,
-        ClusterConfig {
-            scheduler: SchedulerConfig {
-                max_batch: 4,
-                admission_stride: 4,
-                fair,
-            },
-            autoscale: None,
-        },
+        ClusterConfig::new().scheduler(SchedulerConfig {
+            max_batch: 4,
+            admission_stride: 4,
+            fair,
+        }),
         router,
     )
 }

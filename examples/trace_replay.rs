@@ -1,0 +1,195 @@
+//! Trace record & replay at million-request scale.
+//!
+//! 1. Streams a 1M-request diurnal multi-tenant workload straight into
+//!    the binary trace encoder — the full trace is never materialized.
+//! 2. Validates and replays the encoded trace twice, proving the replay
+//!    is deterministic bit-for-bit (and reporting bytes/request against
+//!    the format's ≤ 16 bytes/request budget).
+//! 3. Characterizes the trace (tenant mix, burstiness, histograms) and
+//!    writes the report to `results/trace_characterization.{md,json}`.
+//! 4. Regenerates the committed golden sample
+//!    (`results/sample_trace.sptr`) from its pinned config.
+//! 5. Replays a slice of the sample through a cluster and checks the
+//!    replayed run matches running the decoded trace directly.
+//! 6. Demonstrates closed-loop sessions: record the realized arrivals of
+//!    a think-time-gated run, then replay them open-loop.
+//!
+//! Run with `cargo run --release --example trace_replay`.
+
+use specontext::hwsim::DeviceSpec;
+use specontext::model::ModelConfig;
+use specontext::runtime::{SystemKind, Workload};
+use specontext::serve::arrivals::{ArrivalSource, ClosedLoopConfig, TenantClass, TraceConfig};
+use specontext::serve::characterize::characterize;
+use specontext::serve::cluster::{Cluster, ClusterConfig};
+use specontext::serve::router::RouterKind;
+use specontext::serve::slo::SloSpec;
+use specontext::serve::trace::{
+    decode, encode, sample_trace_config, RecordingSource, ReplayArrivals, TraceWriter,
+};
+
+/// FNV-1a over a byte stream — cheap fingerprint for "bit-for-bit".
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn results_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("results")
+}
+
+fn million_request_config() -> TraceConfig {
+    // A full diurnal day at ~350 req/s mean: 1M requests over ~48 min of
+    // simulated wall time, three tenant classes.
+    TraceConfig::diurnal(100.0, 600.0, 600.0)
+        .tenants(vec![
+            TenantClass::new(
+                0,
+                6,
+                vec![Workload::new(2048, 1024, 3), Workload::new(8192, 512, 1)],
+            ),
+            TenantClass::new(1, 3, vec![Workload::new(512, 2048, 1)]),
+            TenantClass::new(2, 1, vec![Workload::new(32 * 1024, 2048, 1)]),
+        ])
+        .count(1_000_000)
+        .seed(0xD1A1)
+}
+
+fn main() {
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+
+    // --- 1. stream-record one million requests --------------------------
+    let cfg = million_request_config();
+    let t0 = std::time::Instant::now();
+    let mut writer = TraceWriter::default();
+    for cr in cfg.source() {
+        writer.record(&cr);
+    }
+    let recorded = writer.recorded();
+    let bytes_per_request = writer.bytes_per_request();
+    let bytes = writer.into_bytes();
+    println!(
+        "recorded {recorded} requests in {:.2?}: {} bytes total, {bytes_per_request:.2} bytes/request (budget 16)",
+        t0.elapsed(),
+        bytes.len(),
+    );
+    assert_eq!(recorded, 1_000_000);
+    assert!(bytes_per_request <= 16.0, "size budget exceeded");
+
+    // --- 2. deterministic replay ----------------------------------------
+    let t1 = std::time::Instant::now();
+    let mut replay = ReplayArrivals::new(bytes.clone()).expect("trace validates");
+    assert_eq!(replay.len(), 1_000_000);
+    let fingerprint = |replay: &mut ReplayArrivals| -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        while let Some(cr) = replay.next_request() {
+            for v in [
+                cr.request.id as u64,
+                u64::from(cr.request.tenant),
+                cr.request.input_len as u64,
+                cr.request.output_len as u64,
+                cr.request.arrival.to_bits(),
+                cr.session,
+            ] {
+                h ^= v;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    };
+    let first = fingerprint(&mut replay);
+    replay.rewind();
+    let second = fingerprint(&mut replay);
+    assert_eq!(first, second, "replay must be deterministic");
+    println!(
+        "replayed 2×1M requests in {:.2?}, stream fingerprint {first:#018x} (identical both passes)",
+        t1.elapsed()
+    );
+
+    // --- 3. characterize -------------------------------------------------
+    let c = characterize("diurnal-1M", &bytes).expect("characterizes");
+    println!(
+        "characterized: {:.1} req/s mean, {:.0} req/s peak ({:.2}x), interarrival CV {:.2}, {} sessions, {} tenants",
+        c.mean_rate,
+        c.peak_rate,
+        c.peak_to_mean,
+        c.interarrival_cv,
+        c.sessions,
+        c.tenants.len()
+    );
+    std::fs::write(dir.join("trace_characterization.md"), c.to_markdown())
+        .expect("write markdown report");
+    std::fs::write(dir.join("trace_characterization.json"), c.to_json())
+        .expect("write json report");
+    println!(
+        "[saved {}/trace_characterization.{{md,json}}]",
+        dir.display()
+    );
+
+    // --- 4. the committed golden sample ----------------------------------
+    let sample_cfg = sample_trace_config();
+    let sample = encode(sample_cfg.source());
+    let sample_path = dir.join("sample_trace.sptr");
+    let per_req = (sample.len() as f64 - 7.0) / sample_cfg.count as f64;
+    std::fs::write(&sample_path, &sample).expect("write sample trace");
+    println!(
+        "sample trace: {} requests, {} bytes ({per_req:.2} bytes/request), fnv1a {:#018x} [saved {}]",
+        sample_cfg.count,
+        sample.len(),
+        fnv1a(&sample),
+        sample_path.display()
+    );
+
+    // --- 5. replayed cluster run == direct run ---------------------------
+    let head: Vec<_> = decode(&sample).expect("sample decodes")[..64].to_vec();
+    let head_bytes = encode(head.iter().copied());
+    let fleet = || {
+        Cluster::from_fleet(
+            &ModelConfig::deepseek_distill_llama_8b(),
+            &[DeviceSpec::a100_80g(), DeviceSpec::rtx4090()],
+            2048,
+            SystemKind::SpeContext,
+            ClusterConfig::new(),
+            RouterKind::LeastKvPressure.build(),
+        )
+    };
+    let slo = SloSpec::new(60.0, 0.15);
+    let direct = fleet().run(&head, &slo);
+    let replayed = fleet().run_source(
+        &mut ReplayArrivals::new(head_bytes).expect("head validates"),
+        &slo,
+    );
+    assert_eq!(direct, replayed, "replay must match the direct run");
+    println!(
+        "cluster replay check: 64-request slice, {} completed / {} rejected, identical reports via slice and replay paths",
+        direct.completed, direct.rejected
+    );
+
+    // --- 6. closed-loop sessions, recorded and replayed ------------------
+    let closed = ClosedLoopConfig::new(8, 4)
+        .think(0.5)
+        .ramp(1.0)
+        .shapes(vec![
+            Workload::new(2048, 512, 3),
+            Workload::new(512, 2048, 1),
+        ])
+        .seed(0xC10);
+    let mut tee = RecordingSource::new(closed.source());
+    let live = fleet().run_source(&mut tee, &slo);
+    let realized = tee.into_bytes();
+    let again = fleet().run_source(
+        &mut ReplayArrivals::new(realized.clone()).expect("recording validates"),
+        &slo,
+    );
+    println!(
+        "closed loop: 8 sessions x 4 turns, {} completed live (makespan {:.1}s); open-loop replay of the realized trace completed {} (makespan {:.1}s)",
+        live.completed, live.makespan, again.completed, again.makespan
+    );
+    assert_eq!(live.completed, 32);
+    assert_eq!(again.completed, live.completed);
+}

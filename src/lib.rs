@@ -11,7 +11,11 @@
 //! * `cloud_serving` — Table-3-style throughput estimation on an A100;
 //! * `edge_deployment` — adaptive memory management on an 8GB laptop GPU;
 //! * `cluster_serving` — a routed multi-replica fleet under open-loop
-//!   load with SLO accounting (the [`serve`] subsystem).
+//!   load with SLO accounting (the [`serve`] subsystem);
+//! * `fair_serving` — multi-tenant DRR queues and preemption with
+//!   per-tenant SLO breakdowns;
+//! * `trace_replay` — record a million-request trace to the compact
+//!   binary format, characterize it, and replay it bit-for-bit.
 //!
 //! ```
 //! use specontext::core::engine::{Engine, EngineConfig};

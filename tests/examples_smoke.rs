@@ -11,7 +11,7 @@ use specontext::core::engine::{Engine, EngineConfig};
 use specontext::hwsim::{DeviceSpec, Fleet};
 use specontext::model::{AttentionKind, ModelConfig, SimGeometry};
 use specontext::runtime::{SystemKind, Workload};
-use specontext::serve::arrivals::{self, ArrivalConfig};
+use specontext::serve::arrivals::{self, TraceConfig};
 use specontext::serve::cluster::{Cluster, ClusterConfig};
 use specontext::serve::router::RouterKind;
 use specontext::serve::slo::SloSpec;
@@ -66,7 +66,9 @@ fn cluster_serving_flow_end_to_end() {
         RouterKind::LeastKvPressure.build(),
     );
     let trace = arrivals::generate(
-        &ArrivalConfig::poisson(1.0, vec![Workload::new(2048, 1024, 1)], 10),
+        &TraceConfig::poisson(1.0)
+            .shapes(vec![Workload::new(2048, 1024, 1)])
+            .count(10),
         &mut SimRng::seed(0xFACADE),
     );
     let report = cluster.run(&trace, &SloSpec::default());
@@ -75,6 +77,39 @@ fn cluster_serving_flow_end_to_end() {
     assert!(report.throughput > 0.0);
     assert!(report.slo.ttft.p99 >= report.slo.ttft.p50);
     assert_eq!(report.queue_depth.len(), 10);
+}
+
+/// The trace-replay example's flow, shrunk: record a generated trace,
+/// replay it through a cluster, and check the replayed run matches
+/// running the materialized trace directly.
+#[test]
+fn trace_replay_flow_end_to_end() {
+    use specontext::serve::trace::{decode, encode, ReplayArrivals};
+
+    let cfg = TraceConfig::bursty(1.0, 8.0, 0.1)
+        .shapes(vec![Workload::new(2048, 1024, 1)])
+        .count(12)
+        .seed(0x7ACE);
+    let bytes = encode(cfg.source());
+    let trace = decode(&bytes).expect("round-trips");
+    assert_eq!(trace.len(), 12);
+    let fleet = || {
+        Cluster::from_fleet(
+            &ModelConfig::deepseek_distill_llama_8b(),
+            &Fleet::new().with(DeviceSpec::a100_80g(), 2).build(),
+            2048,
+            SystemKind::SpeContext,
+            ClusterConfig::new(),
+            RouterKind::LeastOutstanding.build(),
+        )
+    };
+    let direct = fleet().run(&trace, &SloSpec::default());
+    let replayed = fleet().run_source(
+        &mut ReplayArrivals::new(bytes).expect("validates"),
+        &SloSpec::default(),
+    );
+    assert_eq!(direct, replayed);
+    assert_eq!(direct.completed + direct.rejected, 12);
 }
 
 /// The paper-scale facts quoted by the quickstart example stay sane.
@@ -106,30 +141,25 @@ fn fair_serving_flow_end_to_end() {
         &Fleet::new().with(DeviceSpec::a100_80g(), 1).build(),
         2048,
         SystemKind::SpeContext,
-        ClusterConfig {
-            scheduler: SchedulerConfig {
-                max_batch: 4,
-                admission_stride: 4,
-                fair: FairConfig {
-                    discipline: QueueDiscipline::DeficitRoundRobin,
-                    weights: vec![(0, 4), (1, 1)],
-                    preemption: PreemptionPolicy::DeficitRoundRobin,
-                    ..FairConfig::default()
-                },
+        ClusterConfig::new().scheduler(SchedulerConfig {
+            max_batch: 4,
+            admission_stride: 4,
+            fair: FairConfig {
+                discipline: QueueDiscipline::DeficitRoundRobin,
+                weights: vec![(0, 4), (1, 1)],
+                preemption: PreemptionPolicy::DeficitRoundRobin,
+                ..FairConfig::default()
             },
-            autoscale: None,
-        },
+        }),
         RouterKind::LeastOutstanding.build(),
     );
     let trace = arrivals::generate(
-        &ArrivalConfig::poisson_tenanted(
-            2.0,
-            vec![
+        &TraceConfig::poisson(2.0)
+            .tenants(vec![
                 TenantClass::new(0, 3, vec![Workload::new(512, 256, 1)]),
                 TenantClass::new(1, 1, vec![Workload::new(2048, 8192, 1)]),
-            ],
-            16,
-        ),
+            ])
+            .count(16),
         &mut SimRng::seed(0xFA1A),
     );
     let report = cluster.run(&trace, &SloSpec::new(10.0, 0.02));
