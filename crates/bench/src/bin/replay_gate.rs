@@ -1,0 +1,253 @@
+//! Replay-driven performance-regression gate.
+//!
+//! Replays the committed `results/sample_trace.sptr` through a pinned
+//! cluster configuration with telemetry recording on, folds the
+//! per-request completion times (enqueue → last token) into streaming
+//! log-bucketed histograms per tenant, and compares each against the
+//! committed baseline (`results/replay_baseline.json`) with a
+//! Kolmogorov–Smirnov-style statistic: the max absolute CDF difference
+//! over bucket edges. Any scheduler / router / admission change that
+//! shifts the completion-time distribution beyond the tolerance fails
+//! the gate (exit 1).
+//!
+//! Every run also executes a built-in negative check: the measured
+//! distribution is perturbed by +20% and must be *rejected* against the
+//! baseline — proving the gate can actually fire, not just pass.
+//!
+//! Usage:
+//!   cargo run --release --bin replay_gate             # gate against baseline
+//!   cargo run --release --bin replay_gate -- --record # rewrite the baseline
+
+use serde::{Deserialize, Serialize};
+use spec_hwsim::{fleet, DeviceSpec};
+use spec_model::ModelConfig;
+use spec_runtime::{FairConfig, PreemptionPolicy, QueueDiscipline, SchedulerConfig, SystemKind};
+use spec_serve::cluster::{Cluster, ClusterConfig};
+use spec_serve::router::RouterKind;
+use spec_serve::slo::SloSpec;
+use spec_serve::trace::ReplayArrivals;
+use spec_telemetry::{
+    completion_time_histograms, Event, EventKind, LogHistogram, DEFAULT_SUB_BITS,
+};
+use std::process::ExitCode;
+
+/// Max allowed KS distance between the measured and baseline CDFs. The
+/// replay is deterministic, so an unchanged scheduler measures 0.0; the
+/// margin absorbs only intentional, reviewed distribution tweaks.
+const TOLERANCE: f64 = 0.05;
+
+/// The perturbation the negative self-check applies (and must catch).
+const PERTURB_FACTOR: f64 = 1.2;
+
+/// One tenant's pinned completion-time distribution (`u32::MAX` is the
+/// all-tenants aggregate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct TenantBaseline {
+    tenant: u32,
+    histogram: LogHistogram,
+}
+
+/// The committed gate baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Baseline {
+    trace: String,
+    requests: u64,
+    tolerance: f64,
+    tenants: Vec<TenantBaseline>,
+}
+
+/// The pinned gate configuration: the `table3_replay` DRR + preemption
+/// policy on a 2×A100 fleet, so the replay exercises checkpoints and
+/// restores, not just FIFO decode.
+fn gate_cluster() -> Cluster {
+    let cfg = ClusterConfig::new().scheduler(SchedulerConfig {
+        max_batch: 4,
+        admission_stride: 4,
+        fair: FairConfig {
+            discipline: QueueDiscipline::DeficitRoundRobin,
+            weights: vec![(0, 4), (1, 1)],
+            preemption: PreemptionPolicy::DeficitRoundRobin,
+            ..FairConfig::default()
+        },
+    });
+    Cluster::from_fleet(
+        &ModelConfig::deepseek_distill_llama_8b(),
+        &fleet::homogeneous(DeviceSpec::a100_80g(), 2),
+        2048,
+        SystemKind::SpeContext,
+        cfg,
+        RouterKind::LeastOutstanding.build(),
+    )
+}
+
+fn repo_path(rel: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+/// Replays the committed sample trace and returns the recorded stream.
+fn replay() -> Result<(usize, Vec<Event>), String> {
+    let path = repo_path("results/sample_trace.sptr");
+    let bytes = std::fs::read(&path).map_err(|e| {
+        format!(
+            "cannot read {}: {e} (is the sample committed?)",
+            path.display()
+        )
+    })?;
+    let mut source =
+        ReplayArrivals::new(bytes).map_err(|e| format!("sample trace invalid: {e:?}"))?;
+    let requests = source.len();
+    let (report, events) = gate_cluster().run_source_traced(&mut source, &SloSpec::new(10.0, 0.02));
+    if report.completed + report.rejected != requests {
+        return Err(format!(
+            "conservation broken: {} completed + {} rejected != {requests} replayed",
+            report.completed, report.rejected
+        ));
+    }
+    Ok((requests, events))
+}
+
+/// The measured per-tenant completion-time histograms as baseline rows.
+fn measure(events: &[Event]) -> Vec<TenantBaseline> {
+    completion_time_histograms(events, DEFAULT_SUB_BITS)
+        .into_iter()
+        .map(|(tenant, histogram)| TenantBaseline { tenant, histogram })
+        .collect()
+}
+
+/// Rebuilds the aggregate completion-time histogram with every latency
+/// stretched by `factor` — the synthetic regression the negative
+/// self-check must catch.
+fn perturbed_aggregate(events: &[Event], factor: f64) -> LogHistogram {
+    let mut enqueued = std::collections::BTreeMap::new();
+    let mut h = LogHistogram::default();
+    for event in events {
+        match event.kind {
+            EventKind::Enqueued { request, .. } => {
+                enqueued.entry(request).or_insert(event.tick);
+            }
+            EventKind::Completed { request, .. } => {
+                if let Some(&start) = enqueued.get(&request) {
+                    let latency = event.tick.saturating_sub(start);
+                    h.record((latency as f64 * factor).round() as u64);
+                }
+            }
+            _ => {}
+        }
+    }
+    h
+}
+
+fn run(record: bool) -> Result<(), String> {
+    let t0 = std::time::Instant::now();
+    let (requests, events) = replay()?;
+    let measured = measure(&events);
+    println!(
+        "replay_gate: replayed {requests} requests, {} events, {} tenant rows in {:.2?}",
+        events.len(),
+        measured.len(),
+        t0.elapsed()
+    );
+
+    let baseline_path = repo_path("results/replay_baseline.json");
+    if record {
+        let baseline = Baseline {
+            trace: "results/sample_trace.sptr".into(),
+            requests: requests as u64,
+            tolerance: TOLERANCE,
+            tenants: measured,
+        };
+        let json = serde_json::to_string_pretty(&baseline).map_err(|e| e.to_string())?;
+        std::fs::write(&baseline_path, json + "\n")
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        println!(
+            "replay_gate: baseline recorded to {}",
+            baseline_path.display()
+        );
+        return Ok(());
+    }
+
+    let raw = std::fs::read_to_string(&baseline_path).map_err(|e| {
+        format!(
+            "cannot read {}: {e}\nrun `cargo run --release --bin replay_gate -- --record` first",
+            baseline_path.display()
+        )
+    })?;
+    let baseline: Baseline =
+        serde_json::from_str(raw.trim_end()).map_err(|e| format!("baseline is not valid: {e}"))?;
+    if baseline.requests != requests as u64 {
+        return Err(format!(
+            "baseline pins {} requests but the replay produced {requests}",
+            baseline.requests
+        ));
+    }
+
+    // --- the gate: measured vs committed, per tenant --------------------
+    for row in &baseline.tenants {
+        let measured_row = measured
+            .iter()
+            .find(|m| m.tenant == row.tenant)
+            .ok_or_else(|| format!("tenant {} vanished from the replay", row.tenant))?;
+        let deviation = measured_row.histogram.max_cdf_deviation(&row.histogram);
+        let label = if row.tenant == u32::MAX {
+            "aggregate".to_string()
+        } else {
+            format!("tenant {}", row.tenant)
+        };
+        println!(
+            "  {label}: {} completions, p50 {:.3}s p95 {:.3}s p99 {:.3}s, KS vs baseline {deviation:.4}",
+            measured_row.histogram.count(),
+            measured_row.histogram.percentile_seconds(0.50),
+            measured_row.histogram.percentile_seconds(0.95),
+            measured_row.histogram.percentile_seconds(0.99),
+        );
+        if deviation > baseline.tolerance {
+            return Err(format!(
+                "{label} completion-time distribution drifted: KS {deviation:.4} > tolerance {:.4}",
+                baseline.tolerance
+            ));
+        }
+    }
+    if measured.len() != baseline.tenants.len() {
+        return Err(format!(
+            "tenant set changed: measured {} rows, baseline {}",
+            measured.len(),
+            baseline.tenants.len()
+        ));
+    }
+
+    // --- negative self-check: the gate must catch a +20% shift ----------
+    let aggregate = &baseline
+        .tenants
+        .iter()
+        .find(|r| r.tenant == u32::MAX)
+        .ok_or("baseline has no aggregate row")?
+        .histogram;
+    let shifted = perturbed_aggregate(&events, PERTURB_FACTOR);
+    let shifted_dev = shifted.max_cdf_deviation(aggregate);
+    if shifted_dev <= baseline.tolerance {
+        return Err(format!(
+            "negative check failed: a {PERTURB_FACTOR}x latency shift only deviates {shifted_dev:.4} — the gate is toothless"
+        ));
+    }
+    println!(
+        "  negative check: {PERTURB_FACTOR}x shift deviates {shifted_dev:.4} > {:.4} — gate fires as designed",
+        baseline.tolerance
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let record = std::env::args().any(|a| a == "--record");
+    match run(record) {
+        Ok(()) => {
+            println!("replay_gate: PASS");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("replay_gate: FAIL: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -30,6 +30,45 @@ pub struct OpRecord {
     pub end: f64,
 }
 
+/// One labelled interval on a stream — the timeline model shared by the
+/// ASCII gantt renderer ([`crate::gantt::render_spans`]) and the
+/// `spec_telemetry` Perfetto exporter: anything that can describe its
+/// activity as spans can be drawn by either backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Stream (track/row) the interval belongs to.
+    pub stream: StreamId,
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+    /// Human-readable label.
+    pub label: String,
+}
+
+impl Span {
+    /// Builds a span from its fields.
+    pub fn new(stream: StreamId, start: f64, end: f64, label: impl Into<String>) -> Self {
+        Self {
+            stream,
+            start,
+            end,
+            label: label.into(),
+        }
+    }
+
+    /// The interval's length, seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+impl From<&OpRecord> for Span {
+    fn from(r: &OpRecord) -> Self {
+        Span::new(r.stream, r.start, r.end, r.label.clone())
+    }
+}
+
 /// Handle returned by [`EventSim::submit`], usable as a dependency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct OpHandle(usize);
@@ -110,6 +149,11 @@ impl EventSim {
     /// All op records, in submission order.
     pub fn records(&self) -> &[OpRecord] {
         &self.records
+    }
+
+    /// The timeline as [`Span`]s, in submission order.
+    pub fn spans(&self) -> Vec<Span> {
+        self.records.iter().map(Span::from).collect()
     }
 
     /// Total busy time of one stream.

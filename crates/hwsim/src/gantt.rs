@@ -1,31 +1,37 @@
-//! ASCII Gantt rendering of event-simulator timelines.
+//! ASCII Gantt rendering of span timelines.
 //!
-//! Turns an [`EventSim`](crate::event::EventSim) record list into the
-//! kind of two-stream timeline diagram the paper draws in Fig. 7, so
-//! benches and examples can show *where* the overlap happens, not just
-//! the makespan.
+//! Turns a list of [`Span`]s — from an
+//! [`EventSim`](crate::event::EventSim) record list or any other
+//! producer — into the kind of two-stream timeline diagram the paper
+//! draws in Fig. 7, so benches and examples can show *where* the overlap
+//! happens, not just the makespan.
 
-use crate::event::{EventSim, StreamId};
+use crate::event::{EventSim, Span, StreamId};
 
-/// Renders the timeline as one row per stream, `width` characters wide.
+/// Renders a span list as one row per stream, `width` characters wide.
 ///
-/// Each op paints its span with the first letter of its label; idle time
-/// is `.`. Ops shorter than one cell still paint one cell, so very short
-/// ops remain visible (at the cost of slight horizontal distortion).
-pub fn render(sim: &EventSim, streams: &[(StreamId, &str)], width: usize) -> String {
+/// Each span paints its interval with the first letter of its label
+/// (after the last `.`); idle time is `.`. Spans shorter than one cell
+/// still paint one cell, so very short ops remain visible (at the cost
+/// of slight horizontal distortion).
+pub fn render_spans(spans: &[Span], streams: &[(StreamId, &str)], width: usize) -> String {
     let width = width.max(10);
-    let makespan = sim.makespan().max(1e-12);
+    let makespan = spans
+        .iter()
+        .map(|s| s.end)
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
     let scale = width as f64 / makespan;
     let mut out = String::new();
     for &(stream, name) in streams {
         let mut row = vec!['.'; width];
-        for r in sim.records() {
-            if r.stream != stream {
+        for s in spans {
+            if s.stream != stream {
                 continue;
             }
-            let a = ((r.start * scale) as usize).min(width - 1);
-            let b = (((r.end * scale) as usize).max(a + 1)).min(width);
-            let c = r
+            let a = ((s.start * scale) as usize).min(width - 1);
+            let b = (((s.end * scale) as usize).max(a + 1)).min(width);
+            let c = s
                 .label
                 .rsplit('.')
                 .next()
@@ -46,6 +52,12 @@ pub fn render(sim: &EventSim, streams: &[(StreamId, &str)], width: usize) -> Str
         makespan * 1e3
     ));
     out
+}
+
+/// Renders an event simulator's timeline: [`render_spans`] over
+/// [`EventSim::spans`].
+pub fn render(sim: &EventSim, streams: &[(StreamId, &str)], width: usize) -> String {
+    render_spans(&sim.spans(), streams, width)
 }
 
 #[cfg(test)]
@@ -87,5 +99,28 @@ mod tests {
         sim.submit("x", COMPUTE, 1e-9, &[]);
         let g = render(&sim, &[(COMPUTE, "c")], 50);
         assert!(g.contains('x'));
+    }
+
+    #[test]
+    fn bare_spans_render_without_a_simulator() {
+        let spans = vec![
+            Span::new(COMPUTE, 0.0, 0.5, "attn"),
+            Span::new(COPY, 0.25, 1.0, "fetch"),
+        ];
+        let g = render_spans(&spans, &[(COMPUTE, "compute"), (COPY, "copy")], 40);
+        assert!(g.lines().next().unwrap().contains('a'));
+        assert!(g.lines().nth(1).unwrap().contains('f'));
+    }
+
+    #[test]
+    fn render_matches_render_spans_on_sim_records() {
+        let mut sim = EventSim::new(2);
+        let f = sim.submit("L0.fetch", COPY, 1.0, &[]);
+        sim.submit("L0.attn", COMPUTE, 0.7, &[f]);
+        let streams = [(COMPUTE, "compute"), (COPY, "copy")];
+        assert_eq!(
+            render(&sim, &streams, 60),
+            render_spans(&sim.spans(), &streams, 60)
+        );
     }
 }

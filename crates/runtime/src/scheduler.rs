@@ -27,8 +27,20 @@
 
 use crate::serving::{ServingSim, StepCache, SystemKind, Workload};
 use serde::{Deserialize, Serialize};
+use spec_telemetry::{seconds_to_ticks, Event, EventKind, NullSink, TelemetrySink};
 use spec_tensor::PercentileSummary;
 use std::collections::{BTreeMap, VecDeque};
+
+/// Emits a scheduler-scope telemetry event at simulated time `now`.
+/// Scheduler code cannot know which replica it runs inside, so the
+/// replica field is 0; a tagged `RecordingSink` overwrites it.
+fn emit<S: TelemetrySink>(sink: &mut S, now: f64, kind: EventKind) {
+    sink.emit(Event {
+        tick: seconds_to_ticks(now),
+        replica: 0,
+        kind,
+    });
+}
 
 /// One serving request.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -309,6 +321,17 @@ struct TenantQueue {
     served: u64,
 }
 
+/// Last-emitted gauge values, so traced runs emit gauges on *change*
+/// rather than on every micro-step (a long decode emits millions of
+/// steps but only thousands of gauge transitions). Never read unless a
+/// sink is enabled, so the untraced path carries only the empty struct.
+#[derive(Debug, Clone, Default)]
+struct GaugeShadow {
+    queue_depth: BTreeMap<u32, u64>,
+    deficit: BTreeMap<u32, u64>,
+    batch: Option<u64>,
+}
+
 /// The incremental state of one continuous-batching engine: per-tenant
 /// wait queues, running batch, completions and the local clock.
 ///
@@ -332,6 +355,8 @@ pub struct BatchState {
     next_seq: u64,
     /// The tenant id the DRR rotation visited last.
     drr_last: Option<u32>,
+    /// Gauge change-tracking for traced runs (empty when untraced).
+    gauges: GaugeShadow,
 }
 
 impl BatchState {
@@ -347,6 +372,17 @@ impl BatchState {
     /// Panics if `req` arrives earlier than a previously pushed request
     /// (arrivals must be fed in nondecreasing order).
     pub fn push(&mut self, req: Request) {
+        self.push_traced(req, &mut NullSink);
+    }
+
+    /// [`BatchState::push`] with telemetry: emits
+    /// [`EventKind::Enqueued`] stamped at the request's arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `req` arrives earlier than a previously pushed request
+    /// (arrivals must be fed in nondecreasing order).
+    pub fn push_traced<S: TelemetrySink>(&mut self, req: Request, sink: &mut S) {
         assert!(
             req.arrival >= self.last_arrival,
             "requests must be pushed in arrival order ({} after {})",
@@ -368,6 +404,14 @@ impl BatchState {
                 first_token: None,
                 preemptions: 0,
             });
+        emit(
+            sink,
+            req.arrival,
+            EventKind::Enqueued {
+                request: req.id as u64,
+                tenant: req.tenant,
+            },
+        );
     }
 
     /// Whether any request is still queued or decoding.
@@ -445,6 +489,38 @@ impl BatchState {
             .map(|e| e.req.arrival)
             .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
     }
+
+    /// Emits per-tick gauges (queue depths, DRR deficits, batch size)
+    /// for every value that changed since the last emission. Callers
+    /// guard on `sink.enabled()`, so untraced runs never touch the
+    /// shadow.
+    fn emit_gauges<S: TelemetrySink>(&mut self, sink: &mut S) {
+        let now = self.now;
+        let shadow = &mut self.gauges;
+        for (&tenant, q) in &self.queues {
+            let depth = q.queue.len() as u64;
+            if shadow.queue_depth.get(&tenant) != Some(&depth) {
+                shadow.queue_depth.insert(tenant, depth);
+                emit(sink, now, EventKind::QueueDepth { tenant, depth });
+            }
+            if shadow.deficit.get(&tenant) != Some(&q.deficit) {
+                shadow.deficit.insert(tenant, q.deficit);
+                emit(
+                    sink,
+                    now,
+                    EventKind::DrrDeficit {
+                        tenant,
+                        deficit: q.deficit,
+                    },
+                );
+            }
+        }
+        let batch = self.running.len() as u64;
+        if shadow.batch != Some(batch) {
+            shadow.batch = Some(batch);
+            emit(sink, now, EventKind::RunningBatch { size: batch });
+        }
+    }
 }
 
 impl Scheduler {
@@ -475,6 +551,22 @@ impl Scheduler {
     /// Panics if `requests` is empty or not sorted by arrival, or if
     /// the config's `admission_stride` is zero.
     pub fn run(&self, requests: &[Request]) -> ScheduleReport {
+        self.run_traced(requests, &mut NullSink)
+    }
+
+    /// [`Scheduler::run`] with telemetry: every lifecycle edge and gauge
+    /// transition of the run flows into `sink`. With [`NullSink`] this
+    /// *is* `run` — the instrumentation monomorphizes away.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` is empty or not sorted by arrival, or if
+    /// the config's `admission_stride` is zero.
+    pub fn run_traced<S: TelemetrySink>(
+        &self,
+        requests: &[Request],
+        sink: &mut S,
+    ) -> ScheduleReport {
         assert!(!requests.is_empty(), "no requests");
         assert!(
             requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
@@ -482,11 +574,11 @@ impl Scheduler {
         );
         let mut state = BatchState::new();
         for req in requests {
-            state.push(*req);
+            state.push_traced(*req, sink);
         }
         let mut cache = StepCache::new();
         while state.has_work() {
-            self.step(&mut state, &mut cache);
+            self.step_traced(&mut state, &mut cache, sink);
         }
         let makespan = state.now;
         let (completed, rejected) = state.into_outcome();
@@ -588,13 +680,33 @@ impl Scheduler {
     ///
     /// Panics if the config's `admission_stride` is zero.
     pub fn step(&self, state: &mut BatchState, cache: &mut StepCache) {
+        self.step_traced(state, cache, &mut NullSink);
+    }
+
+    /// [`Scheduler::step`] with telemetry: admissions, preemptions,
+    /// first tokens, completions and rejections are emitted as they
+    /// happen, and gauge transitions after every decision/iteration.
+    /// With [`NullSink`] this *is* `step` — the same machine code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config's `admission_stride` is zero.
+    pub fn step_traced<S: TelemetrySink>(
+        &self,
+        state: &mut BatchState,
+        cache: &mut StepCache,
+        sink: &mut S,
+    ) {
         assert!(
             self.cfg.admission_stride > 0,
             "admission_stride must be positive"
         );
         // Admission: one decision per call while the sweep is open.
         if state.iter.is_multiple_of(self.cfg.admission_stride) && !state.sweep_done {
-            self.admission_decision(state, cache);
+            self.admission_decision(state, cache, sink);
+            if sink.enabled() {
+                state.emit_gauges(sink);
+            }
             return;
         }
         if state.running.is_empty() {
@@ -611,6 +723,14 @@ impl Scheduler {
             r.produced += 1;
             if r.first_token.is_none() {
                 r.first_token = Some(now);
+                emit(
+                    sink,
+                    now,
+                    EventKind::FirstToken {
+                        request: r.req.id as u64,
+                        tenant: r.req.tenant,
+                    },
+                );
             }
         }
         for r in &state.running {
@@ -626,17 +746,33 @@ impl Scheduler {
                     finish: now,
                     preemptions: r.preemptions,
                 });
+                emit(
+                    sink,
+                    now,
+                    EventKind::Completed {
+                        request: r.req.id as u64,
+                        tenant: r.req.tenant,
+                    },
+                );
                 false
             } else {
                 true
             }
         });
+        if sink.enabled() {
+            state.emit_gauges(sink);
+        }
     }
 
     /// One admission decision: pick the next waiting request under the
     /// configured discipline, then admit, reject, preempt-and-admit, or
     /// close the sweep.
-    fn admission_decision(&self, state: &mut BatchState, cache: &mut StepCache) {
+    fn admission_decision<S: TelemetrySink>(
+        &self,
+        state: &mut BatchState,
+        cache: &mut StepCache,
+        sink: &mut S,
+    ) {
         if state.queued() == 0 {
             state.sweep_done = true;
             return;
@@ -656,7 +792,7 @@ impl Scheduler {
         };
         let entry = *state.queues[&tenant].queue.front().expect("selected head");
         if state.running.len() >= self.cfg.max_batch {
-            self.preempt_for(state, cache, tenant, &entry);
+            self.preempt_for(state, cache, tenant, &entry, sink);
             return;
         }
         if !self.admissible(&state.running, &entry.req) {
@@ -668,17 +804,31 @@ impl Scheduler {
                     q.deficit = 0;
                 }
                 state.rejected.push(entry.req);
+                emit(
+                    sink,
+                    state.now,
+                    EventKind::Rejected {
+                        request: entry.req.id as u64,
+                        tenant: entry.req.tenant,
+                    },
+                );
                 return; // sweep stays open for the next head
             }
-            self.preempt_for(state, cache, tenant, &entry);
+            self.preempt_for(state, cache, tenant, &entry, sink);
             return;
         }
-        self.admit(state, cache, tenant);
+        self.admit(state, cache, tenant, sink);
     }
 
     /// Pops `tenant`'s head and moves it into the running batch,
     /// charging prefill (fresh) or the KV restore transfer (checkpointed).
-    fn admit(&self, state: &mut BatchState, cache: &mut StepCache, tenant: u32) {
+    fn admit<S: TelemetrySink>(
+        &self,
+        state: &mut BatchState,
+        cache: &mut StepCache,
+        tenant: u32,
+        sink: &mut S,
+    ) {
         let q = state.queues.get_mut(&tenant).expect("selected queue");
         let entry = q.queue.pop_front().expect("selected head");
         let cost = remaining_tokens(&entry) as u64;
@@ -688,8 +838,24 @@ impl Scheduler {
         }
         if entry.produced == 0 {
             state.now += self.prefill_time(&entry.req, cache);
+            emit(
+                sink,
+                state.now,
+                EventKind::Admitted {
+                    request: entry.req.id as u64,
+                    tenant: entry.req.tenant,
+                },
+            );
         } else {
             state.now += self.kv_transfer_time(&entry.req, entry.produced);
+            emit(
+                sink,
+                state.now,
+                EventKind::Restored {
+                    request: entry.req.id as u64,
+                    tenant: entry.req.tenant,
+                },
+            );
         }
         state.running.push(Running {
             req: entry.req,
@@ -704,12 +870,13 @@ impl Scheduler {
     /// enter the batch this decision; closes the sweep when the policy
     /// yields no eligible victim or evicting one would not unblock the
     /// waiter.
-    fn preempt_for(
+    fn preempt_for<S: TelemetrySink>(
         &self,
         state: &mut BatchState,
         cache: &mut StepCache,
         tenant: u32,
         entry: &QueueEntry,
+        sink: &mut S,
     ) {
         let Some(victim_idx) = self.pick_victim(state, entry) else {
             state.sweep_done = true;
@@ -741,7 +908,25 @@ impl Scheduler {
                 first_token: victim.first_token,
                 preemptions: victim.preemptions + 1,
             });
-        self.admit(state, cache, tenant);
+        if sink.enabled() {
+            let request = victim.req.id as u64;
+            emit(
+                sink,
+                state.now,
+                EventKind::Preempted {
+                    request,
+                    tenant: victim.req.tenant,
+                },
+            );
+            let bytes = (self.resident_tokens(&victim.req, victim.produced) as f64
+                * self.sim.memory_model().kv_token_total_bytes()) as u64;
+            emit(
+                sink,
+                state.now,
+                EventKind::CheckpointWritten { request, bytes },
+            );
+        }
+        self.admit(state, cache, tenant, sink);
     }
 
     /// The index of the victim the preemption policy picks for the
@@ -1194,6 +1379,53 @@ mod tests {
                 assert!(c.finish >= c.first_token);
             }
         }
+    }
+
+    #[test]
+    fn traced_run_emits_matching_lifecycle_and_changes_nothing() {
+        use spec_telemetry::RecordingSink;
+        let s = Scheduler::new(sim(), SystemKind::SpeContext, SchedulerConfig::default());
+        let mut sink = RecordingSink::new();
+        let report = s.run_traced(&trace(4, 0.1), &mut sink);
+        let count =
+            |pred: fn(&EventKind) -> bool| sink.events().iter().filter(|e| pred(&e.kind)).count();
+        assert_eq!(count(|k| matches!(k, EventKind::Enqueued { .. })), 4);
+        assert_eq!(count(|k| matches!(k, EventKind::Admitted { .. })), 4);
+        assert_eq!(count(|k| matches!(k, EventKind::FirstToken { .. })), 4);
+        assert_eq!(
+            count(|k| matches!(k, EventKind::Completed { .. })),
+            report.completed.len()
+        );
+        assert!(count(|k| matches!(k, EventKind::RunningBatch { .. })) > 0);
+        // Tracing must not perturb the run.
+        assert_eq!(s.run(&trace(4, 0.1)), report);
+    }
+
+    #[test]
+    fn preemptions_emit_paired_checkpoint_and_restore() {
+        use spec_telemetry::RecordingSink;
+        let reqs = two_tenant_trace();
+        let s = Scheduler::new(
+            sim(),
+            SystemKind::SpeContext,
+            fair_cfg(PreemptionPolicy::DeficitRoundRobin),
+        );
+        let mut sink = RecordingSink::new();
+        let report = s.run_traced(&reqs, &mut sink);
+        let count =
+            |pred: fn(&EventKind) -> bool| sink.events().iter().filter(|e| pred(&e.kind)).count();
+        let preempted = count(|k| matches!(k, EventKind::Preempted { .. }));
+        assert!(preempted > 0, "trace must trigger preemption");
+        assert_eq!(
+            preempted,
+            count(|k| matches!(k, EventKind::CheckpointWritten { .. }))
+        );
+        // Every victim completes, so every checkpoint is restored.
+        assert_eq!(
+            preempted,
+            count(|k| matches!(k, EventKind::Restored { .. }))
+        );
+        assert_eq!(report.preemptions, preempted);
     }
 
     #[test]

@@ -172,10 +172,6 @@ pub struct TraceConfig {
     pub seed: u64,
 }
 
-/// The pre-redesign name of [`TraceConfig`].
-#[deprecated(note = "renamed to `TraceConfig`; use its builder constructors")]
-pub type ArrivalConfig = TraceConfig;
-
 impl TraceConfig {
     /// A config over the given process with everything else defaulted;
     /// chain the builder methods to fill it in.

@@ -30,6 +30,9 @@ use serde::{Deserialize, Serialize};
 use spec_hwsim::DeviceSpec;
 use spec_model::ModelConfig;
 use spec_runtime::{CompletedRequest, ScheduleReport, SchedulerConfig, ServingSim, SystemKind};
+use spec_telemetry::{
+    merge_streams, seconds_to_ticks, Event, EventKind, RecordingSink, TelemetrySink,
+};
 
 /// Queue-depth-driven scale-up/down.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -128,6 +131,10 @@ pub struct Cluster {
     router: Box<dyn RoutePolicy>,
     cfg: ClusterConfig,
     peak_active: usize,
+    /// Cluster-scope event buffer (routing and autoscaling decisions);
+    /// `None` = untraced. Only the serial routing path writes here, so
+    /// its stream is deterministic at any `SPEC_THREADS`.
+    telemetry: Option<RecordingSink>,
 }
 
 impl Cluster {
@@ -162,6 +169,7 @@ impl Cluster {
             router,
             cfg,
             peak_active,
+            telemetry: None,
         }
     }
 
@@ -213,6 +221,10 @@ impl Cluster {
     /// sources get the fine-grained path: micro-step the laggard
     /// replica, feed completions back, re-peek — so a completion can
     /// release a session's next turn before the fleet moves past it.
+    ///
+    /// Untraced (the [`Cluster::run_source_traced`] instrumentation
+    /// compiles down to no-ops on this path), so existing reports stay
+    /// bit-identical.
     pub fn run_source<S: ArrivalSource + ?Sized>(
         &mut self,
         source: &mut S,
@@ -252,6 +264,52 @@ impl Cluster {
             }
         }
         self.report(queue_depth, slo)
+    }
+
+    /// [`Cluster::run`] with request-lifecycle telemetry: runs the trace
+    /// while recording, then returns the merged event stream.
+    pub fn run_traced(
+        &mut self,
+        trace: &[ClusterRequest],
+        slo: &SloSpec,
+    ) -> (ClusterReport, Vec<Event>) {
+        self.run_source_traced(&mut SliceSource::new(trace), slo)
+    }
+
+    /// [`Cluster::run_source`] with request-lifecycle telemetry.
+    ///
+    /// Every replica records into its own tagged buffer (events stamped
+    /// with the replica index) and the cluster's routing/scaling
+    /// decisions into a cluster-scope buffer; afterwards the streams are
+    /// merged on `(tick, stream)` with per-stream emission order
+    /// preserved. Replica micro-stepping between arrivals only mutates
+    /// per-replica state, and the cluster buffer is only written on the
+    /// serial routing path, so the merged stream — like the report — is
+    /// identical at any `SPEC_THREADS`.
+    pub fn run_source_traced<S: ArrivalSource + ?Sized>(
+        &mut self,
+        source: &mut S,
+        slo: &SloSpec,
+    ) -> (ClusterReport, Vec<Event>) {
+        self.telemetry = Some(RecordingSink::new());
+        for (i, rep) in self.replicas.iter_mut().enumerate() {
+            rep.enable_telemetry(i as u32);
+        }
+        let report = self.run_source(source, slo);
+        // Cluster-scope stream first so that at equal ticks the routing
+        // decision (Arrived, scale events) sorts before the engine's
+        // reaction to it, replica streams in fleet order after.
+        let mut streams = Vec::with_capacity(self.replicas.len() + 1);
+        streams.push(
+            self.telemetry
+                .take()
+                .map(RecordingSink::into_events)
+                .unwrap_or_default(),
+        );
+        for rep in &mut self.replicas {
+            streams.push(rep.take_telemetry());
+        }
+        (report, merge_streams(streams))
     }
 
     /// The closed-loop event path: one replica micro-step per iteration,
@@ -338,7 +396,7 @@ impl Cluster {
     /// The routing block every arrival goes through: scale decision,
     /// fleet snapshot, route, hand over, record queue depth.
     fn route_arrived(&mut self, cr: &ClusterRequest, queue_depth: &mut Vec<(f64, usize)>) {
-        self.autoscale();
+        self.autoscale(cr.request.arrival);
         let snapshots: Vec<ReplicaSnapshot> = self
             .replicas
             .iter()
@@ -351,6 +409,16 @@ impl Cluster {
             "router {} picked an unavailable replica {idx}",
             self.router.name()
         );
+        if let Some(sink) = &mut self.telemetry {
+            sink.emit(Event {
+                tick: seconds_to_ticks(cr.request.arrival),
+                replica: idx as u32,
+                kind: EventKind::Arrived {
+                    request: cr.request.id as u64,
+                    tenant: cr.request.tenant,
+                },
+            });
+        }
         self.replicas[idx].push(cr.request);
         let outstanding: usize = self.replicas.iter().map(Replica::outstanding).sum();
         queue_depth.push((cr.request.arrival, outstanding));
@@ -359,7 +427,7 @@ impl Cluster {
     /// One scale decision, taken at an arrival instant: scale up when
     /// every active replica is backed up, scale down an idle replica
     /// when the fleet is nearly empty.
-    fn autoscale(&mut self) {
+    fn autoscale(&mut self, now: f64) {
         let Some(auto) = self.cfg.autoscale else {
             return;
         };
@@ -376,6 +444,7 @@ impl Cluster {
             {
                 self.replicas[parked].set_active(true);
                 self.peak_active = self.peak_active.max(active.len() + 1);
+                self.emit_scale(now, parked, EventKind::ReplicaScaledUp);
                 return;
             }
         }
@@ -383,7 +452,19 @@ impl Cluster {
             // Park the highest-index active replica that has run dry.
             if let Some(&idle) = active.iter().rev().find(|&&i| !self.replicas[i].has_work()) {
                 self.replicas[idle].set_active(false);
+                self.emit_scale(now, idle, EventKind::ReplicaScaledDown);
             }
+        }
+    }
+
+    /// Records a scale decision into the cluster-scope buffer.
+    fn emit_scale(&mut self, now: f64, replica: usize, kind: EventKind) {
+        if let Some(sink) = &mut self.telemetry {
+            sink.emit(Event {
+                tick: seconds_to_ticks(now),
+                replica: replica as u32,
+                kind,
+            });
         }
     }
 

@@ -75,8 +75,6 @@ pub mod router;
 pub mod slo;
 pub mod trace;
 
-#[allow(deprecated)]
-pub use arrivals::ArrivalConfig;
 pub use arrivals::{
     ArrivalProcess, ArrivalSource, ClosedLoopConfig, ClosedLoopSource, ClusterRequest,
     GeneratedArrivals, SliceSource, TenantClass, TraceConfig,

@@ -15,6 +15,7 @@ use spec_runtime::{
     BatchState, CompletedRequest, Request, Scheduler, SchedulerConfig, ServingSim, StepCache,
     SystemKind,
 };
+use spec_telemetry::{seconds_to_ticks, Event, EventKind, RecordingSink, TelemetrySink};
 use std::collections::{HashMap, HashSet};
 
 /// One serving engine in the fleet.
@@ -34,6 +35,13 @@ pub struct Replica {
     device: String,
     active: bool,
     assigned: usize,
+    /// Per-replica event buffer (`None` = untraced, zero overhead).
+    /// Each replica records into its own buffer, so recorded streams
+    /// stay deterministic when the cluster fans replicas out over the
+    /// worker pool; the cluster merges buffers thread-invariantly.
+    telemetry: Option<RecordingSink>,
+    /// Last KV occupancy emitted, so traced runs gauge on change.
+    kv_gauge: Option<u64>,
 }
 
 impl Replica {
@@ -69,7 +77,27 @@ impl Replica {
             device,
             active: true,
             assigned: 0,
+            telemetry: None,
+            kv_gauge: None,
         }
+    }
+
+    /// Starts recording this replica's telemetry, stamping every event
+    /// with `index`. Scheduler-scope events (admissions, preemptions,
+    /// gauges) flow into the same buffer via the tagged sink.
+    pub fn enable_telemetry(&mut self, index: u32) {
+        self.telemetry = Some(RecordingSink::tagged(index));
+        self.kv_gauge = None;
+    }
+
+    /// Stops recording and returns the buffered events, in emission
+    /// order (untraced replicas return an empty stream).
+    pub fn take_telemetry(&mut self) -> Vec<Event> {
+        self.kv_gauge = None;
+        self.telemetry
+            .take()
+            .map(RecordingSink::into_events)
+            .unwrap_or_default()
     }
 
     /// The wrapped scheduler.
@@ -131,7 +159,7 @@ impl Replica {
     /// Hands an arrived request to this replica's engine.
     pub fn push(&mut self, req: Request) {
         self.assigned += 1;
-        self.state.push(req);
+        self.state.push_traced(req, &mut self.telemetry);
     }
 
     /// Advances the engine until its clock reaches `t` or it runs dry,
@@ -140,7 +168,8 @@ impl Replica {
     /// closed-loop scheduler.
     pub fn advance_until(&mut self, t: f64) {
         while self.state.has_work() && self.state.now() < t {
-            self.scheduler.step(&mut self.state, &mut self.cache);
+            self.scheduler
+                .step_traced(&mut self.state, &mut self.cache, &mut self.telemetry);
         }
         self.sync_kv();
     }
@@ -150,7 +179,8 @@ impl Replica {
     /// refreshes the KV occupancy mirror. No-op when idle.
     pub fn step_once(&mut self) {
         if self.state.has_work() {
-            self.scheduler.step(&mut self.state, &mut self.cache);
+            self.scheduler
+                .step_traced(&mut self.state, &mut self.cache, &mut self.telemetry);
         }
         self.sync_kv();
     }
@@ -158,7 +188,8 @@ impl Replica {
     /// Runs all remaining assigned work to completion.
     pub fn drain(&mut self) {
         while self.state.has_work() {
-            self.scheduler.step(&mut self.state, &mut self.cache);
+            self.scheduler
+                .step_traced(&mut self.state, &mut self.cache, &mut self.telemetry);
         }
         self.sync_kv();
     }
@@ -223,6 +254,20 @@ impl Replica {
                 // The scheduler's admission stays authoritative; keep the
                 // demand on the books so LeastKvPressure sees the load.
                 self.kv_overflow.insert(req.id, tokens);
+            }
+        }
+        if self.telemetry.enabled() {
+            let used = self.kv.used_bytes();
+            if self.kv_gauge != Some(used) {
+                self.kv_gauge = Some(used);
+                self.telemetry.emit(Event {
+                    tick: seconds_to_ticks(self.state.now()),
+                    replica: 0, // restamped by the tagged sink
+                    kind: EventKind::KvOccupancy {
+                        used,
+                        capacity: self.kv.capacity_bytes(),
+                    },
+                });
             }
         }
     }

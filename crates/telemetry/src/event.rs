@@ -1,0 +1,332 @@
+//! Request-lifecycle events and the sinks they flow into.
+//!
+//! Instrumented code is generic over [`TelemetrySink`] and monomorphizes:
+//! with the default [`NullSink`] every `emit` is a no-op and
+//! [`TelemetrySink::enabled`] is a compile-time `false`, so gauge
+//! snapshots behind `if sink.enabled()` cost nothing and the traced and
+//! untraced code paths are the same machine code modulo dead stores. No
+//! event ever carries wall-clock time — ticks come from the simulated
+//! clock, so recorded streams are bit-for-bit reproducible.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulated time, in ticks of [`TICK_NS`] nanoseconds.
+pub type Tick = u64;
+
+/// Nanoseconds per tick — a 1 µs grid, the same resolution the `SPTR`
+/// trace format defaults to, and exactly the `ts` unit Chrome/Perfetto
+/// `trace_event` JSON expects.
+pub const TICK_NS: u64 = 1_000;
+
+/// Converts simulator seconds to the telemetry tick grid (rounding to
+/// the nearest tick).
+pub fn seconds_to_ticks(seconds: f64) -> Tick {
+    (seconds * (1e9 / TICK_NS as f64)).round() as Tick
+}
+
+/// Converts ticks back to seconds.
+pub fn ticks_to_seconds(ticks: Tick) -> f64 {
+    ticks as f64 * TICK_NS as f64 / 1e9
+}
+
+/// What happened. Lifecycle kinds identify the request; gauge kinds
+/// snapshot a scheduler-internal quantity once per decode iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// The request entered the cluster (router-side, pre-queue).
+    Arrived { request: u64, tenant: u32 },
+    /// The request joined a replica's tenant queue.
+    Enqueued { request: u64, tenant: u32 },
+    /// The request entered the running batch fresh (prefill charged).
+    Admitted { request: u64, tenant: u32 },
+    /// The request was evicted from the running batch.
+    Preempted { request: u64, tenant: u32 },
+    /// The evicted request's resident KV was saved over PCIe.
+    CheckpointWritten { request: u64, bytes: u64 },
+    /// A checkpointed request re-entered the batch (restore charged).
+    Restored { request: u64, tenant: u32 },
+    /// The request's first output token exists.
+    FirstToken { request: u64, tenant: u32 },
+    /// The request produced its last token.
+    Completed { request: u64, tenant: u32 },
+    /// The request could never be admitted, even alone.
+    Rejected { request: u64, tenant: u32 },
+    /// The autoscaler unparked a replica.
+    ReplicaScaledUp,
+    /// The autoscaler parked a replica.
+    ReplicaScaledDown,
+    /// Gauge: one tenant's wait-queue depth.
+    QueueDepth { tenant: u32, depth: u64 },
+    /// Gauge: requests in the running batch.
+    RunningBatch { size: u64 },
+    /// Gauge: KV block-allocator occupancy, bytes.
+    KvOccupancy { used: u64, capacity: u64 },
+    /// Gauge: one tenant's DRR deficit counter, tokens.
+    DrrDeficit { tenant: u32, deficit: u64 },
+}
+
+impl EventKind {
+    /// The request id, for lifecycle kinds.
+    pub fn request(&self) -> Option<u64> {
+        match *self {
+            EventKind::Arrived { request, .. }
+            | EventKind::Enqueued { request, .. }
+            | EventKind::Admitted { request, .. }
+            | EventKind::Preempted { request, .. }
+            | EventKind::CheckpointWritten { request, .. }
+            | EventKind::Restored { request, .. }
+            | EventKind::FirstToken { request, .. }
+            | EventKind::Completed { request, .. }
+            | EventKind::Rejected { request, .. } => Some(request),
+            _ => None,
+        }
+    }
+
+    /// The tenant id, where the kind carries one.
+    pub fn tenant(&self) -> Option<u32> {
+        match *self {
+            EventKind::Arrived { tenant, .. }
+            | EventKind::Enqueued { tenant, .. }
+            | EventKind::Admitted { tenant, .. }
+            | EventKind::Preempted { tenant, .. }
+            | EventKind::Restored { tenant, .. }
+            | EventKind::FirstToken { tenant, .. }
+            | EventKind::Completed { tenant, .. }
+            | EventKind::Rejected { tenant, .. }
+            | EventKind::QueueDepth { tenant, .. }
+            | EventKind::DrrDeficit { tenant, .. } => Some(tenant),
+            _ => None,
+        }
+    }
+
+    /// A short stable name (Perfetto event names, dashboard rows).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Arrived { .. } => "arrived",
+            EventKind::Enqueued { .. } => "enqueued",
+            EventKind::Admitted { .. } => "admitted",
+            EventKind::Preempted { .. } => "preempted",
+            EventKind::CheckpointWritten { .. } => "checkpoint_written",
+            EventKind::Restored { .. } => "restored",
+            EventKind::FirstToken { .. } => "first_token",
+            EventKind::Completed { .. } => "completed",
+            EventKind::Rejected { .. } => "rejected",
+            EventKind::ReplicaScaledUp => "replica_scaled_up",
+            EventKind::ReplicaScaledDown => "replica_scaled_down",
+            EventKind::QueueDepth { .. } => "queue_depth",
+            EventKind::RunningBatch { .. } => "running_batch",
+            EventKind::KvOccupancy { .. } => "kv_occupancy",
+            EventKind::DrrDeficit { .. } => "drr_deficit",
+        }
+    }
+
+    /// Whether this is a per-tick gauge snapshot (vs. a lifecycle edge).
+    pub fn is_gauge(&self) -> bool {
+        matches!(
+            self,
+            EventKind::QueueDepth { .. }
+                | EventKind::RunningBatch { .. }
+                | EventKind::KvOccupancy { .. }
+                | EventKind::DrrDeficit { .. }
+        )
+    }
+}
+
+/// One telemetry event: a kind stamped with the simulated tick and the
+/// replica it happened on (0 when scheduler-scope code emits it; a
+/// tagged [`RecordingSink`] overwrites the stamp).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Simulated time, ticks.
+    pub tick: Tick,
+    /// Replica index the event belongs to.
+    pub replica: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Where instrumented code sends events. Implementations must be cheap:
+/// the scheduler emits on every admission decision and decode iteration.
+pub trait TelemetrySink {
+    /// Accepts one event.
+    fn emit(&mut self, event: Event);
+
+    /// Whether emission has any effect — instrumentation guards
+    /// *construction* of expensive payloads (gauge sweeps) behind this,
+    /// so a disabled sink costs nothing.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The disabled sink: `emit` is a no-op and [`TelemetrySink::enabled`]
+/// is `false`, so monomorphized instrumentation compiles away.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn emit(&mut self, _event: Event) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+impl<S: TelemetrySink> TelemetrySink for &mut S {
+    fn emit(&mut self, event: Event) {
+        (**self).emit(event);
+    }
+
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+}
+
+/// `None` behaves like [`NullSink`]; `Some` forwards. This is how owners
+/// of an optional sink (a replica that may or may not be traced) pass it
+/// down without branching at every call site.
+impl<S: TelemetrySink> TelemetrySink for Option<S> {
+    fn emit(&mut self, event: Event) {
+        if let Some(sink) = self {
+            sink.emit(event);
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.as_ref().is_some_and(|s| s.enabled())
+    }
+}
+
+/// A sink that buffers every event in emission order, optionally
+/// stamping a fixed replica index on each — the per-replica buffer that
+/// makes cluster tracing SPEC_THREADS-invariant: each replica's local
+/// stream is deterministic regardless of which worker thread advanced
+/// it, and [`merge_streams`] interleaves the buffers by a total order
+/// that never consults thread identity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordingSink {
+    tag: Option<u32>,
+    events: Vec<Event>,
+}
+
+impl RecordingSink {
+    /// An empty, untagged recorder (events keep their own replica field).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty recorder that stamps `replica` on every event it
+    /// receives — handed to scheduler-scope code that cannot know which
+    /// replica it runs inside.
+    pub fn tagged(replica: u32) -> Self {
+        Self {
+            tag: Some(replica),
+            events: Vec::new(),
+        }
+    }
+
+    /// Events recorded so far, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Consumes the recorder into its event buffer.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+
+    /// Drains the buffer, leaving the recorder (and its tag) in place.
+    pub fn take_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl TelemetrySink for RecordingSink {
+    fn emit(&mut self, mut event: Event) {
+        if let Some(tag) = self.tag {
+            event.replica = tag;
+        }
+        self.events.push(event);
+    }
+}
+
+/// Merges per-stream event buffers into one deterministic sequence,
+/// ordered by `(tick, stream index, within-stream emission order)`.
+///
+/// Stream index — the buffer's position in `streams` — must itself be
+/// thread-invariant (replica index, with any cluster-scope buffer at a
+/// fixed position); given that, the merged order is identical at any
+/// SPEC_THREADS because no key depends on which thread produced an
+/// event. Per-stream tick monotonicity is *not* assumed (enqueues are
+/// stamped at arrival time while the replica clock may already have
+/// overshot), hence a full stable sort rather than a k-way merge.
+pub fn merge_streams(streams: Vec<Vec<Event>>) -> Vec<Event> {
+    let total = streams.iter().map(Vec::len).sum();
+    let mut keyed: Vec<(usize, Event)> = Vec::with_capacity(total);
+    for (index, stream) in streams.into_iter().enumerate() {
+        keyed.extend(stream.into_iter().map(|e| (index, e)));
+    }
+    // Stable sort: ties on (tick, stream) keep emission order.
+    keyed.sort_by_key(|&(index, event)| (event.tick, index));
+    keyed.into_iter().map(|(_, event)| event).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tick: Tick, replica: u32, request: u64) -> Event {
+        Event {
+            tick,
+            replica,
+            kind: EventKind::Completed { request, tenant: 0 },
+        }
+    }
+
+    #[test]
+    fn tick_conversion_round_trips_on_the_grid() {
+        for t in [0u64, 1, 999, 1_000_000, 86_400_000_000] {
+            assert_eq!(seconds_to_ticks(ticks_to_seconds(t)), t);
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+        let mut none: Option<RecordingSink> = None;
+        assert!(!none.enabled());
+        none.emit(ev(0, 0, 0));
+        let mut some = Some(RecordingSink::new());
+        assert!(some.enabled());
+        some.emit(ev(3, 1, 7));
+        assert_eq!(some.as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn tagged_recorder_stamps_replica() {
+        let mut sink = RecordingSink::tagged(5);
+        sink.emit(ev(1, 0, 42));
+        assert_eq!(sink.events()[0].replica, 5);
+    }
+
+    #[test]
+    fn merge_orders_by_tick_then_stream_then_emission() {
+        let a = vec![ev(5, 0, 1), ev(5, 0, 2), ev(1, 0, 3)];
+        let b = vec![ev(5, 1, 4), ev(0, 1, 5)];
+        let merged = merge_streams(vec![a, b]);
+        let ids: Vec<u64> = merged.iter().filter_map(|e| e.kind.request()).collect();
+        // tick 0 → 5(b); tick 1 → 3(a); tick 5 → stream 0 first in
+        // emission order (1, 2), then stream 1 (4).
+        assert_eq!(ids, vec![5, 3, 1, 2, 4]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests pinning the streaming histogram to the exact
+//! percentile arithmetic the rest of the codebase uses.
+//!
+//! 1. **Accuracy** — for any sample, the histogram's p50/p95/p99 agree
+//!    with `spec_tensor::stats::percentile` (same nearest-rank
+//!    convention, computed over the materialized sample) to within one
+//!    bucket's relative error.
+//! 2. **Mergeability** — sharding a sample across several histograms and
+//!    merging them is indistinguishable from recording into one.
+
+use proptest::prelude::*;
+use spec_telemetry::LogHistogram;
+
+/// Nonnegative samples spanning the exact region, the log-linear region,
+/// and multi-octave spreads.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..=5_000_000_000, 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Histogram percentiles track the exact nearest-rank percentile to
+    /// within one bucket's relative width (plus one for integer edges).
+    #[test]
+    fn percentiles_match_exact_within_relative_error(values in samples(), sub_bits in 2u32..=8) {
+        let mut h = LogHistogram::new(sub_bits);
+        for &v in &values {
+            h.record(v);
+        }
+        let as_f64: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        for p in [0.5, 0.95, 0.99] {
+            let exact = spec_tensor::stats::percentile(&as_f64, p);
+            let got = h.percentile(p) as f64;
+            // The reported value is the midpoint of the bucket holding
+            // the exact nearest-rank sample; that bucket's width is at
+            // most `exact * relative_error` (and 1 in the exact region).
+            let tolerance = exact * h.relative_error() + 1.0;
+            prop_assert!(
+                (got - exact).abs() <= tolerance,
+                "p{}: histogram {got} vs exact {exact} (tolerance {tolerance}, sub_bits {sub_bits})",
+                (p * 100.0) as u32,
+            );
+        }
+    }
+
+    /// Merging shards is exactly equivalent to recording into a single
+    /// histogram — counts, mean, percentiles, and CDF all agree.
+    #[test]
+    fn merged_shards_equal_single_histogram(values in samples(), shards in 2usize..=5) {
+        let mut whole = LogHistogram::default();
+        let mut parts: Vec<LogHistogram> = (0..shards).map(|_| LogHistogram::default()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            parts[i % shards].record(v);
+        }
+        let mut merged = parts.remove(0);
+        for part in &parts {
+            merged.merge(part);
+        }
+        prop_assert_eq!(&merged, &whole);
+        prop_assert_eq!(merged.count(), values.len() as u64);
+        prop_assert!(merged.max_cdf_deviation(&whole) == 0.0);
+        for p in [0.5, 0.95, 0.99] {
+            prop_assert_eq!(merged.percentile(p), whole.percentile(p));
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Request-lifecycle telemetry: record a traced cluster run, export it.
+//!
+//! 1. Replays a flash-crowd prefix of the committed sample trace
+//!    (`results/sample_trace.sptr`) through an autoscaled, preemption-
+//!    enabled fleet with telemetry recording on.
+//! 2. Exports the event stream as a Chrome/Perfetto `traceEvents` JSON
+//!    (`results/telemetry_trace.json`): one track per replica, one row
+//!    per tenant, request slices between admission and completion,
+//!    instants for arrivals/checkpoints/scale decisions, counter tracks
+//!    for queue depth / batch size / KV occupancy, and flow arrows
+//!    linking each preemption to its restore. Open it at
+//!    `ui.perfetto.dev` or `chrome://tracing`.
+//! 3. Renders the run dashboard markdown and appends it to the trace's
+//!    characterization report (`results/telemetry_dashboard.md`).
+//!
+//! Run with `cargo run --release --example telemetry`.
+
+use specontext::hwsim::{fleet, DeviceSpec};
+use specontext::model::ModelConfig;
+use specontext::runtime::{
+    FairConfig, PreemptionPolicy, QueueDiscipline, SchedulerConfig, SystemKind,
+};
+use specontext::serve::characterize::characterize;
+use specontext::serve::cluster::{AutoscaleConfig, Cluster, ClusterConfig};
+use specontext::serve::router::RouterKind;
+use specontext::serve::slo::SloSpec;
+use specontext::serve::trace::{decode, encode};
+use specontext::telemetry::{export_trace, render_dashboard, EventKind};
+
+/// How much of the 4096-request sample the example replays: enough to
+/// ride through a burst (preemptions, scale-ups) while keeping the
+/// committed Perfetto JSON small.
+const PREFIX: usize = 256;
+
+fn results_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("results")
+}
+
+/// A fleet that exercises every lifecycle edge: DRR queues with
+/// deficit-based preemption (checkpoint/restore flows) and queue-depth
+/// autoscaling (scale-up/down instants).
+fn traced_fleet() -> Cluster {
+    let cfg = ClusterConfig::new()
+        .scheduler(SchedulerConfig {
+            max_batch: 4,
+            admission_stride: 4,
+            fair: FairConfig {
+                discipline: QueueDiscipline::DeficitRoundRobin,
+                weights: vec![(0, 4), (1, 1)],
+                preemption: PreemptionPolicy::DeficitRoundRobin,
+                ..FairConfig::default()
+            },
+        })
+        .autoscale(AutoscaleConfig {
+            min_replicas: 1,
+            scale_up_outstanding: 4,
+            scale_down_outstanding: 1,
+        });
+    Cluster::from_fleet(
+        &ModelConfig::deepseek_distill_llama_8b(),
+        &fleet::homogeneous(DeviceSpec::a100_80g(), 3),
+        2048,
+        SystemKind::SpeContext,
+        cfg,
+        RouterKind::LeastOutstanding.build(),
+    )
+}
+
+fn main() {
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+
+    // --- 1. traced replay of the committed sample ------------------------
+    let sample = std::fs::read(dir.join("sample_trace.sptr"))
+        .expect("results/sample_trace.sptr is committed");
+    let prefix: Vec<_> = decode(&sample).expect("sample decodes")[..PREFIX].to_vec();
+    let t0 = std::time::Instant::now();
+    let (report, events) = traced_fleet().run_traced(&prefix, &SloSpec::new(10.0, 0.02));
+    let n = |f: &dyn Fn(&EventKind) -> bool| events.iter().filter(|e| f(&e.kind)).count();
+    let preemptions = n(&|k| matches!(k, EventKind::Preempted { .. }));
+    let restores = n(&|k| matches!(k, EventKind::Restored { .. }));
+    let scale_ups = n(&|k| matches!(k, EventKind::ReplicaScaledUp));
+    println!(
+        "traced {} requests in {:.2?}: {} events, {} completed / {} rejected, {preemptions} preemptions, {restores} restores, {scale_ups} scale-ups, peak {} active replicas",
+        PREFIX,
+        t0.elapsed(),
+        events.len(),
+        report.completed,
+        report.rejected,
+        report.peak_active,
+    );
+    assert_eq!(report.completed + report.rejected, PREFIX);
+    assert!(preemptions > 0, "the burst must trigger preemptions");
+    assert_eq!(preemptions, restores, "every preemption must restore");
+    assert!(scale_ups > 0, "the burst must trigger a scale-up");
+
+    // --- 2. Perfetto export ----------------------------------------------
+    let json = export_trace(&events);
+    // Schema check: the export must stay valid JSON with a traceEvents
+    // array and one flow-start per preemption.
+    let doc: serde::Value = serde_json::from_str(&json).expect("export is valid JSON");
+    let trace_events = match doc.get_field("traceEvents").expect("traceEvents array") {
+        serde::Value::Seq(items) => items.len(),
+        other => panic!("traceEvents is not an array: {other:?}"),
+    };
+    let flow_starts = json.matches("\"ph\":\"s\"").count();
+    assert_eq!(flow_starts, preemptions, "one flow arrow per preemption");
+    let trace_path = dir.join("telemetry_trace.json");
+    std::fs::write(&trace_path, &json).expect("write perfetto trace");
+    println!(
+        "perfetto trace: {} bytes, {trace_events} trace events, {flow_starts} preempt→restore flow arrows [saved {}]",
+        json.len(),
+        trace_path.display()
+    );
+
+    // --- 3. dashboard appended to the characterize report ----------------
+    let prefix_bytes = encode(prefix.iter().copied());
+    let c = characterize("sample-trace-256-prefix", &prefix_bytes).expect("characterizes");
+    let mut doc = c.to_markdown();
+    doc.push('\n');
+    doc.push_str(&render_dashboard(&events));
+    let dash_path = dir.join("telemetry_dashboard.md");
+    std::fs::write(&dash_path, doc).expect("write dashboard");
+    println!(
+        "dashboard: characterization + run summary [saved {}]",
+        dash_path.display()
+    );
+}

@@ -39,5 +39,6 @@ pub use spec_parallel as parallel;
 pub use spec_retrieval as retrieval;
 pub use spec_runtime as runtime;
 pub use spec_serve as serve;
+pub use spec_telemetry as telemetry;
 pub use spec_tensor as tensor;
 pub use spec_workloads as workloads;
