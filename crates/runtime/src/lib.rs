@@ -28,7 +28,7 @@ pub use adaptive::{AdaptiveManager, Thresholds};
 pub use dataflow::{DataflowKind, StepBreakdown};
 pub use memory::MemoryModel;
 pub use scheduler::{
-    BatchState, CompletedRequest, FairConfig, PreemptionPolicy, QueueDiscipline, Request,
-    ScheduleReport, Scheduler, SchedulerConfig,
+    BatchState, CompletedRequest, CrashedWork, FairConfig, PreemptionPolicy, QueueDiscipline,
+    Request, RestorableRequest, ScheduleReport, Scheduler, SchedulerConfig,
 };
 pub use serving::{MemoryPolicy, ServingSim, StepCache, SystemKind, ThroughputReport, Workload};

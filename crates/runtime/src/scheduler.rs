@@ -332,6 +332,37 @@ struct GaugeShadow {
     batch: Option<u64>,
 }
 
+/// A request checkpointed before a crash: its host-side checkpoint
+/// survives the process, so it can restore on another engine by paying
+/// the Eq.-6 KV re-transfer instead of a fresh prefill. Carries the
+/// timing history the destination needs for honest latency accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct RestorableRequest {
+    /// The request itself (arrival restamped on re-injection).
+    pub request: Request,
+    /// Tokens produced before the last checkpoint.
+    pub produced: usize,
+    /// Original decode start, kept across checkpoints.
+    pub start: Option<f64>,
+    /// When the first token was produced, if any.
+    pub first_token: Option<f64>,
+    /// Times this request has been checkpointed so far.
+    pub preemptions: usize,
+}
+
+/// Everything a crash tears out of an engine — see
+/// [`BatchState::crash_dump`].
+#[derive(Debug, Clone, Default)]
+pub struct CrashedWork {
+    /// Requests whose device-resident state died with the process: the
+    /// running batch plus queued fresh arrivals. They restart from
+    /// scratch (the cluster's retry path).
+    pub lost: Vec<Request>,
+    /// Queued entries holding host-side checkpoints (preempted before
+    /// the crash): eligible for restore on a surviving engine.
+    pub checkpointed: Vec<RestorableRequest>,
+}
+
 /// The incremental state of one continuous-batching engine: per-tenant
 /// wait queues, running batch, completions and the local clock.
 ///
@@ -340,7 +371,7 @@ struct GaugeShadow {
 /// replica, event by event, feeding arrivals in as its router assigns
 /// them. Both paths execute the identical [`Scheduler::step`] code, so a
 /// 1-replica cluster reproduces `Scheduler::run` bit-for-bit.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct BatchState {
     queues: BTreeMap<u32, TenantQueue>,
     running: Vec<Running>,
@@ -357,12 +388,147 @@ pub struct BatchState {
     drr_last: Option<u32>,
     /// Gauge change-tracking for traced runs (empty when untraced).
     gauges: GaugeShadow,
+    /// Straggler multiplier on device-priced costs (1.0 = nominal).
+    time_scale: f64,
+}
+
+impl Default for BatchState {
+    fn default() -> Self {
+        Self {
+            queues: BTreeMap::new(),
+            running: Vec::new(),
+            completed: Vec::new(),
+            rejected: Vec::new(),
+            now: 0.0,
+            iter: 0,
+            sweep_done: false,
+            last_arrival: 0.0,
+            next_seq: 0,
+            drr_last: None,
+            gauges: GaugeShadow::default(),
+            time_scale: 1.0,
+        }
+    }
 }
 
 impl BatchState {
     /// An empty engine at time zero.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The engine's straggler multiplier on device-priced costs.
+    pub fn time_scale(&self) -> f64 {
+        self.time_scale
+    }
+
+    /// Sets the straggler multiplier: prefill, decode iterations and KV
+    /// checkpoint/restore transfers cost `scale`× their nominal time.
+    /// The idle clock jump to the next arrival is *not* scaled (waiting
+    /// is not compute). The default 1.0 is exact — `x * 1.0 == x`
+    /// bit-for-bit — so an engine that never straggles is bit-identical
+    /// to one without the knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is finite and positive.
+    pub fn set_time_scale(&mut self, scale: f64) {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "time_scale must be finite and positive, got {scale}"
+        );
+        self.time_scale = scale;
+    }
+
+    /// Jumps the clock forward to `t` if it lags behind (restart after a
+    /// crash outage: the engine was down, not computing).
+    pub fn skip_to(&mut self, t: f64) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Simulates a process crash: tears all queued and running work out
+    /// of the engine and resets the admission sweep. Queued entries
+    /// holding a host-side checkpoint (`produced > 0`, written by a
+    /// preemption before the crash) survive as restorable; everything
+    /// else — the running batch, whose device state died with the
+    /// process, and fresh queued arrivals — is lost and must retry from
+    /// scratch. Completions, rejections and the clock are untouched.
+    /// Ordering is deterministic: the running batch in admission order,
+    /// then queues in tenant-id order.
+    pub fn crash_dump(&mut self) -> CrashedWork {
+        let mut out = CrashedWork::default();
+        for r in self.running.drain(..) {
+            out.lost.push(r.req);
+        }
+        for q in self.queues.values_mut() {
+            for e in q.queue.drain(..) {
+                if e.produced > 0 {
+                    out.checkpointed.push(RestorableRequest {
+                        request: e.req,
+                        produced: e.produced,
+                        start: e.start,
+                        first_token: e.first_token,
+                        preemptions: e.preemptions,
+                    });
+                } else {
+                    out.lost.push(e.req);
+                }
+            }
+            q.deficit = 0;
+        }
+        self.sweep_done = false;
+        out
+    }
+
+    /// Re-enqueues a checkpoint rescued from a crashed engine (cluster
+    /// failover): the entry keeps its produced tokens and timing
+    /// history, so its admission charges the Eq.-6 KV re-transfer — a
+    /// restore, not a fresh prefill. `arrival` restamps the request for
+    /// the destination's arrival-order contract; the caller owns mapping
+    /// latency metrics back to the original arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrival` precedes a previously pushed request.
+    pub fn push_restorable<S: TelemetrySink>(
+        &mut self,
+        restorable: RestorableRequest,
+        arrival: f64,
+        sink: &mut S,
+    ) {
+        let mut req = restorable.request;
+        req.arrival = arrival;
+        assert!(
+            req.arrival >= self.last_arrival,
+            "requests must be pushed in arrival order ({} after {})",
+            req.arrival,
+            self.last_arrival
+        );
+        self.last_arrival = req.arrival;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queues
+            .entry(req.tenant)
+            .or_default()
+            .queue
+            .push_back(QueueEntry {
+                req,
+                seq,
+                produced: restorable.produced,
+                start: restorable.start,
+                first_token: restorable.first_token,
+                preemptions: restorable.preemptions,
+            });
+        emit(
+            sink,
+            req.arrival,
+            EventKind::Enqueued {
+                request: req.id as u64,
+                tenant: req.tenant,
+            },
+        );
     }
 
     /// Enqueues an arrived request on its tenant's queue.
@@ -715,7 +881,7 @@ impl Scheduler {
             return;
         }
         // One decode iteration for the whole batch.
-        state.now += self.iteration_time(&state.running, cache);
+        state.now += self.iteration_time(&state.running, cache) * state.time_scale;
         state.iter += 1;
         state.sweep_done = false;
         let now = state.now;
@@ -837,7 +1003,7 @@ impl Scheduler {
             q.deficit = 0;
         }
         if entry.produced == 0 {
-            state.now += self.prefill_time(&entry.req, cache);
+            state.now += self.prefill_time(&entry.req, cache) * state.time_scale;
             emit(
                 sink,
                 state.now,
@@ -847,7 +1013,7 @@ impl Scheduler {
                 },
             );
         } else {
-            state.now += self.kv_transfer_time(&entry.req, entry.produced);
+            state.now += self.kv_transfer_time(&entry.req, entry.produced) * state.time_scale;
             emit(
                 sink,
                 state.now,
@@ -893,7 +1059,7 @@ impl Scheduler {
         // Checkpoint: save the victim's resident KV over PCIe and park
         // it at the front of its tenant queue (it resumes before that
         // tenant's fresh arrivals).
-        state.now += self.kv_transfer_time(&victim.req, victim.produced);
+        state.now += self.kv_transfer_time(&victim.req, victim.produced) * state.time_scale;
         state.running.remove(victim_idx);
         state
             .queues

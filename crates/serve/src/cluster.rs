@@ -23,6 +23,7 @@
 //! free.
 
 use crate::arrivals::{ArrivalSource, ClusterRequest, SliceSource};
+use crate::faults::{FaultAction, FaultEvent, FaultLedger, FaultPlan, FaultRun, FaultSummary};
 use crate::replica::Replica;
 use crate::router::{ReplicaSnapshot, RoutePolicy};
 use crate::slo::{self, SloReport, SloSpec};
@@ -123,6 +124,9 @@ pub struct ClusterReport {
     pub queue_depth: Vec<(f64, usize)>,
     /// Peak simultaneously-active replicas (autoscaling high-water mark).
     pub peak_active: usize,
+    /// Fault and recovery counters; all zeros for fault-free runs, so
+    /// no-fault reports stay bit-identical to pre-fault ones.
+    pub faults: FaultSummary,
 }
 
 /// A fleet of serving replicas behind a router.
@@ -135,6 +139,9 @@ pub struct Cluster {
     /// `None` = untraced. Only the serial routing path writes here, so
     /// its stream is deterministic at any `SPEC_THREADS`.
     telemetry: Option<RecordingSink>,
+    /// Set for the duration of a health-aware faulted run: non-healthy
+    /// replicas are folded out of routing candidate sets.
+    health_aware: bool,
 }
 
 impl Cluster {
@@ -170,6 +177,7 @@ impl Cluster {
             cfg,
             peak_active,
             telemetry: None,
+            health_aware: false,
         }
     }
 
@@ -235,27 +243,35 @@ impl Cluster {
             self.run_closed_loop(source, &mut queue_depth);
         } else {
             while let Some(cr) = source.next_request() {
-                let t = cr.request.arrival;
-                // Replicas run independently between cluster events, so
-                // their micro-stepping fans out over the worker pool.
-                // Each replica's state depends only on its own trace
-                // slice, so the cluster outcome is identical at any
-                // thread count — which is what keeps the 1-replica
-                // anchor bit-for-bit on `Scheduler::run`. Idle replicas
-                // return from `advance_until` immediately, so only spawn
-                // workers when several have stepping to do.
-                if self.replicas.iter().filter(|r| r.has_work()).count() > 1 {
-                    spec_parallel::par_for_each_mut(&mut self.replicas, |_, rep| {
-                        rep.advance_until(t)
-                    });
-                } else {
-                    for rep in &mut self.replicas {
-                        rep.advance_until(t);
-                    }
-                }
+                self.advance_all(cr.request.arrival);
                 self.route_arrived(&cr, &mut queue_depth);
             }
         }
+        self.drain_all();
+        self.report(queue_depth, slo)
+    }
+
+    /// Advances every replica's engine to `t`. Replicas run
+    /// independently between cluster events, so their micro-stepping
+    /// fans out over the worker pool. Each replica's state depends only
+    /// on its own trace slice, so the cluster outcome is identical at
+    /// any thread count — which is what keeps the 1-replica anchor
+    /// bit-for-bit on `Scheduler::run`. Idle replicas return from
+    /// `advance_until` immediately, so only spawn workers when several
+    /// have stepping to do.
+    fn advance_all(&mut self, t: f64) {
+        if self.replicas.iter().filter(|r| r.has_work()).count() > 1 {
+            spec_parallel::par_for_each_mut(&mut self.replicas, |_, rep| rep.advance_until(t));
+        } else {
+            for rep in &mut self.replicas {
+                rep.advance_until(t);
+            }
+        }
+    }
+
+    /// Runs every replica's remaining work to completion (crashed
+    /// replicas stay frozen; the fault loop restarts them first).
+    fn drain_all(&mut self) {
         if self.replicas.iter().filter(|r| r.has_work()).count() > 1 {
             spec_parallel::par_for_each_mut(&mut self.replicas, |_, rep| rep.drain());
         } else {
@@ -263,7 +279,6 @@ impl Cluster {
                 rep.drain();
             }
         }
-        self.report(queue_depth, slo)
     }
 
     /// [`Cluster::run`] with request-lifecycle telemetry: runs the trace
@@ -310,6 +325,325 @@ impl Cluster {
             streams.push(rep.take_telemetry());
         }
         (report, merge_streams(streams))
+    }
+
+    /// [`Cluster::run`] under a [`FaultPlan`] — the same trace walked
+    /// while the plan's crash/straggler timeline perturbs the fleet.
+    pub fn run_fault_plan(
+        &mut self,
+        trace: &[ClusterRequest],
+        slo: &SloSpec,
+        plan: &FaultPlan,
+    ) -> ClusterReport {
+        self.run_faulted(&mut SliceSource::new(trace), slo, plan)
+    }
+
+    /// [`Cluster::run_fault_plan`] with request-lifecycle telemetry.
+    pub fn run_fault_plan_traced(
+        &mut self,
+        trace: &[ClusterRequest],
+        slo: &SloSpec,
+        plan: &FaultPlan,
+    ) -> (ClusterReport, Vec<Event>) {
+        self.run_faulted_traced(&mut SliceSource::new(trace), slo, plan)
+    }
+
+    /// Runs a streaming open-loop source under a [`FaultPlan`].
+    ///
+    /// The loop repeatedly takes the earliest of (next fault event, next
+    /// ready retry, next arrival) — ties resolve fault → retry → arrival
+    /// — advancing the fleet to the event instant first. The whole path
+    /// is serial, so faulted runs are `SPEC_THREADS`-invariant by
+    /// construction; the empty plan takes the exact event sequence of
+    /// [`Cluster::run_source`] and stays bit-identical to it (pinned by
+    /// `tests/faults.rs`).
+    ///
+    /// Recovery semantics: a crash tears out the replica's in-flight
+    /// work — requests with decode progress surface as host-side
+    /// checkpoints and restore onto the healthiest surviving replica
+    /// (paying the Eq.-6 KV re-transfer there) unless the plan's
+    /// `kv_loss_prob` draw fails; everything else re-enters the router
+    /// after capped exponential backoff with seeded jitter. Every
+    /// crash-driven re-entry (retry *or* migration) consumes one unit of
+    /// the request's retry budget, so a request bouncing between crashing
+    /// replicas always terminates; an exhausted budget dead-letters the
+    /// request, attributed per tenant in the SLO report. Arrivals are
+    /// shed at the plan's tenant-weighted watermark before routing, and
+    /// health-aware plans eject down/straggling/probation replicas from
+    /// routing candidate sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics on closed-loop sources — fault injection needs the
+    /// open-loop event grid.
+    pub fn run_faulted<S: ArrivalSource + ?Sized>(
+        &mut self,
+        source: &mut S,
+        slo: &SloSpec,
+        plan: &FaultPlan,
+    ) -> ClusterReport {
+        assert!(
+            !source.closed_loop(),
+            "fault injection drives open-loop sources only"
+        );
+        let mut queue_depth = Vec::with_capacity(source.remaining_hint().unwrap_or(0));
+        let mut run = FaultRun::new(plan, self.replicas.len());
+        self.health_aware = plan.health_aware;
+        loop {
+            let arrival = source.peek_arrival();
+            let retry = run.next_retry_time();
+            if arrival.is_none() && retry.is_none() && !self.replicas.iter().any(Replica::has_work)
+            {
+                break;
+            }
+            let fault = run.injector.peek_time();
+            // Earliest event wins; at equal instants faults apply before
+            // retries and retries re-enter before fresh arrivals.
+            let mut best: Option<(f64, u8)> = None;
+            for (t, priority) in [(fault, 0u8), (retry, 1), (arrival, 2)] {
+                if let Some(t) = t {
+                    let better = best.is_none_or(|(bt, bp)| t < bt || (t == bt && priority < bp));
+                    if better {
+                        best = Some((t, priority));
+                    }
+                }
+            }
+            let Some((t, which)) = best else {
+                // No events left but work remains: run the fleet dry.
+                self.drain_all();
+                continue;
+            };
+            match which {
+                0 => {
+                    if arrival.is_none() && retry.is_none() {
+                        // Only fault events remain. Advance to the event
+                        // first: if that drains the fleet there is nothing
+                        // left to perturb, and injecting further (an MTBF
+                        // timeline is endless) would stall termination.
+                        self.advance_all(t);
+                        if !self.replicas.iter().any(Replica::has_work) {
+                            break;
+                        }
+                    }
+                    let ev = run.injector.pop().expect("peeked fault vanished");
+                    self.apply_fault(ev, &mut run);
+                }
+                1 => {
+                    self.advance_all(t);
+                    let ready = run.pop_retry().expect("peeked retry vanished");
+                    let mut req = ready.req;
+                    req.arrival = ready.ready;
+                    let session = run.sessions.get(&req.id).copied().unwrap_or(req.id as u64);
+                    let cr = ClusterRequest {
+                        request: req,
+                        session,
+                    };
+                    // Re-entries skip shedding (their admission already
+                    // happened) and emit no second `Arrived`.
+                    self.route_in(&cr, &mut queue_depth, false);
+                }
+                _ => {
+                    let cr = source.next_request().expect("peeked arrival vanished");
+                    self.advance_all(t);
+                    run.sessions.insert(cr.request.id, cr.session);
+                    if let Some(shed) = &plan.shed {
+                        let outstanding: usize =
+                            self.replicas.iter().map(Replica::outstanding).sum();
+                        if outstanding >= shed.threshold(cr.request.tenant) {
+                            run.record_shed(&cr.request);
+                            self.emit_cluster_event(
+                                t,
+                                0,
+                                EventKind::RequestShed {
+                                    request: cr.request.id as u64,
+                                    tenant: cr.request.tenant,
+                                },
+                            );
+                            continue;
+                        }
+                    }
+                    self.route_in(&cr, &mut queue_depth, true);
+                }
+            }
+        }
+        self.health_aware = false;
+        self.report_faulted(queue_depth, slo, &run.ledger)
+    }
+
+    /// [`Cluster::run_faulted`] with request-lifecycle telemetry: the
+    /// same recording scheme as [`Cluster::run_source_traced`], with the
+    /// fault lifecycle (crashes, recoveries, retries, sheds, straggler
+    /// windows) landing in the cluster-scope stream.
+    pub fn run_faulted_traced<S: ArrivalSource + ?Sized>(
+        &mut self,
+        source: &mut S,
+        slo: &SloSpec,
+        plan: &FaultPlan,
+    ) -> (ClusterReport, Vec<Event>) {
+        self.telemetry = Some(RecordingSink::new());
+        for (i, rep) in self.replicas.iter_mut().enumerate() {
+            rep.enable_telemetry(i as u32);
+        }
+        let report = self.run_faulted(source, slo, plan);
+        let mut streams = Vec::with_capacity(self.replicas.len() + 1);
+        streams.push(
+            self.telemetry
+                .take()
+                .map(RecordingSink::into_events)
+                .unwrap_or_default(),
+        );
+        for rep in &mut self.replicas {
+            streams.push(rep.take_telemetry());
+        }
+        (report, merge_streams(streams))
+    }
+
+    /// Applies one fault-timeline event to the fleet.
+    fn apply_fault(&mut self, ev: FaultEvent, run: &mut FaultRun) {
+        let r = ev.replica;
+        match ev.action {
+            FaultAction::Crash => {
+                // The replica computes up to the crash instant, then its
+                // remaining work is torn out.
+                self.replicas[r].advance_until(ev.at);
+                let work = self.replicas[r].crash();
+                run.ledger.summary.crashes += 1;
+                run.ledger.summary.lost_in_flight += work.lost.len();
+                self.emit_cluster_event(
+                    ev.at,
+                    r,
+                    EventKind::ReplicaCrashed {
+                        lost: work.lost.len() as u32,
+                        checkpointed: work.checkpointed.len() as u32,
+                    },
+                );
+                for req in work.lost {
+                    self.bounce(req, ev.at, r, run);
+                }
+                for ck in work.checkpointed {
+                    let Some(attempt) = run.consume_attempt(&ck.request) else {
+                        run.dead_letter(&ck.request);
+                        self.emit_cluster_event(
+                            ev.at,
+                            r,
+                            EventKind::DeadLettered {
+                                request: ck.request.id as u64,
+                                tenant: ck.request.tenant,
+                            },
+                        );
+                        continue;
+                    };
+                    // The migration transfer draw happens on the serial
+                    // event path in crash-dump order, so it is
+                    // deterministic at any thread count.
+                    let transfer_failed = run.rng.chance(run.kv_loss_prob);
+                    let target = self.pick_restore_target(r);
+                    match target {
+                        Some(target) if !transfer_failed => {
+                            self.replicas[target].push_restored(ck, ev.at);
+                            run.ledger.summary.checkpoints_migrated += 1;
+                        }
+                        _ => {
+                            // Failed transfer (or nowhere to go): degrade
+                            // to a from-scratch retry.
+                            let bytes = self.replicas[r].checkpoint_bytes(&ck.request, ck.produced);
+                            run.ledger.summary.checkpoints_lost += 1;
+                            self.emit_cluster_event(
+                                ev.at,
+                                r,
+                                EventKind::CheckpointLost {
+                                    request: ck.request.id as u64,
+                                    bytes,
+                                },
+                            );
+                            run.schedule_retry(ck.request, ev.at, attempt);
+                            self.emit_cluster_event(
+                                ev.at,
+                                r,
+                                EventKind::RetryScheduled {
+                                    request: ck.request.id as u64,
+                                    tenant: ck.request.tenant,
+                                    attempt,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            FaultAction::Restart => {
+                let probation = (run.probation_s > 0.0).then_some(ev.at + run.probation_s);
+                self.replicas[r].restart(ev.at, probation);
+                run.ledger.summary.recoveries += 1;
+                self.emit_cluster_event(ev.at, r, EventKind::ReplicaRecovered);
+            }
+            FaultAction::StragglerStart(slowdown) => {
+                let slowdown = slowdown.max(1.0);
+                self.replicas[r].advance_until(ev.at);
+                self.replicas[r].set_slowdown(slowdown);
+                run.ledger.summary.straggler_windows += 1;
+                self.emit_cluster_event(
+                    ev.at,
+                    r,
+                    EventKind::StragglerStarted {
+                        permille: (slowdown * 1000.0).round() as u32,
+                    },
+                );
+            }
+            FaultAction::StragglerEnd => {
+                // Steps started inside the window still pay the slowed
+                // price up to the boundary, then costs return to nominal.
+                self.replicas[r].advance_until(ev.at);
+                self.replicas[r].set_slowdown(1.0);
+                self.emit_cluster_event(ev.at, r, EventKind::StragglerEnded);
+            }
+            FaultAction::ProbationEnd => {
+                self.replicas[r].end_probation(ev.at);
+            }
+        }
+    }
+
+    /// Sends one crash-torn request through the retry path: consume
+    /// budget, schedule with backoff, or dead-letter.
+    fn bounce(&mut self, req: spec_runtime::Request, at: f64, origin: usize, run: &mut FaultRun) {
+        match run.consume_attempt(&req) {
+            Some(attempt) => {
+                run.schedule_retry(req, at, attempt);
+                self.emit_cluster_event(
+                    at,
+                    origin,
+                    EventKind::RetryScheduled {
+                        request: req.id as u64,
+                        tenant: req.tenant,
+                        attempt,
+                    },
+                );
+            }
+            None => {
+                run.dead_letter(&req);
+                self.emit_cluster_event(
+                    at,
+                    origin,
+                    EventKind::DeadLettered {
+                        request: req.id as u64,
+                        tenant: req.tenant,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The surviving replica a checkpoint restores onto: the
+    /// least-outstanding healthy replica other than the crashed one,
+    /// falling back to any up replica when none is healthy. `None` only
+    /// when every other replica is down.
+    fn pick_restore_target(&self, crashed: usize) -> Option<usize> {
+        let up = |i: &usize| *i != crashed && !self.replicas[*i].is_down();
+        let by_load = |i: &usize| (self.replicas[*i].outstanding(), *i);
+        (0..self.replicas.len())
+            .filter(up)
+            .filter(|&i| !self.health_aware || self.replicas[i].health().routable())
+            .min_by_key(by_load)
+            .or_else(|| (0..self.replicas.len()).filter(up).min_by_key(by_load))
     }
 
     /// The closed-loop event path: one replica micro-step per iteration,
@@ -396,28 +730,47 @@ impl Cluster {
     /// The routing block every arrival goes through: scale decision,
     /// fleet snapshot, route, hand over, record queue depth.
     fn route_arrived(&mut self, cr: &ClusterRequest, queue_depth: &mut Vec<(f64, usize)>) {
+        self.route_in(cr, queue_depth, true);
+    }
+
+    /// Routes one request into the fleet. `fresh` arrivals emit the
+    /// `Arrived` lifecycle edge; crash-driven re-entries already did on
+    /// first arrival and announce themselves via `RetryScheduled`
+    /// instead. Under health-aware fault routing, non-healthy replicas
+    /// are folded out of the candidate set by clearing their snapshot's
+    /// `active` flag, so every policy ejects them unchanged.
+    fn route_in(&mut self, cr: &ClusterRequest, queue_depth: &mut Vec<(f64, usize)>, fresh: bool) {
         self.autoscale(cr.request.arrival);
-        let snapshots: Vec<ReplicaSnapshot> = self
+        let mut snapshots: Vec<ReplicaSnapshot> = self
             .replicas
             .iter()
             .enumerate()
             .map(|(i, r)| r.snapshot(i))
             .collect();
+        if self.health_aware {
+            for snap in &mut snapshots {
+                if !snap.health.routable() {
+                    snap.active = false;
+                }
+            }
+        }
         let idx = self.router.route(cr, &snapshots);
         assert!(
-            self.replicas.get(idx).is_some_and(Replica::is_active),
+            idx < snapshots.len() && (snapshots[idx].active || snapshots.iter().all(|s| !s.active)),
             "router {} picked an unavailable replica {idx}",
             self.router.name()
         );
-        if let Some(sink) = &mut self.telemetry {
-            sink.emit(Event {
-                tick: seconds_to_ticks(cr.request.arrival),
-                replica: idx as u32,
-                kind: EventKind::Arrived {
-                    request: cr.request.id as u64,
-                    tenant: cr.request.tenant,
-                },
-            });
+        if fresh {
+            if let Some(sink) = &mut self.telemetry {
+                sink.emit(Event {
+                    tick: seconds_to_ticks(cr.request.arrival),
+                    replica: idx as u32,
+                    kind: EventKind::Arrived {
+                        request: cr.request.id as u64,
+                        tenant: cr.request.tenant,
+                    },
+                });
+            }
         }
         self.replicas[idx].push(cr.request);
         let outstanding: usize = self.replicas.iter().map(Replica::outstanding).sum();
@@ -436,29 +789,42 @@ impl Cluster {
             .filter(|&i| self.replicas[i].is_active())
             .collect();
         let total_outstanding: usize = self.replicas.iter().map(Replica::outstanding).sum();
+        // Crashed replicas neither veto a scale-up (their outstanding
+        // count is frozen, not low) nor qualify as wake/park candidates
+        // — the restart path owns their state.
         let all_backed_up = active
             .iter()
+            .filter(|&&i| !self.replicas[i].is_down())
             .all(|&i| self.replicas[i].outstanding() >= auto.scale_up_outstanding);
         if all_backed_up {
-            if let Some(parked) = (0..self.replicas.len()).find(|&i| !self.replicas[i].is_active())
+            if let Some(parked) = (0..self.replicas.len())
+                .find(|&i| !self.replicas[i].is_active() && !self.replicas[i].is_down())
             {
                 self.replicas[parked].set_active(true);
                 self.peak_active = self.peak_active.max(active.len() + 1);
-                self.emit_scale(now, parked, EventKind::ReplicaScaledUp);
+                self.emit_cluster_event(now, parked, EventKind::ReplicaScaledUp);
                 return;
             }
         }
         if active.len() > min_replicas && total_outstanding <= auto.scale_down_outstanding {
-            // Park the highest-index active replica that has run dry.
-            if let Some(&idle) = active.iter().rev().find(|&&i| !self.replicas[i].has_work()) {
+            // Park the highest-index active replica that is fully
+            // drained: a replica still holding queued or running work is
+            // never parked mid-flight — it stays a candidate for when it
+            // runs dry.
+            if let Some(&idle) = active
+                .iter()
+                .rev()
+                .find(|&&i| self.replicas[i].outstanding() == 0 && !self.replicas[i].is_down())
+            {
                 self.replicas[idle].set_active(false);
-                self.emit_scale(now, idle, EventKind::ReplicaScaledDown);
+                self.emit_cluster_event(now, idle, EventKind::ReplicaScaledDown);
             }
         }
     }
 
-    /// Records a scale decision into the cluster-scope buffer.
-    fn emit_scale(&mut self, now: f64, replica: usize, kind: EventKind) {
+    /// Records a cluster-scope decision (scaling, fault lifecycle) into
+    /// the cluster event buffer.
+    fn emit_cluster_event(&mut self, now: f64, replica: usize, kind: EventKind) {
         if let Some(sink) = &mut self.telemetry {
             sink.emit(Event {
                 tick: seconds_to_ticks(now),
@@ -469,6 +835,26 @@ impl Cluster {
     }
 
     fn report(&self, queue_depth: Vec<(f64, usize)>, slo: &SloSpec) -> ClusterReport {
+        self.report_faulted(queue_depth, slo, &FaultLedger::default())
+    }
+
+    fn report_faulted(
+        &self,
+        queue_depth: Vec<(f64, usize)>,
+        slo: &SloSpec,
+        ledger: &FaultLedger,
+    ) -> ClusterReport {
+        // Retried and migrated requests were restamped to their
+        // re-injection instant (the engines' arrival-order invariant);
+        // latency metrics must span from first submission, so patch the
+        // original arrival back in. No-fault ledgers have an empty
+        // origin map and every completion passes through unchanged.
+        let patch = |mut c: CompletedRequest| {
+            if let Some(&origin) = ledger.origins.get(&c.request.id) {
+                c.request.arrival = origin;
+            }
+            c
+        };
         let replicas: Vec<ReplicaReport> = self
             .replicas
             .iter()
@@ -476,7 +862,7 @@ impl Cluster {
                 device: r.device().to_string(),
                 assigned: r.assigned(),
                 report: ScheduleReport::from_completed(
-                    r.completed().to_vec(),
+                    r.completed().iter().copied().map(patch).collect(),
                     r.now(),
                     r.rejected(),
                 ),
@@ -490,7 +876,7 @@ impl Cluster {
         let mut all: Vec<CompletedRequest> = self
             .replicas
             .iter()
-            .flat_map(|r| r.completed().iter().copied())
+            .flat_map(|r| r.completed().iter().copied().map(patch))
             .collect();
         all.sort_by(|a, b| {
             a.finish
@@ -518,9 +904,17 @@ impl Cluster {
             } else {
                 0.0
             },
-            slo: slo::evaluate_tenanted(&all, rejected, &rejected_by_tenant, makespan, slo),
+            slo: slo::evaluate_faulted(
+                &all,
+                rejected,
+                &rejected_by_tenant,
+                &ledger.outcomes(),
+                makespan,
+                slo,
+            ),
             queue_depth,
             peak_active: self.peak_active,
+            faults: ledger.summary,
             replicas,
         }
     }
@@ -676,6 +1070,42 @@ mod tests {
         let report = c.run(&trace(2.0, 12, 13), &SloSpec::default());
         assert_eq!(report.completed, 12);
         assert!(report.peak_active >= 1);
+    }
+
+    #[test]
+    fn scale_down_skips_replicas_still_holding_work() {
+        // Decision-point pin for the park rule: a replica is parked only
+        // once fully drained. Replica 1 is the scan's first candidate
+        // (highest index) but holds an in-flight request, so the
+        // autoscaler must skip it and park the drained replica 0 instead.
+        let auto = AutoscaleConfig {
+            min_replicas: 1,
+            scale_up_outstanding: 1000,
+            scale_down_outstanding: 1000, // park-eligible at every arrival
+        };
+        let mut c = cluster(2, RouterKind::LeastOutstanding, Some(auto));
+        let mk = |id: usize, arrival: f64| ClusterRequest {
+            request: spec_runtime::Request {
+                id,
+                tenant: 0,
+                input_len: 2048,
+                output_len: 1024,
+                arrival,
+            },
+            session: id as u64,
+        };
+        c.replicas[1].set_active(true);
+        c.replicas[1].push(mk(0, 0.0).request);
+        let report = c.run(&[mk(1, 0.001)], &SloSpec::default());
+        assert!(
+            c.replicas[1].is_active(),
+            "a replica holding outstanding work must never be parked"
+        );
+        assert!(
+            !c.replicas[0].is_active(),
+            "the drained replica is the one that parks"
+        );
+        assert_eq!(report.completed, 2);
     }
 
     #[test]

@@ -29,7 +29,11 @@
 //!   completions back to closed-loop sources, drain, report;
 //!   heterogeneous fleets come from `spec_hwsim::Fleet`;
 //! * [`slo`] — per-request TTFT/TBT/latency percentiles, SLO attainment
-//!   and goodput, fleet-wide and broken down per tenant.
+//!   and goodput, fleet-wide and broken down per tenant;
+//! * [`faults`] — deterministic seeded fault injection (crashes,
+//!   stragglers, checkpoint-transfer failures) and the recovery knobs:
+//!   capped-backoff retries with a dead-letter budget, tenant-weighted
+//!   overload shedding, probation, and health-aware routing.
 //!
 //! A 1-replica cluster under round-robin routing reproduces
 //! [`Scheduler::run`](spec_runtime::Scheduler::run) bit-for-bit: both
@@ -70,6 +74,7 @@
 pub mod arrivals;
 pub mod characterize;
 pub mod cluster;
+pub mod faults;
 pub mod replica;
 pub mod router;
 pub mod slo;
@@ -81,7 +86,11 @@ pub use arrivals::{
 };
 pub use characterize::{characterize, Characterization};
 pub use cluster::{AutoscaleConfig, Cluster, ClusterConfig, ClusterReport, ReplicaReport};
+pub use faults::{
+    CrashEvent, CrashModel, FaultInjector, FaultPlan, FaultSummary, RetryPolicy, ShedPolicy,
+    StragglerModel, StragglerWindow,
+};
 pub use replica::Replica;
-pub use router::{ReplicaSnapshot, RoutePolicy, RouterKind, WeightedTenant};
-pub use slo::{SloReport, SloSpec, TenantSlo};
+pub use router::{ReplicaHealth, ReplicaSnapshot, RoutePolicy, RouterKind, WeightedTenant};
+pub use slo::{FaultOutcomes, SloReport, SloSpec, TenantSlo};
 pub use trace::{RecordingSource, ReplayArrivals, TraceCursor, TraceError, TraceWriter};

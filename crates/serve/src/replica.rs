@@ -9,11 +9,11 @@
 //! `spec_kvcache`, giving routers a byte-accurate KV-pressure signal
 //! that stays comparable across heterogeneous devices.
 
-use crate::router::ReplicaSnapshot;
+use crate::router::{ReplicaHealth, ReplicaSnapshot};
 use spec_kvcache::{AllocId, AllocPolicy, BlockAllocator};
 use spec_runtime::{
-    BatchState, CompletedRequest, Request, Scheduler, SchedulerConfig, ServingSim, StepCache,
-    SystemKind,
+    BatchState, CompletedRequest, CrashedWork, Request, RestorableRequest, Scheduler,
+    SchedulerConfig, ServingSim, StepCache, SystemKind,
 };
 use spec_telemetry::{seconds_to_ticks, Event, EventKind, RecordingSink, TelemetrySink};
 use std::collections::{HashMap, HashSet};
@@ -34,6 +34,12 @@ pub struct Replica {
     kv_token_cap: usize,
     device: String,
     active: bool,
+    /// Crashed and not yet restarted: the engine is frozen (no steps,
+    /// no drains) and the fault loop owns its state.
+    down: bool,
+    /// Post-restart probation deadline (health-aware routers keep the
+    /// replica ejected until it passes).
+    probation_until: Option<f64>,
     assigned: usize,
     /// Per-replica event buffer (`None` = untraced, zero overhead).
     /// Each replica records into its own buffer, so recorded streams
@@ -76,6 +82,8 @@ impl Replica {
             kv_token_cap,
             device,
             active: true,
+            down: false,
+            probation_until: None,
             assigned: 0,
             telemetry: None,
             kv_gauge: None,
@@ -126,6 +134,77 @@ impl Replica {
         self.assigned
     }
 
+    /// Whether the replica is crashed and awaiting restart.
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Fault-facing health, by severity: a crashed replica is [`Down`]
+    /// whatever else holds; a slowed one is [`Straggling`]; a freshly
+    /// restarted one is in [`Probation`] until its deadline passes.
+    ///
+    /// [`Down`]: ReplicaHealth::Down
+    /// [`Straggling`]: ReplicaHealth::Straggling
+    /// [`Probation`]: ReplicaHealth::Probation
+    pub fn health(&self) -> ReplicaHealth {
+        if self.down {
+            ReplicaHealth::Down
+        } else if self.state.time_scale() > 1.0 {
+            ReplicaHealth::Straggling
+        } else if self.probation_until.is_some() {
+            ReplicaHealth::Probation
+        } else {
+            ReplicaHealth::Healthy
+        }
+    }
+
+    /// Crashes the replica at its current clock: tears all in-flight
+    /// work out of the engine (running and queued requests are lost;
+    /// queued-with-progress ones surface as restorable checkpoints),
+    /// releases the KV mirror, and freezes the engine until
+    /// [`restart`](Self::restart). Completions and rejections recorded
+    /// so far survive — they already happened.
+    pub fn crash(&mut self) -> CrashedWork {
+        self.down = true;
+        self.probation_until = None;
+        let work = self.state.crash_dump();
+        self.sync_kv();
+        work
+    }
+
+    /// Brings a crashed replica back at time `now`, optionally entering
+    /// probation until `probation_until`.
+    pub fn restart(&mut self, now: f64, probation_until: Option<f64>) {
+        self.down = false;
+        self.probation_until = probation_until;
+        self.state.skip_to(now);
+    }
+
+    /// Ends the probation window scheduled for `at`. Stale deadlines (a
+    /// re-crash superseded them) are ignored.
+    pub fn end_probation(&mut self, at: f64) {
+        if !self.down && self.probation_until == Some(at) {
+            self.probation_until = None;
+        }
+    }
+
+    /// Sets the straggler cost multiplier (1.0 = healthy speed).
+    pub fn set_slowdown(&mut self, factor: f64) {
+        self.state.set_time_scale(factor);
+    }
+
+    /// The current straggler cost multiplier.
+    pub fn slowdown(&self) -> f64 {
+        self.state.time_scale()
+    }
+
+    /// Host-side checkpoint size for a request with `produced` decoded
+    /// tokens: its resident KV footprint under this replica's token cap.
+    pub fn checkpoint_bytes(&self, req: &Request, produced: usize) -> u64 {
+        let tokens = (req.input_len + produced).min(self.kv_token_cap);
+        tokens as u64 * self.kv.bytes_per_token()
+    }
+
     /// The replica's local clock, seconds.
     pub fn now(&self) -> f64 {
         self.state.now()
@@ -162,11 +241,23 @@ impl Replica {
         self.state.push_traced(req, &mut self.telemetry);
     }
 
+    /// Restores a crash-survived checkpoint onto this replica at time
+    /// `at`, keeping its decode progress and first-token latency.
+    pub fn push_restored(&mut self, restorable: RestorableRequest, at: f64) {
+        self.assigned += 1;
+        self.state
+            .push_restorable(restorable, at, &mut self.telemetry);
+    }
+
     /// Advances the engine until its clock reaches `t` or it runs dry,
     /// then refreshes the KV occupancy mirror. One micro-step may
     /// overshoot `t` (a decode iteration is atomic), exactly like the
-    /// closed-loop scheduler.
+    /// closed-loop scheduler. A crashed replica is frozen: its queued
+    /// ghosts (blind routing) wait out the outage.
     pub fn advance_until(&mut self, t: f64) {
+        if self.down {
+            return;
+        }
         while self.state.has_work() && self.state.now() < t {
             self.scheduler
                 .step_traced(&mut self.state, &mut self.cache, &mut self.telemetry);
@@ -178,6 +269,9 @@ impl Replica {
     /// cluster interleaves single steps with completion feedback), then
     /// refreshes the KV occupancy mirror. No-op when idle.
     pub fn step_once(&mut self) {
+        if self.down {
+            return;
+        }
         if self.state.has_work() {
             self.scheduler
                 .step_traced(&mut self.state, &mut self.cache, &mut self.telemetry);
@@ -185,8 +279,12 @@ impl Replica {
         self.sync_kv();
     }
 
-    /// Runs all remaining assigned work to completion.
+    /// Runs all remaining assigned work to completion. No-op while
+    /// crashed — the fault loop restarts the replica first.
     pub fn drain(&mut self) {
+        if self.down {
+            return;
+        }
         while self.state.has_work() {
             self.scheduler
                 .step_traced(&mut self.state, &mut self.cache, &mut self.telemetry);
@@ -202,6 +300,7 @@ impl Replica {
             queued: self.state.queued(),
             running: self.state.running_len(),
             kv_pressure: self.kv_pressure(),
+            health: self.health(),
         }
     }
 
@@ -340,6 +439,53 @@ mod tests {
         ours.advance_until(1e-9);
         full.advance_until(1e-9);
         assert!(ours.kv_pressure() < full.kv_pressure());
+    }
+
+    #[test]
+    fn crash_tears_out_work_and_freezes_until_restart() {
+        let mut r = replica(SystemKind::SpeContext);
+        r.push(req(0, 0.0));
+        r.push(req(1, 0.0));
+        r.advance_until(1e-9); // admit, no completions yet
+        let work = r.crash();
+        assert!(r.is_down());
+        assert_eq!(r.health(), ReplicaHealth::Down);
+        assert!(!r.has_work(), "crash empties the engine");
+        assert_eq!(
+            work.lost.len() + work.checkpointed.len() + r.completed().len(),
+            2,
+            "every assigned request is lost, checkpointed or already done"
+        );
+        let frozen = r.now();
+        r.advance_until(10.0);
+        assert_eq!(r.now(), frozen, "a crashed replica is frozen");
+        r.restart(5.0, Some(6.5));
+        assert_eq!(r.health(), ReplicaHealth::Probation);
+        assert!(r.now() >= 5.0, "restart fast-forwards the clock");
+        r.end_probation(6.0); // stale deadline: ignored
+        assert_eq!(r.health(), ReplicaHealth::Probation);
+        r.end_probation(6.5);
+        assert_eq!(r.health(), ReplicaHealth::Healthy);
+    }
+
+    #[test]
+    fn straggler_slowdown_stretches_the_clock() {
+        let mut fast = replica(SystemKind::SpeContext);
+        let mut slow = replica(SystemKind::SpeContext);
+        slow.set_slowdown(4.0);
+        assert_eq!(slow.health(), ReplicaHealth::Straggling);
+        fast.push(req(0, 0.0));
+        slow.push(req(0, 0.0));
+        fast.drain();
+        slow.drain();
+        assert!(
+            slow.now() > fast.now(),
+            "slowed replica {} must trail healthy {}",
+            slow.now(),
+            fast.now()
+        );
+        slow.set_slowdown(1.0);
+        assert_eq!(slow.health(), ReplicaHealth::Healthy);
     }
 
     #[test]

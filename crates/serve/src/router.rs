@@ -11,6 +11,31 @@ use crate::arrivals::ClusterRequest;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// One replica's fault-facing condition, as routers see it. Only
+/// [`Healthy`](ReplicaHealth::Healthy) replicas are routable under
+/// health-aware routing; the cluster folds the others out of the
+/// candidate set by clearing their snapshot's `active` flag, so every
+/// existing policy ejects them without knowing about faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplicaHealth {
+    /// Up, full speed, past any probation.
+    #[default]
+    Healthy,
+    /// Up but running slowed (transient straggler window).
+    Straggling,
+    /// Recently restarted; not yet re-admitted to candidate sets.
+    Probation,
+    /// Crashed and awaiting restart.
+    Down,
+}
+
+impl ReplicaHealth {
+    /// Whether a health-aware router may send work here.
+    pub fn routable(self) -> bool {
+        self == ReplicaHealth::Healthy
+    }
+}
+
 /// What a router sees of one replica at routing time.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ReplicaSnapshot {
@@ -27,6 +52,10 @@ pub struct ReplicaSnapshot {
     /// (`>1` means the backlog already exceeds GPU memory); accounts for
     /// device heterogeneity, unlike raw queue depth.
     pub kv_pressure: f64,
+    /// Fault-facing condition. Informational for policies (the cluster
+    /// already folds unhealthy replicas out of `active` when routing is
+    /// health-aware); serialized snapshots keep it for dashboards.
+    pub health: ReplicaHealth,
 }
 
 impl ReplicaSnapshot {
@@ -315,6 +344,19 @@ mod tests {
             queued,
             running: 0,
             kv_pressure: pressure,
+            health: ReplicaHealth::Healthy,
+        }
+    }
+
+    #[test]
+    fn only_healthy_is_routable() {
+        assert!(ReplicaHealth::Healthy.routable());
+        for h in [
+            ReplicaHealth::Straggling,
+            ReplicaHealth::Probation,
+            ReplicaHealth::Down,
+        ] {
+            assert!(!h.routable(), "{h:?} must stay ejected");
         }
     }
 

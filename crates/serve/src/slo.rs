@@ -63,11 +63,31 @@ pub struct TenantSlo {
     pub completed: usize,
     /// Rejected (never-admissible) requests.
     pub rejected: usize,
+    /// Requests that exhausted their retry budget after crashes.
+    pub dead_lettered: usize,
+    /// Requests dropped by overload shedding before routing.
+    pub shed: usize,
+    /// Retry attempts the tenant's requests went through (attempts, not
+    /// requests: one request crashed twice counts two retries here but
+    /// once everywhere else).
+    pub retries: usize,
     /// Checkpoint/restore round-trips the tenant's requests paid.
     pub preemptions: usize,
 }
 
 /// SLO accounting over a set of completions.
+///
+/// # Denominators
+///
+/// *Submitted* = `completed + rejected + dead_lettered + shed` — every
+/// distinct request the cluster accepted responsibility for, each
+/// counted exactly once no matter how many crash-driven retries it went
+/// through (`retries` counts the attempts separately and never enters a
+/// denominator). Attainment divides SLO-attaining completions by
+/// submitted, so every terminal failure mode — rejection, dead-letter,
+/// shed — drags attainment the same way. Goodput and throughput divide
+/// token counts by the makespan; only completed requests contribute
+/// tokens, so lost work never inflates either rate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SloReport {
     /// Time-to-first-token percentiles, seconds.
@@ -76,8 +96,9 @@ pub struct SloReport {
     pub tbt: PercentileSummary,
     /// End-to-end latency percentiles, seconds.
     pub latency: PercentileSummary,
-    /// Fraction of *submitted* requests (completed + rejected) that
-    /// completed with both TTFT and TBT within the SLO.
+    /// Fraction of *submitted* requests (completed + rejected +
+    /// dead-lettered + shed) that completed with both TTFT and TBT
+    /// within the SLO.
     pub attainment: f64,
     /// Output tokens/s delivered by SLO-attaining requests over the
     /// makespan — the headline "goodput under SLO" number.
@@ -88,6 +109,13 @@ pub struct SloReport {
     pub completed: usize,
     /// Rejected (never-admissible) requests.
     pub rejected: usize,
+    /// Requests that exhausted their retry budget after crashes.
+    pub dead_lettered: usize,
+    /// Requests dropped by overload shedding before routing.
+    pub shed: usize,
+    /// Crash-driven retry attempts across the run (informational — a
+    /// retried request still counts once in every denominator).
+    pub retries: usize,
     /// Per-tenant breakdown, in tenant-id order. Tenant goodput sums to
     /// the fleet goodput (same makespan denominator, disjoint token
     /// sets); rejected requests are attributed to their tenants when the
@@ -95,9 +123,25 @@ pub struct SloReport {
     pub per_tenant: Vec<TenantSlo>,
 }
 
+/// Per-tenant fault dispositions feeding [`evaluate_faulted`]: each list
+/// is `(tenant, count)` pairs in any order. `dead_lettered` and `shed`
+/// are terminal — they join rejections in the submitted denominator —
+/// while `retries` counts attempts and stays informational.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultOutcomes {
+    /// Requests that exhausted their retry budget, per tenant.
+    pub dead_lettered: Vec<(u32, usize)>,
+    /// Requests dropped by overload shedding, per tenant.
+    pub shed: Vec<(u32, usize)>,
+    /// Retry attempts, per tenant.
+    pub retries: Vec<(u32, usize)>,
+}
+
+/// `failed` is the slice's terminal non-completions — rejected +
+/// dead-lettered + shed — the other half of the submitted denominator.
 fn slice_report(
     completed: &[&CompletedRequest],
-    rejected: usize,
+    failed: usize,
     makespan: f64,
     slo: &SloSpec,
 ) -> (
@@ -120,7 +164,7 @@ fn slice_report(
         .map(|c| c.request.output_len)
         .sum();
     let all_tokens: usize = completed.iter().map(|c| c.request.output_len).sum();
-    let submitted = completed.len() + rejected;
+    let submitted = completed.len() + failed;
     let per_s = |tokens: usize| {
         if makespan > 0.0 {
             tokens as f64 / makespan
@@ -166,27 +210,65 @@ pub fn evaluate_tenanted(
     makespan: f64,
     slo: &SloSpec,
 ) -> SloReport {
+    evaluate_faulted(
+        completed,
+        rejected,
+        rejected_by_tenant,
+        &FaultOutcomes::default(),
+        makespan,
+        slo,
+    )
+}
+
+fn tenant_count(pairs: &[(u32, usize)], tenant: u32) -> usize {
+    pairs
+        .iter()
+        .filter(|(t, _)| *t == tenant)
+        .map(|&(_, n)| n)
+        .sum()
+}
+
+/// [`evaluate_tenanted`] with fault dispositions: dead-lettered and shed
+/// requests join rejections in the submitted denominator (fleet-wide and
+/// per tenant), so attainment honestly reflects every terminal failure;
+/// retry attempts are carried through as counters. With the default
+/// [`FaultOutcomes`] this *is* `evaluate_tenanted` — same numbers, zero
+/// fault fields — which keeps no-fault reports bit-identical.
+pub fn evaluate_faulted(
+    completed: &[CompletedRequest],
+    rejected: usize,
+    rejected_by_tenant: &[(u32, usize)],
+    outcomes: &FaultOutcomes,
+    makespan: f64,
+    slo: &SloSpec,
+) -> SloReport {
+    let dead_lettered: usize = outcomes.dead_lettered.iter().map(|&(_, n)| n).sum();
+    let shed: usize = outcomes.shed.iter().map(|&(_, n)| n).sum();
+    let retries: usize = outcomes.retries.iter().map(|&(_, n)| n).sum();
     let all: Vec<&CompletedRequest> = completed.iter().collect();
     let (ttft, tbt, latency, attainment, goodput, throughput) =
-        slice_report(&all, rejected, makespan, slo);
+        slice_report(&all, rejected + dead_lettered + shed, makespan, slo);
     let mut tenants: std::collections::BTreeMap<u32, Vec<&CompletedRequest>> =
         std::collections::BTreeMap::new();
     for c in completed {
         tenants.entry(c.request.tenant).or_default().push(c);
     }
-    for &(t, _) in rejected_by_tenant {
+    for &(t, _) in rejected_by_tenant
+        .iter()
+        .chain(&outcomes.dead_lettered)
+        .chain(&outcomes.shed)
+        .chain(&outcomes.retries)
+    {
         tenants.entry(t).or_default();
     }
     let per_tenant: Vec<TenantSlo> = tenants
         .iter()
         .map(|(&tenant, slice)| {
-            let t_rejected = rejected_by_tenant
-                .iter()
-                .filter(|(t, _)| *t == tenant)
-                .map(|&(_, n)| n)
-                .sum();
+            let t_rejected = tenant_count(rejected_by_tenant, tenant);
+            let t_dead = tenant_count(&outcomes.dead_lettered, tenant);
+            let t_shed = tenant_count(&outcomes.shed, tenant);
             let (ttft, tbt, latency, attainment, goodput, throughput) =
-                slice_report(slice, t_rejected, makespan, slo);
+                slice_report(slice, t_rejected + t_dead + t_shed, makespan, slo);
             TenantSlo {
                 tenant,
                 ttft,
@@ -197,6 +279,9 @@ pub fn evaluate_tenanted(
                 throughput_tokens_per_s: throughput,
                 completed: slice.len(),
                 rejected: t_rejected,
+                dead_lettered: t_dead,
+                shed: t_shed,
+                retries: tenant_count(&outcomes.retries, tenant),
                 preemptions: slice.iter().map(|c| c.preemptions).sum(),
             }
         })
@@ -210,6 +295,9 @@ pub fn evaluate_tenanted(
         throughput_tokens_per_s: throughput,
         completed: completed.len(),
         rejected,
+        dead_lettered,
+        shed,
+        retries,
         per_tenant,
     }
 }
@@ -338,6 +426,71 @@ mod tests {
         assert_eq!(completed_sum, rep.completed);
         let rejected_sum: usize = rep.per_tenant.iter().map(|t| t.rejected).sum();
         assert_eq!(rejected_sum, rep.rejected);
+    }
+
+    #[test]
+    fn dead_letter_and_shed_join_the_submitted_denominator() {
+        let slo = SloSpec::new(10.0, 1.0);
+        let completed = [tenant_done(0, 0, 0.0, 0.5, 1.5, 10)];
+        let outcomes = FaultOutcomes {
+            dead_lettered: vec![(0, 1)],
+            shed: vec![(1, 2)],
+            retries: vec![(0, 3)],
+        };
+        let rep = evaluate_faulted(&completed, 0, &[], &outcomes, 2.0, &slo);
+        // submitted = 1 completed + 1 dead-lettered + 2 shed = 4.
+        assert!((rep.attainment - 0.25).abs() < 1e-9);
+        assert_eq!(rep.dead_lettered, 1);
+        assert_eq!(rep.shed, 2);
+        assert_eq!(rep.retries, 3);
+        let t0 = &rep.per_tenant[0];
+        assert!((t0.attainment - 0.5).abs() < 1e-9, "1 of 2 submitted");
+        assert_eq!((t0.dead_lettered, t0.retries), (1, 3));
+        let t1 = &rep.per_tenant[1];
+        assert_eq!((t1.shed, t1.completed), (2, 0));
+        assert_eq!(t1.attainment, 0.0);
+        assert!(t1.attainment.is_finite());
+    }
+
+    #[test]
+    fn retried_requests_count_once_in_submitted() {
+        // The same single completion with and without retry attempts:
+        // attempts show up as counters but move no denominator.
+        let slo = SloSpec::new(10.0, 1.0);
+        let completed = [done(0, 0.0, 0.5, 1.5, 10)];
+        let calm = evaluate_faulted(&completed, 0, &[], &FaultOutcomes::default(), 2.0, &slo);
+        let stormy = evaluate_faulted(
+            &completed,
+            0,
+            &[],
+            &FaultOutcomes {
+                retries: vec![(0, 5)],
+                ..FaultOutcomes::default()
+            },
+            2.0,
+            &slo,
+        );
+        assert_eq!(stormy.retries, 5);
+        assert_eq!(stormy.attainment, calm.attainment);
+        assert_eq!(stormy.goodput_tokens_per_s, calm.goodput_tokens_per_s);
+        assert_eq!(stormy.completed, calm.completed);
+    }
+
+    #[test]
+    fn default_outcomes_reduce_to_evaluate_tenanted() {
+        let slo = SloSpec::new(1.0, 1.0);
+        let completed = [tenant_done(0, 0, 0.0, 0.5, 2.0, 100)];
+        let a = evaluate_tenanted(&completed, 1, &[(0, 1)], 10.0, &slo);
+        let b = evaluate_faulted(
+            &completed,
+            1,
+            &[(0, 1)],
+            &FaultOutcomes::default(),
+            10.0,
+            &slo,
+        );
+        assert_eq!(a, b);
+        assert_eq!((a.dead_lettered, a.shed, a.retries), (0, 0, 0));
     }
 
     #[test]

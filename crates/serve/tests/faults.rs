@@ -1,0 +1,435 @@
+//! Fault-injection pins.
+//!
+//! 1. **No-fault identity** — `run_fault_plan(FaultPlan::none())` is
+//!    bit-identical to `Cluster::run`, reports and event streams alike:
+//!    the fault machinery prices at exactly zero when unused.
+//! 2. **Determinism** — identical `FaultPlan` + seed produce
+//!    byte-identical event streams and `ClusterReport`s at
+//!    `SPEC_THREADS` ∈ {1, 4, 7}.
+//! 3. **Conservation** — under any plan, every submitted request is
+//!    completed, rejected, dead-lettered or shed, exactly once.
+//! 4. **Recovery policy** — health-aware routing strictly beats
+//!    failure-blind routing through the same outage, sessions re-pin
+//!    away from crashed replicas without flapping back during
+//!    probation, and the autoscaler never parks a replica holding
+//!    outstanding work.
+
+use proptest::prelude::*;
+use spec_hwsim::{fleet, DeviceSpec};
+use spec_model::ModelConfig;
+use spec_runtime::{Request, SystemKind, Workload};
+use spec_serve::arrivals::{self, ClusterRequest, TenantClass, TraceConfig};
+use spec_serve::cluster::{AutoscaleConfig, Cluster, ClusterConfig, ClusterReport};
+use spec_serve::router::RouterKind;
+use spec_serve::slo::SloSpec;
+use spec_serve::{FaultPlan, RetryPolicy, ShedPolicy};
+use spec_telemetry::{Event, EventKind};
+use spec_tensor::SimRng;
+
+fn cluster(n: usize, kind: RouterKind, autoscale: Option<AutoscaleConfig>) -> Cluster {
+    let cfg = match autoscale {
+        Some(auto) => ClusterConfig::new().autoscale(auto),
+        None => ClusterConfig::new(),
+    };
+    Cluster::from_fleet(
+        &ModelConfig::deepseek_distill_llama_8b(),
+        &fleet::homogeneous(DeviceSpec::a100_80g(), n),
+        2048,
+        SystemKind::SpeContext,
+        cfg,
+        kind.build(),
+    )
+}
+
+fn trace(rate: f64, count: usize, seed: u64) -> Vec<ClusterRequest> {
+    arrivals::generate(
+        &TraceConfig::poisson(rate)
+            .shapes(vec![Workload::new(2048, 512, 1)])
+            .count(count),
+        &mut SimRng::seed(seed),
+    )
+}
+
+fn tenanted_trace(rate: f64, count: usize, seed: u64) -> Vec<ClusterRequest> {
+    arrivals::generate(
+        &TraceConfig::poisson(rate)
+            .tenants(vec![
+                TenantClass::new(0, 3, vec![Workload::new(512, 128, 1)]),
+                TenantClass::new(1, 1, vec![Workload::new(2048, 1024, 1)]),
+            ])
+            .count(count),
+        &mut SimRng::seed(seed),
+    )
+}
+
+/// completed + rejected + dead-lettered + shed must equal submitted —
+/// the conservation law every faulted run answers to.
+fn assert_conserved(report: &ClusterReport, submitted: usize, label: &str) {
+    let accounted =
+        report.completed + report.rejected + report.faults.dead_lettered + report.faults.shed;
+    assert_eq!(
+        accounted, submitted,
+        "{label}: {} completed + {} rejected + {} dead-lettered + {} shed != {submitted} submitted",
+        report.completed, report.rejected, report.faults.dead_lettered, report.faults.shed
+    );
+    // The SLO denominators must agree with the fleet counters.
+    let slo_submitted =
+        report.slo.completed + report.slo.rejected + report.slo.dead_lettered + report.slo.shed;
+    assert_eq!(slo_submitted, submitted, "{label}: SLO denominator");
+    assert_eq!(report.slo.dead_lettered, report.faults.dead_lettered);
+    assert_eq!(report.slo.shed, report.faults.shed);
+}
+
+#[test]
+fn empty_plan_is_bit_identical_to_run() {
+    let reqs = trace(2.0, 24, 11);
+    let slo = SloSpec::default();
+    for kind in RouterKind::all() {
+        let baseline = cluster(3, kind, None).run(&reqs, &slo);
+        let faulted = cluster(3, kind, None).run_fault_plan(&reqs, &slo, &FaultPlan::none());
+        assert_eq!(baseline, faulted, "router {kind}");
+    }
+    // With autoscaling in the loop too.
+    let auto = AutoscaleConfig {
+        min_replicas: 1,
+        scale_up_outstanding: 2,
+        scale_down_outstanding: 1,
+    };
+    let a = cluster(4, RouterKind::LeastOutstanding, Some(auto)).run(&reqs, &slo);
+    let b = cluster(4, RouterKind::LeastOutstanding, Some(auto)).run_fault_plan(
+        &reqs,
+        &slo,
+        &FaultPlan::none(),
+    );
+    assert_eq!(a, b, "autoscaled");
+}
+
+#[test]
+fn empty_plan_traced_matches_run_traced_event_for_event() {
+    let reqs = trace(3.0, 20, 17);
+    let slo = SloSpec::default();
+    let (ra, ea) = cluster(2, RouterKind::LeastKvPressure, None).run_traced(&reqs, &slo);
+    let (rb, eb) = cluster(2, RouterKind::LeastKvPressure, None).run_fault_plan_traced(
+        &reqs,
+        &slo,
+        &FaultPlan::none(),
+    );
+    assert_eq!(ra, rb, "reports");
+    assert_eq!(ea, eb, "event streams");
+}
+
+#[test]
+fn crashed_replica_work_is_recovered_or_dead_lettered() {
+    let reqs = trace(4.0, 40, 7);
+    // Replica 0 crashes mid-trace and restarts while arrivals continue.
+    let plan = FaultPlan::none()
+        .crash_at(0, 1.0, 5.0)
+        .health_aware(true)
+        .seed(3);
+    let mut c = cluster(2, RouterKind::LeastOutstanding, None);
+    let (report, events) = c.run_fault_plan_traced(&reqs, &SloSpec::default(), &plan);
+    assert_eq!(report.faults.crashes, 1);
+    assert_eq!(report.faults.recoveries, 1);
+    assert_conserved(&report, 40, "single crash");
+    // Something was actually in flight when the crash hit, and it came
+    // back through a checkpoint or a retry.
+    let torn = report.faults.lost_in_flight
+        + report.faults.checkpoints_migrated
+        + report.faults.checkpoints_lost;
+    assert!(torn > 0, "the crash must tear out in-flight work");
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::ReplicaCrashed { .. })),
+        "crash event recorded"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::ReplicaRecovered)),
+        "recovery event recorded"
+    );
+}
+
+#[test]
+fn straggler_window_slows_then_releases_the_replica() {
+    let reqs = trace(2.0, 16, 23);
+    let slo = SloSpec::default();
+    let healthy = cluster(2, RouterKind::RoundRobin, None).run(&reqs, &slo);
+    let plan = FaultPlan::none().straggler_at(0, 0.0, 30.0, 6.0);
+    let (slowed, events) =
+        cluster(2, RouterKind::RoundRobin, None).run_fault_plan_traced(&reqs, &slo, &plan);
+    assert_eq!(slowed.faults.straggler_windows, 1);
+    assert_conserved(&slowed, 16, "straggler");
+    assert!(
+        slowed.slo.latency.p95 > healthy.slo.latency.p95,
+        "a 6x straggler must stretch tail latency ({} vs {})",
+        slowed.slo.latency.p95,
+        healthy.slo.latency.p95
+    );
+    let started = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::StragglerStarted { .. }))
+        .count();
+    let ended = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::StragglerEnded))
+        .count();
+    assert_eq!((started, ended), (1, 1));
+}
+
+#[test]
+fn health_aware_routing_beats_failure_blind_through_an_outage() {
+    let reqs = tenanted_trace(6.0, 36, 41);
+    let slo = SloSpec::default();
+    // Replica 0 is down for most of the trace. Blind routing keeps
+    // assigning work to the frozen replica (its queue looks short);
+    // health-aware routing ejects it from candidate sets.
+    let outage = |aware: bool| {
+        FaultPlan::none()
+            .crash_at(0, 0.5, 30.0)
+            .probation(1.0)
+            .health_aware(aware)
+            .seed(9)
+    };
+    let blind =
+        cluster(2, RouterKind::LeastOutstanding, None).run_fault_plan(&reqs, &slo, &outage(false));
+    let aware =
+        cluster(2, RouterKind::LeastOutstanding, None).run_fault_plan(&reqs, &slo, &outage(true));
+    assert_conserved(&blind, 36, "blind");
+    assert_conserved(&aware, 36, "aware");
+    assert!(
+        aware.slo.attainment > blind.slo.attainment,
+        "health-aware attainment {} must strictly beat blind {}",
+        aware.slo.attainment,
+        blind.slo.attainment
+    );
+    assert!(
+        aware.slo.latency.p95 < blind.slo.latency.p95,
+        "health-aware p95 {} must strictly beat blind {}",
+        aware.slo.latency.p95,
+        blind.slo.latency.p95
+    );
+}
+
+#[test]
+fn shedding_degrades_gracefully_by_tenant_weight() {
+    let reqs = tenanted_trace(20.0, 48, 13);
+    let slo = SloSpec::default();
+    let plan = FaultPlan::none().shed(ShedPolicy::new(6).weights(vec![(0, 4), (1, 1)]));
+    let report = cluster(2, RouterKind::LeastOutstanding, None).run_fault_plan(&reqs, &slo, &plan);
+    assert_conserved(&report, 48, "shedding");
+    assert!(report.faults.shed > 0, "overload must trigger shedding");
+    // The light tenant (1) sheds at a quarter of the heavy tenant's
+    // watermark, so its shed fraction must be at least as high.
+    let shed_frac = |tenant: u32| {
+        let t = report
+            .slo
+            .per_tenant
+            .iter()
+            .find(|t| t.tenant == tenant)
+            .expect("tenant present");
+        let submitted = t.completed + t.rejected + t.dead_lettered + t.shed;
+        t.shed as f64 / submitted.max(1) as f64
+    };
+    assert!(
+        shed_frac(1) >= shed_frac(0),
+        "light tenant shed fraction {} must be >= heavy {}",
+        shed_frac(1),
+        shed_frac(0)
+    );
+}
+
+#[test]
+fn sessions_repin_away_from_a_crash_and_hold_through_probation() {
+    let mk = |id: usize, arrival: f64| ClusterRequest {
+        request: Request {
+            id,
+            tenant: 0,
+            input_len: 1024,
+            output_len: 256,
+            arrival,
+        },
+        session: 42,
+    };
+    // Request 0 pins session 42 to replica 0 (least-outstanding tie
+    // breaks to index 0). Replica 0 then crashes at 1.0 and restarts at
+    // 6.0 into a long probation; the remaining turns must re-pin to
+    // replica 1 and stay there — both during probation and after it.
+    let reqs = [mk(0, 0.0), mk(1, 2.0), mk(2, 8.0), mk(3, 40.0)];
+    let plan = FaultPlan::none()
+        .crash_at(0, 1.0, 5.0)
+        .probation(10.0)
+        .health_aware(true)
+        .seed(5);
+    let mut c = cluster(2, RouterKind::SessionAffinity, None);
+    let (report, events) = c.run_fault_plan_traced(&reqs, &SloSpec::default(), &plan);
+    assert_conserved(&report, 4, "session crash");
+    let routed: Vec<(u64, u32)> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Arrived { request, .. } => Some((request, e.replica)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(routed[0], (0, 0), "session pins to replica 0 first");
+    assert_eq!(routed[1], (1, 1), "crash forces a re-pin to replica 1");
+    assert_eq!(routed[2], (2, 1), "no flap-back during probation");
+    assert_eq!(
+        routed[3],
+        (3, 1),
+        "the moved pin holds even after probation re-admits replica 0"
+    );
+}
+
+#[test]
+fn no_arrival_is_ever_routed_to_a_parked_replica() {
+    // Cluster-stream invariant (routing decisions and scale events are
+    // emitted by the same serial path, so their order is exact): after
+    // ReplicaScaledDown for replica i, no Arrived may target i until a
+    // matching ReplicaScaledUp. A parked replica was drained when
+    // parked — see `scale_down_skips_replicas_still_holding_work` for
+    // the decision-point pin — so routing anything there would strand
+    // it on a replica the autoscaler believes is idle.
+    let auto = AutoscaleConfig {
+        min_replicas: 1,
+        scale_up_outstanding: 2,
+        scale_down_outstanding: 3,
+    };
+    // Two bursts separated by a long lull: scale decisions fire at
+    // arrival instants, so the fleet must be drained at one for a park
+    // to happen — the first tail arrival finds it empty.
+    let mut reqs = trace(6.0, 24, 31);
+    let base = reqs.len();
+    for (k, mut cr) in trace(6.0, 24, 33).into_iter().enumerate() {
+        cr.request.id = base + k;
+        cr.request.arrival += 300.0;
+        reqs.push(cr);
+    }
+    let (report, events) =
+        cluster(4, RouterKind::LeastOutstanding, Some(auto)).run_traced(&reqs, &SloSpec::default());
+    assert_eq!(report.completed, 48);
+    let down_count = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::ReplicaScaledDown))
+        .count();
+    assert!(down_count > 0, "the sweep must exercise scale-down");
+    let mut parked = [false; 4];
+    for e in &events {
+        let r = e.replica as usize;
+        match e.kind {
+            EventKind::ReplicaScaledDown => parked[r] = true,
+            EventKind::ReplicaScaledUp => parked[r] = false,
+            EventKind::Arrived { request, .. } if parked[r] => {
+                panic!(
+                    "request {request} routed to parked replica {r} at tick {}",
+                    e.tick
+                )
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn retry_budget_exhaustion_dead_letters_with_tenant_attribution() {
+    // A single replica that crashes over and over: every in-flight
+    // request bounces until its budget runs out, then dead-letters.
+    let reqs = trace(4.0, 12, 3);
+    let mut plan = FaultPlan::none()
+        .mtbf(1.5, 0.5)
+        .retry(RetryPolicy {
+            max_attempts: 1,
+            base_backoff_s: 0.2,
+            max_backoff_s: 1.0,
+            jitter_frac: 0.1,
+        })
+        .seed(29);
+    plan.kv_loss_prob = 1.0; // every checkpoint transfer fails
+    let report = cluster(1, RouterKind::LeastOutstanding, None).run_fault_plan(
+        &reqs,
+        &SloSpec::default(),
+        &plan,
+    );
+    assert_conserved(&report, 12, "crash churn");
+    assert!(report.faults.crashes > 1, "the plan must crash repeatedly");
+    assert!(
+        report.faults.dead_lettered > 0,
+        "a 1-attempt budget under crash churn must dead-letter"
+    );
+    let per_tenant_dead: usize = report.slo.per_tenant.iter().map(|t| t.dead_lettered).sum();
+    assert_eq!(
+        per_tenant_dead, report.faults.dead_lettered,
+        "dead-letters must be attributed to tenants"
+    );
+}
+
+fn fault_event_names(events: &[Event]) -> Vec<&'static str> {
+    events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                EventKind::ReplicaCrashed { .. }
+                    | EventKind::ReplicaRecovered
+                    | EventKind::RetryScheduled { .. }
+                    | EventKind::RequestShed { .. }
+                    | EventKind::CheckpointLost { .. }
+                    | EventKind::DeadLettered { .. }
+                    | EventKind::StragglerStarted { .. }
+                    | EventKind::StragglerEnded
+            )
+        })
+        .map(|e| e.kind.name())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Identical plan + seed → byte-identical event streams and reports
+    /// at SPEC_THREADS ∈ {1, 4, 7}; conservation holds throughout.
+    #[test]
+    fn faulted_runs_are_deterministic_and_thread_invariant(
+        seed in 0u64..1000,
+        mtbf in 2.0f64..8.0,
+        mttr in 0.5f64..2.0,
+        kv_loss in 0.0f32..1.0,
+        straggle in any::<bool>(),
+        shed in any::<bool>(),
+        aware in any::<bool>(),
+    ) {
+        let mut plan = FaultPlan::none()
+            .mtbf(mtbf, mttr)
+            .probation(0.5)
+            .health_aware(aware)
+            .seed(seed);
+        plan.kv_loss_prob = kv_loss;
+        if straggle {
+            plan = plan.random_stragglers(4.0, 1.5, 3.0);
+        }
+        if shed {
+            plan = plan.shed(ShedPolicy::new(24).weights(vec![(0, 2), (1, 1)]));
+        }
+        let reqs = tenanted_trace(5.0, 30, seed ^ 0xABCD);
+        let run = |threads: usize| {
+            spec_parallel::with_threads(threads, || {
+                cluster(3, RouterKind::LeastOutstanding, None)
+                    .run_fault_plan_traced(&reqs, &SloSpec::default(), &plan)
+            })
+        };
+        let (report, events) = run(1);
+        assert_conserved(&report, 30, "proptest");
+        prop_assert!(report.faults.crashes > 0 || report.makespan < mtbf);
+        for threads in [4usize, 7] {
+            let (r, e) = run(threads);
+            prop_assert_eq!(&r, &report, "report at SPEC_THREADS={}", threads);
+            prop_assert_eq!(&e, &events, "events at SPEC_THREADS={}", threads);
+        }
+        // The fault lifecycle must actually be visible in telemetry when
+        // the summary says something happened.
+        if report.faults.crashes > 0 {
+            prop_assert!(fault_event_names(&events).contains(&"replica_crashed"));
+        }
+    }
+}

@@ -93,6 +93,27 @@ pub fn render_dashboard(events: &[Event]) -> String {
     }
     out.push('\n');
 
+    // Fault/recovery section, only when the run saw any such edge.
+    let fault_edges = [
+        "replica_crashed",
+        "replica_recovered",
+        "straggler_started",
+        "straggler_ended",
+        "retry_scheduled",
+        "request_shed",
+        "checkpoint_lost",
+        "dead_lettered",
+    ];
+    if fault_edges.iter().any(|e| summary.edges.contains_key(e)) {
+        out.push_str("### Faults & recovery\n\n");
+        for name in fault_edges {
+            if let Some(count) = summary.edges.get(name) {
+                let _ = writeln!(out, "- {name}: {count}");
+            }
+        }
+        out.push('\n');
+    }
+
     out.push_str("### Peaks\n\n");
     let _ = writeln!(out, "- running batch: {}", summary.peak_batch);
     let _ = writeln!(

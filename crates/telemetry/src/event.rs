@@ -55,6 +55,33 @@ pub enum EventKind {
     ReplicaScaledUp,
     /// The autoscaler parked a replica.
     ReplicaScaledDown,
+    /// The replica crashed: `lost` in-flight/queued requests enter the
+    /// retry path, `checkpointed` requests hold host-side checkpoints
+    /// eligible for restore on a surviving replica.
+    ReplicaCrashed { lost: u32, checkpointed: u32 },
+    /// The crashed replica restarted (probation may follow).
+    ReplicaRecovered,
+    /// A request lost to a crash (or failed migration) was scheduled to
+    /// re-enter the cluster after backoff; `attempt` counts retries so
+    /// far (1 = first retry).
+    RetryScheduled {
+        request: u64,
+        tenant: u32,
+        attempt: u32,
+    },
+    /// Admission control dropped the arrival: outstanding work crossed
+    /// the tenant's shed watermark.
+    RequestShed { request: u64, tenant: u32 },
+    /// A checkpoint's KV transfer to a surviving replica failed; the
+    /// request restarts from scratch via the retry path.
+    CheckpointLost { request: u64, bytes: u64 },
+    /// The request exhausted its retry budget and was dropped.
+    DeadLettered { request: u64, tenant: u32 },
+    /// The replica entered a straggler window: step costs are scaled by
+    /// `permille`/1000 until [`EventKind::StragglerEnded`].
+    StragglerStarted { permille: u32 },
+    /// The replica's straggler window ended; costs return to nominal.
+    StragglerEnded,
     /// Gauge: one tenant's wait-queue depth.
     QueueDepth { tenant: u32, depth: u64 },
     /// Gauge: requests in the running batch.
@@ -77,7 +104,11 @@ impl EventKind {
             | EventKind::Restored { request, .. }
             | EventKind::FirstToken { request, .. }
             | EventKind::Completed { request, .. }
-            | EventKind::Rejected { request, .. } => Some(request),
+            | EventKind::Rejected { request, .. }
+            | EventKind::RetryScheduled { request, .. }
+            | EventKind::RequestShed { request, .. }
+            | EventKind::CheckpointLost { request, .. }
+            | EventKind::DeadLettered { request, .. } => Some(request),
             _ => None,
         }
     }
@@ -93,6 +124,9 @@ impl EventKind {
             | EventKind::FirstToken { tenant, .. }
             | EventKind::Completed { tenant, .. }
             | EventKind::Rejected { tenant, .. }
+            | EventKind::RetryScheduled { tenant, .. }
+            | EventKind::RequestShed { tenant, .. }
+            | EventKind::DeadLettered { tenant, .. }
             | EventKind::QueueDepth { tenant, .. }
             | EventKind::DrrDeficit { tenant, .. } => Some(tenant),
             _ => None,
@@ -113,6 +147,14 @@ impl EventKind {
             EventKind::Rejected { .. } => "rejected",
             EventKind::ReplicaScaledUp => "replica_scaled_up",
             EventKind::ReplicaScaledDown => "replica_scaled_down",
+            EventKind::ReplicaCrashed { .. } => "replica_crashed",
+            EventKind::ReplicaRecovered => "replica_recovered",
+            EventKind::RetryScheduled { .. } => "retry_scheduled",
+            EventKind::RequestShed { .. } => "request_shed",
+            EventKind::CheckpointLost { .. } => "checkpoint_lost",
+            EventKind::DeadLettered { .. } => "dead_lettered",
+            EventKind::StragglerStarted { .. } => "straggler_started",
+            EventKind::StragglerEnded => "straggler_ended",
             EventKind::QueueDepth { .. } => "queue_depth",
             EventKind::RunningBatch { .. } => "running_batch",
             EventKind::KvOccupancy { .. } => "kv_occupancy",

@@ -202,6 +202,57 @@ pub fn export_trace(events: &[Event]) -> String {
             EventKind::ReplicaScaledUp | EventKind::ReplicaScaledDown => {
                 out.push(instant(event, 0, "p", Vec::new()));
             }
+            EventKind::ReplicaCrashed { lost, checkpointed } => {
+                out.push(instant(
+                    event,
+                    0,
+                    "p",
+                    vec![
+                        ("lost", u(lost as u64)),
+                        ("checkpointed", u(checkpointed as u64)),
+                    ],
+                ));
+            }
+            EventKind::ReplicaRecovered | EventKind::StragglerEnded => {
+                out.push(instant(event, 0, "p", Vec::new()));
+            }
+            EventKind::StragglerStarted { permille } => {
+                out.push(instant(
+                    event,
+                    0,
+                    "p",
+                    vec![("slowdown_permille", u(permille as u64))],
+                ));
+            }
+            EventKind::RetryScheduled {
+                request,
+                tenant,
+                attempt,
+            } => {
+                out.push(instant(
+                    event,
+                    tenant_tid(tenant),
+                    "t",
+                    vec![("request", u(request)), ("attempt", u(attempt as u64))],
+                ));
+            }
+            EventKind::RequestShed { request, tenant }
+            | EventKind::DeadLettered { request, tenant } => {
+                out.push(instant(
+                    event,
+                    tenant_tid(tenant),
+                    "t",
+                    vec![("request", u(request))],
+                ));
+            }
+            EventKind::CheckpointLost { request, bytes } => {
+                out.push(instant(
+                    event,
+                    0,
+                    "t",
+                    vec![("request", u(request)), ("bytes", u(bytes))],
+                ));
+            }
             EventKind::Preempted { request, tenant } => {
                 pending_flow.insert(request, (event.replica, tenant, event.tick));
             }
