@@ -20,6 +20,7 @@ use spec_retrieval::quest::QuestSelector;
 use spec_retrieval::shadowkv::ShadowKvSelector;
 use spec_retrieval::spec_head::{MappingLevel, SpecSelection};
 use spec_tensor::kmeans::nearest_centroid;
+use spec_tensor::lut::{I8Lut, QueryLut};
 use spec_tensor::quant::{BitWidth, QuantVec};
 use spec_tensor::topk::{top_k_mass, top_k_positions, RankScratch, SelectScratch};
 use spec_tensor::{ops, Matrix, SimRng};
@@ -150,8 +151,18 @@ fn bench_selection(c: &mut Criterion) {
             "extended table diverged from rebuild"
         );
     }
+    // Row-outer build vs the retained column-outer reference (bit-equal
+    // metadata is pinned in the unit/property tests; spot-check scores).
+    assert_eq!(
+        PageTable::build(&keys16k, 16).scores(&keys16k.row(0)[..HEAD_DIM]),
+        PageTable::build_reference(&keys16k, 16).scores(&keys16k.row(0)[..HEAD_DIM]),
+        "row-outer build diverged from reference"
+    );
     c.bench_function("page_table_build/16384x64", |b| {
         b.iter(|| PageTable::build(black_box(&keys16k), 16))
+    });
+    c.bench_function("page_table_build_reference/16384x64", |b| {
+        b.iter(|| PageTable::build_reference(black_box(&keys16k), 16))
     });
     c.bench_function("page_table_extend/16tok@16k", |b| {
         b.iter_batched(
@@ -283,6 +294,84 @@ fn bench_selection(c: &mut Criterion) {
     });
 }
 
+/// LUT-quantized scoring at the ShadowKV shape: one query scoring a
+/// 16K-key int4 shadow (dim 64). The LUT path gathers precomputed
+/// products; the reference unpacks/converts/multiplies per element. For
+/// int8 both sides of the LUT-vs-arithmetic trade are reported: the
+/// widened-multiply kernel (`dot_i8_fma`, the production path behind
+/// `QuantVec::dot`) and the 256-entry true LUT (`dot_i8_table`, which
+/// thrashes L1 at this dim — kept to keep that claim measured, not
+/// assumed). Every pair is asserted bit-equal before timing.
+fn bench_lut(c: &mut Criterion) {
+    let mut rng = SimRng::seed(0x10_07);
+    const CTX: usize = 16_384;
+    const HEAD_DIM: usize = 64;
+    let query: Vec<f32> = (0..HEAD_DIM).map(|_| rng.normal()).collect();
+    let rows = rng.normal_matrix(CTX, HEAD_DIM, 1.0);
+    let keys_i4: Vec<QuantVec> = rows
+        .iter_rows()
+        .map(|r| QuantVec::quantize(r, BitWidth::Int4))
+        .collect();
+    let keys_i8: Vec<QuantVec> = rows
+        .iter_rows()
+        .map(|r| QuantVec::quantize(r, BitWidth::Int8))
+        .collect();
+
+    let mut lut = QueryLut::build(&query);
+    c.bench_function("lut/build_i4/64", |b| {
+        b.iter(|| lut.rebuild(black_box(&query)))
+    });
+
+    let want_i4: Vec<f32> = keys_i4.iter().map(|k| k.dot_reference(&query)).collect();
+    let mut out = Vec::new();
+    lut.scores_into(&keys_i4, &mut out);
+    assert_eq!(
+        out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        want_i4.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "int4 LUT scoring diverged from reference"
+    );
+    c.bench_function("lut/dot_i4/16384x64", |b| {
+        b.iter(|| lut.scores_into(black_box(&keys_i4), &mut out))
+    });
+    c.bench_function("lut/dot_i4_reference/16384x64", |b| {
+        b.iter(|| {
+            out.clear();
+            out.extend(black_box(&keys_i4).iter().map(|k| k.dot_reference(&query)));
+        })
+    });
+
+    let i8lut = I8Lut::build(&query);
+    let want_i8: Vec<f32> = keys_i8.iter().map(|k| k.dot_reference(&query)).collect();
+    spec_tensor::quant::dot_i8_batch_into(&query, &keys_i8, &mut out);
+    assert_eq!(
+        out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        want_i8.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "int8 widened batch kernel diverged from reference"
+    );
+    for k in keys_i8.iter().take(64) {
+        assert_eq!(
+            i8lut.dot_i8(k).to_bits(),
+            k.dot_reference(&query).to_bits(),
+            "int8 table diverged from reference"
+        );
+    }
+    c.bench_function("lut/dot_i8_fma/16384x64", |b| {
+        b.iter(|| spec_tensor::quant::dot_i8_batch_into(&query, black_box(&keys_i8), &mut out))
+    });
+    c.bench_function("lut/dot_i8_table/16384x64", |b| {
+        b.iter(|| {
+            out.clear();
+            out.extend(black_box(&keys_i8).iter().map(|k| i8lut.dot_i8(k)));
+        })
+    });
+    c.bench_function("lut/dot_i8_reference/16384x64", |b| {
+        b.iter(|| {
+            out.clear();
+            out.extend(black_box(&keys_i8).iter().map(|k| k.dot_reference(&query)));
+        })
+    });
+}
+
 /// Blocked kernel vs the reference triple loop at the forward shapes.
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = SimRng::seed(0x6E66);
@@ -341,6 +430,12 @@ fn write_summary(c: &Criterion) {
         .map(|(label, s)| format!("    \"{label}\": {s:.2}"))
         .collect();
     json.push_str(&sel_speedups.join(",\n"));
+    json.push_str("\n  },\n  \"lut_speedup_vs_reference\": {\n");
+    let lut_speedups: Vec<String> = lut_speedups(c)
+        .into_iter()
+        .map(|(label, s)| format!("    \"{label}\": {s:.2}"))
+        .collect();
+    json.push_str(&lut_speedups.join(",\n"));
     json.push_str("\n  }\n}\n");
     spec_bench::emit_raw_json("bench_kernels", &json);
     for line in speedups {
@@ -351,6 +446,9 @@ fn write_summary(c: &Criterion) {
             "[selection speedup vs reference]{}",
             line.replace("    ", " ")
         );
+    }
+    for line in lut_speedups {
+        println!("[lut speedup vs reference]{}", line.replace("    ", " "));
     }
 }
 
@@ -374,6 +472,11 @@ fn selection_speedups(c: &Criterion) -> Vec<(String, f64)> {
         c.mean_ns("page_table_build/16384x64"),
         c.mean_ns("page_table_extend/16tok@16k"),
     );
+    push(
+        "page_table_build",
+        c.mean_ns("page_table_build_reference/16384x64"),
+        c.mean_ns("page_table_build/16384x64"),
+    );
     for sel in ["quest", "clusterkv", "shadowkv", "infinigen", "spec_head"] {
         push(
             sel,
@@ -384,6 +487,34 @@ fn selection_speedups(c: &Criterion) -> Vec<(String, f64)> {
     out
 }
 
+/// LUT-path / reference ratios for quantized scoring at the 16K shadow
+/// shape: the int4 gather kernel and both int8 contenders (the widened
+/// multiply that production uses, and the L1-thrashing true table).
+fn lut_speedups(c: &Criterion) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut push = |label: &str, old: Option<f64>, new: Option<f64>| {
+        if let (Some(old), Some(new)) = (old, new) {
+            out.push((label.to_string(), old / new));
+        }
+    };
+    push(
+        "dot_i4",
+        c.mean_ns("lut/dot_i4_reference/16384x64"),
+        c.mean_ns("lut/dot_i4/16384x64"),
+    );
+    push(
+        "dot_i8_fma",
+        c.mean_ns("lut/dot_i8_reference/16384x64"),
+        c.mean_ns("lut/dot_i8_fma/16384x64"),
+    );
+    push(
+        "dot_i8_table",
+        c.mean_ns("lut/dot_i8_reference/16384x64"),
+        c.mean_ns("lut/dot_i8_table/16384x64"),
+    );
+    out
+}
+
 fn main() {
     let mut c = Criterion::default()
         .sample_size(20)
@@ -391,6 +522,7 @@ fn main() {
         .warm_up_time(std::time::Duration::from_millis(500));
     bench_kernels(&mut c);
     bench_selection(&mut c);
+    bench_lut(&mut c);
     bench_matmul(&mut c);
     write_summary(&c);
 }

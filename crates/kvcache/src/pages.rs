@@ -25,10 +25,57 @@ pub struct PageTable {
 impl PageTable {
     /// Builds the table over `keys` (`seq x dim`).
     ///
+    /// Traverses the row-major key matrix **row-outer** — each member
+    /// key is streamed once, in memory order, folded channel-wise into
+    /// the page's min/max rows — instead of the column-outer sweep
+    /// retained as [`build_reference`](Self::build_reference), which
+    /// strides `dim` floats between consecutive reads and re-walks the
+    /// page once per channel. Per `(page, channel)` slot the fold still
+    /// visits member rows in the same ascending order from ±∞, so the
+    /// result is bit-identical (it is also the exact fold
+    /// [`extend`](Self::extend) continues from).
+    ///
     /// # Panics
     ///
     /// Panics if `page_size == 0`.
     pub fn build(keys: &Matrix, page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        let n = keys.rows();
+        let dim = keys.cols();
+        let pages = n.div_ceil(page_size);
+        let mut max_vec = Matrix::zeros(pages, dim);
+        let mut min_vec = Matrix::zeros(pages, dim);
+        for p in 0..pages {
+            let start = p * page_size;
+            let end = ((p + 1) * page_size).min(n);
+            max_vec.row_mut(p).fill(f32::NEG_INFINITY);
+            min_vec.row_mut(p).fill(f32::INFINITY);
+            for r in start..end {
+                let key = keys.row(r);
+                for (m, &v) in max_vec.row_mut(p).iter_mut().zip(key) {
+                    *m = m.max(v);
+                }
+                for (m, &v) in min_vec.row_mut(p).iter_mut().zip(key) {
+                    *m = m.min(v);
+                }
+            }
+        }
+        Self {
+            page_size,
+            max_vec,
+            min_vec,
+            len: n,
+        }
+    }
+
+    /// The original column-outer build, retained as the pinning
+    /// reference for [`build`](Self::build) (and its `kernels` bench
+    /// baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size == 0`.
+    pub fn build_reference(keys: &Matrix, page_size: usize) -> Self {
         assert!(page_size > 0, "page size must be positive");
         let n = keys.rows();
         let dim = keys.cols();
@@ -129,22 +176,21 @@ impl PageTable {
     /// for each channel take `max(q_c * max_c, q_c * min_c)` and sum.
     /// This upper-bounds `q · k` for every key `k` in the page.
     ///
-    /// Dispatches to an AVX2-compiled variant of the same body when the
-    /// CPU supports it (the `gemm.rs` pattern): the element-wise
+    /// Dispatches through the `spec_tensor::dispatch` registry (one
+    /// shared body per tier, `SPEC_SIMD`-overridable): the element-wise
     /// `(q*hi).max(q*lo)` phase fills a small buffer (vectorizable, each
     /// element independent), and the final reduction walks that buffer in
     /// ascending channel order — the exact addition sequence of
-    /// [`page_score_reference`](Self::page_score_reference), so both
-    /// variants produce the same bits.
+    /// [`page_score_reference`](Self::page_score_reference), so every
+    /// tier produces the same bits.
     pub fn page_score(&self, p: usize, query: &[f32]) -> f32 {
         assert_eq!(query.len(), self.max_vec.cols(), "query dim mismatch");
-        let (mx, mn) = (self.max_vec.row(p), self.min_vec.row(p));
-        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
-        if has_avx2() {
-            // SAFETY: only reached when AVX2 was runtime-detected.
-            return unsafe { page_score_avx2(query, mx, mn) };
-        }
-        page_score_body(query, mx, mn)
+        page_score_kernel::dispatch(
+            spec_tensor::dispatch::active_tier(),
+            query,
+            self.max_vec.row(p),
+            self.min_vec.row(p),
+        )
     }
 
     /// The reference page score: the plain sequential fold the table
@@ -169,19 +215,15 @@ impl PageTable {
     }
 
     /// As [`scores`](Self::scores), into a reused buffer (cleared first).
-    /// The AVX2/scalar dispatch happens once for the whole sweep.
+    /// The dispatch tier is resolved once for the whole sweep.
     pub fn scores_into(&self, query: &[f32], out: &mut Vec<f32>) {
         assert_eq!(query.len(), self.max_vec.cols(), "query dim mismatch");
         out.clear();
         out.reserve(self.num_pages());
-        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
-        if has_avx2() {
-            // SAFETY: only reached when AVX2 was runtime-detected.
-            unsafe { scores_into_avx2(self, query, out) };
-            return;
-        }
+        let tier = spec_tensor::dispatch::active_tier();
         for p in 0..self.num_pages() {
-            out.push(page_score_body(
+            out.push(page_score_kernel::dispatch(
+                tier,
                 query,
                 self.max_vec.row(p),
                 self.min_vec.row(p),
@@ -205,53 +247,36 @@ impl PageTable {
     }
 }
 
-#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
-use spec_tensor::gemm::has_avx2;
-
 /// Channels processed per elementwise block. One block's contributions
 /// are materialized before the sequential reduction consumes them, so
 /// the multiply/max phase vectorizes while the addition order stays
 /// exactly that of the reference fold.
 const SCORE_CHUNK: usize = 64;
 
-#[inline(always)]
-fn page_score_body(query: &[f32], mx: &[f32], mn: &[f32]) -> f32 {
-    let mut buf = [0.0f32; SCORE_CHUNK];
-    let mut acc = 0.0f32;
-    let mut i = 0;
-    while i < query.len() {
-        let c = SCORE_CHUNK.min(query.len() - i);
-        for (((b, q), hi), lo) in buf[..c]
-            .iter_mut()
-            .zip(&query[i..i + c])
-            .zip(&mx[i..i + c])
-            .zip(&mn[i..i + c])
-        {
-            *b = (q * hi).max(q * lo);
+spec_tensor::dispatch_kernel! {
+    /// Quest's page upper bound for one `(page, query)` pair: stages
+    /// `(q*hi).max(q*lo)` per chunk, then folds the chunk in ascending
+    /// channel order — the reference's exact addition sequence.
+    page_score_kernel(query: &[f32], mx: &[f32], mn: &[f32]) -> f32 {
+        let mut buf = [0.0f32; SCORE_CHUNK];
+        let mut acc = 0.0f32;
+        let mut i = 0;
+        while i < query.len() {
+            let c = SCORE_CHUNK.min(query.len() - i);
+            for (((b, q), hi), lo) in buf[..c]
+                .iter_mut()
+                .zip(&query[i..i + c])
+                .zip(&mx[i..i + c])
+                .zip(&mn[i..i + c])
+            {
+                *b = (q * hi).max(q * lo);
+            }
+            for &v in &buf[..c] {
+                acc += v;
+            }
+            i += c;
         }
-        for &v in &buf[..c] {
-            acc += v;
-        }
-        i += c;
-    }
-    acc
-}
-
-#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
-#[target_feature(enable = "avx2")]
-unsafe fn page_score_avx2(query: &[f32], mx: &[f32], mn: &[f32]) -> f32 {
-    page_score_body(query, mx, mn)
-}
-
-#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
-#[target_feature(enable = "avx2")]
-unsafe fn scores_into_avx2(table: &PageTable, query: &[f32], out: &mut Vec<f32>) {
-    for p in 0..table.num_pages() {
-        out.push(page_score_body(
-            query,
-            table.max_vec.row(p),
-            table.min_vec.row(p),
-        ));
+        acc
     }
 }
 
@@ -360,6 +385,22 @@ mod tests {
         let mut t = PageTable::build(&keys(), 2);
         t.extend(&Matrix::zeros(0, 2));
         assert_tables_bit_equal(&t, &PageTable::build(&keys(), 2));
+    }
+
+    #[test]
+    fn row_outer_build_matches_reference_bits() {
+        let k = keys();
+        for page_size in [1, 2, 3, 5, 100] {
+            assert_tables_bit_equal(
+                &PageTable::build(&k, page_size),
+                &PageTable::build_reference(&k, page_size),
+            );
+        }
+        let empty = Matrix::zeros(0, 3);
+        assert_tables_bit_equal(
+            &PageTable::build(&empty, 4),
+            &PageTable::build_reference(&empty, 4),
+        );
     }
 
     #[test]

@@ -137,6 +137,38 @@ proptest! {
         prop_assert_eq!(&a, &rebuilt.scores_reference(q));
     }
 
+    /// The row-outer `build` is bit-identical to the retained
+    /// column-outer `build_reference`, and page scoring matches the
+    /// scalar reference at every SIMD dispatch tier.
+    #[test]
+    fn build_and_scores_match_references_at_every_tier(
+        rows in 0usize..96,
+        dim in 1usize..10,
+        page_size in 1usize..20,
+        vals in prop::collection::vec(-4.0f32..4.0, 96 * 10),
+        query in prop::collection::vec(-2.0f32..2.0, 10),
+    ) {
+        let keys = Matrix::from_vec(rows, dim, vals[..rows * dim].to_vec());
+        let table = PageTable::build(&keys, page_size);
+        let reference = PageTable::build_reference(&keys, page_size);
+        prop_assert_eq!(table.len(), reference.len());
+        prop_assert_eq!(table.num_pages(), reference.num_pages());
+        let q = &query[..dim];
+        let want = reference.scores_reference(q);
+        for (x, y) in table.scores(q).iter().zip(&want) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "{} vs {}", x, y);
+        }
+        for &tier in spec_tensor::dispatch::available_tiers() {
+            let got = spec_tensor::dispatch::with_tier(tier, || table.scores(q));
+            for (p, (x, y)) in got.iter().zip(&want).enumerate() {
+                prop_assert_eq!(
+                    x.to_bits(), y.to_bits(),
+                    "page {} tier {}: {} vs {}", p, tier, x, y
+                );
+            }
+        }
+    }
+
     /// Tier accounting conserves total bytes.
     #[test]
     fn tier_bytes_conserved(

@@ -86,9 +86,10 @@ impl InfiniGenSelector {
             .enumerate()
             .map(|(hh, keys)| {
                 scores.pool_group_max(hh * group..(hh + 1) * group, |q, buf| {
-                    let query = queries.row(q);
-                    buf.clear();
-                    buf.extend(keys.iter_rows().map(|k| spec_tensor::matrix::dot(query, k)));
+                    // Batched row kernel: the dispatch tier is resolved
+                    // once per sweep, bit-identical to the reference's
+                    // per-row `matrix::dot`.
+                    keys.dot_rows_into(queries.row(q), buf);
                 });
                 assemble_baseline_selection(
                     &scores.pooled,

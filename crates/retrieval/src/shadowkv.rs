@@ -18,6 +18,7 @@ use crate::common::{
     SelectorConfig,
 };
 use spec_model::{LayerKv, LayerSelector, ModelKv};
+use spec_tensor::lut::QueryLut;
 use spec_tensor::quant::{BitWidth, QuantVec};
 use spec_tensor::topk::SelectScratch;
 use spec_tensor::Matrix;
@@ -29,6 +30,11 @@ pub struct ShadowKvSelector {
     /// `shadow[layer][kv_head][pos]`: quantized key per position.
     shadow: Vec<Vec<Vec<QuantVec>>>,
     prefill_len: usize,
+    /// Per-query int4 lookup table, rebuilt (allocation-free once warm)
+    /// for each scored query head — see `spec_tensor::lut` for the cost
+    /// model; the shadow holds thousands of keys per head, so the table
+    /// build amortizes immediately.
+    lut: QueryLut,
 }
 
 impl ShadowKvSelector {
@@ -58,6 +64,7 @@ impl ShadowKvSelector {
             cfg,
             shadow,
             prefill_len,
+            lut: QueryLut::default(),
         }
     }
 
@@ -92,7 +99,12 @@ impl ShadowKvSelector {
                 .enumerate()
                 .map(|(hh, qkeys)| {
                     let per_q: Vec<Vec<f32>> = (hh * group..(hh + 1) * group)
-                        .map(|q| qkeys.iter().map(|k| k.dot(queries.row(q))).collect())
+                        .map(|q| {
+                            qkeys
+                                .iter()
+                                .map(|k| k.dot_reference(queries.row(q)))
+                                .collect()
+                        })
                         .collect();
                     let pooled = group_max_scores(&per_q, group)[0].clone();
                     let (sel, _) = assemble_baseline_selection_reference(
@@ -116,7 +128,15 @@ impl LayerSelector for ShadowKvSelector {
         kv: &LayerKv,
         scratch: &mut SelectScratch,
     ) -> Option<Vec<Vec<usize>>> {
-        let heads = &self.shadow[layer];
+        // Destructure for disjoint borrows: the shadow keys are read
+        // while the LUT rebuilds per query head.
+        let Self {
+            cfg,
+            shadow,
+            prefill_len,
+            lut,
+        } = self;
+        let heads = &shadow[layer];
         let group = (queries.rows() / heads.len()).max(1);
         let seq_len = kv.seq_len();
         let SelectScratch {
@@ -124,18 +144,19 @@ impl LayerSelector for ShadowKvSelector {
             rank,
             marks,
         } = scratch;
-        let prefill_len = self.prefill_len;
-        let cfg = &self.cfg;
+        let prefill_len = *prefill_len;
         Some(
             heads
                 .iter()
                 .enumerate()
                 .map(|(hh, qkeys)| {
-                    // Quantized dot per query head, pooled in place.
+                    // LUT-quantized scoring per query head, pooled in
+                    // place: one table build per query, then a gather
+                    // per (key, element) — bit-identical to the
+                    // reference's per-key `dot_reference`.
                     scores.pool_group_max(hh * group..(hh + 1) * group, |q, buf| {
-                        let query = queries.row(q);
-                        buf.clear();
-                        buf.extend(qkeys.iter().map(|k| k.dot(query)));
+                        lut.rebuild(queries.row(q));
+                        lut.scores_into(qkeys, buf);
                     });
                     let (sel, _) = assemble_baseline_selection(
                         &scores.pooled,

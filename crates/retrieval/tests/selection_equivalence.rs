@@ -3,7 +3,11 @@
 //! (the `matmul`/`matmul_naive` contract of PR 3, applied to selection):
 //! same positions, same order, across random geometries, budgets, page
 //! and cluster sizes, GQA group sizes, and decode growth beyond the
-//! prefill. CI runs this suite under the `SPEC_THREADS` env matrix; the
+//! prefill. The ShadowKV/InfiniGen cases additionally sweep every
+//! available SIMD dispatch tier (via `spec_tensor::dispatch::with_tier`)
+//! so the LUT/batched scoring paths stay pinned to their scalar
+//! references. CI runs this suite under the `SPEC_THREADS` env matrix
+//! and a `SPEC_SIMD=scalar` lane; the
 //! selection paths are thread-count invariant by construction (the only
 //! parallel path, `SpecSelection`'s per-head fan-out, is order-preserving
 //! and pinned explicitly below).
@@ -233,9 +237,15 @@ proptest! {
         let queries = synth_queries(model.geometry(), seed + 5);
         let mut scratch = SelectScratch::new();
         for layer in 0..model.geometry().layers {
-            let got = skv.select(layer, &queries, &kv.layers[layer], &mut scratch);
             let want = skv.select_reference(layer, &queries, &kv.layers[layer]);
-            prop_assert_eq!(got, want, "layer {}", layer);
+            // The LUT scoring path must agree at every SIMD tier, not
+            // just the ambient one (select is stateless across calls).
+            for &tier in spec_tensor::dispatch::available_tiers() {
+                let got = spec_tensor::dispatch::with_tier(tier, || {
+                    skv.select(layer, &queries, &kv.layers[layer], &mut scratch)
+                });
+                prop_assert_eq!(got, want.clone(), "layer {} tier {}", layer, tier);
+            }
         }
     }
 
@@ -256,15 +266,28 @@ proptest! {
             recent: 2,
             ..SelectorConfig::with_budget(budget)
         };
-        let mut fast = InfiniGenSelector::preprocess(&kv, cfg);
-        let mut refr = fast.clone();
-        let mut scratch = SelectScratch::new();
+        let refr0 = InfiniGenSelector::preprocess(&kv, cfg);
+        // One fast clone per SIMD tier: the speculative previous-queries
+        // state is mutated by select, so each tier steps its own copy
+        // through the identical call sequence.
+        let mut lanes: Vec<_> = spec_tensor::dispatch::available_tiers()
+            .iter()
+            .map(|&tier| (tier, refr0.clone(), SelectScratch::new()))
+            .collect();
+        let mut refr = refr0;
         for step in 0..steps {
             for layer in 0..model.geometry().layers {
                 let queries = synth_queries(model.geometry(), seed + (step * 11 + layer) as u64);
-                let got = fast.select(layer, &queries, &kv.layers[layer], &mut scratch);
                 let want = refr.select_reference(layer, &queries, &kv.layers[layer]);
-                prop_assert_eq!(got, want, "step {} layer {}", step, layer);
+                for (tier, fast, scratch) in &mut lanes {
+                    let got = spec_tensor::dispatch::with_tier(*tier, || {
+                        fast.select(layer, &queries, &kv.layers[layer], scratch)
+                    });
+                    prop_assert_eq!(
+                        got, want.clone(),
+                        "step {} layer {} tier {}", step, layer, tier
+                    );
+                }
             }
         }
     }

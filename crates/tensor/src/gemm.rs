@@ -17,7 +17,10 @@
 //! into disjoint contiguous bands (`spec_parallel::par_bands_mut`), and a
 //! band's results do not depend on its boundaries, so the product is
 //! bit-for-bit identical to the reference at any thread count, including
-//! the serial path.
+//! the serial path. The register tile runs on the workspace
+//! [`dispatch`](crate::dispatch) registry (scalar/AVX2/AVX-512/NEON
+//! variants of one body), so the same bits also hold at every SIMD tier
+//! and under a forced `SPEC_SIMD=scalar`.
 
 use crate::Matrix;
 
@@ -123,19 +126,16 @@ fn vecmat_fast(a: &Matrix, b: &Matrix) -> Matrix {
     out
 }
 
-/// Whether the running CPU has AVX2 (checked once; `false` off x86).
-/// Shared by every runtime-dispatched kernel in the workspace (this
-/// matmul, the Quest page-score bound in `spec_kvcache`).
+/// Whether the running CPU has AVX2.
+///
+/// Feature detection moved to the workspace-wide dispatch registry; this
+/// shim remains only so out-of-tree callers keep compiling one release.
+#[deprecated(
+    since = "0.2.0",
+    note = "consult spec_tensor::dispatch (active_tier / has_avx2) instead"
+)]
 pub fn has_avx2() -> bool {
-    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
-    {
-        static AVX2: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-        *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
-    }
-    #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
-    {
-        false
-    }
+    crate::dispatch::has_avx2()
 }
 
 /// Tiles one contiguous band of output rows (starting at `first_row`)
@@ -151,7 +151,7 @@ fn tile_band(
 ) {
     let rows = band.len() / n;
     let strips = n.div_ceil(NR);
-    let avx2 = has_avx2();
+    let tier = crate::dispatch::active_tier();
     let mut i0 = 0;
     while i0 < rows {
         let mr = MR.min(rows - i0);
@@ -169,7 +169,7 @@ fn tile_band(
                     &mut band[i0 * n..],
                     j0,
                     n,
-                    avx2,
+                    tier,
                 );
             } else {
                 micro_edge(
@@ -211,12 +211,12 @@ fn pack_b(panel: &mut [f32], b: &Matrix, kb: usize, kc: usize) {
 /// The full MR x NR register tile: `out[i0..i0+MR][j0..j0+NR] += A-rows *
 /// packed strip`, `k` ascending.
 ///
-/// `avx2` selects a variant of the *same* body compiled with the AVX2
-/// feature enabled (runtime-detected; see [`has_avx2`]). Wider registers
-/// change only how many lanes one instruction covers — each output
-/// element still receives the identical sequence of `+= a*b` operations
-/// (no FMA contraction, no reassociation), so both variants produce the
-/// same bits.
+/// `tier` (resolved once per band from the dispatch registry) selects a
+/// variant of the *same* body compiled with that instruction set
+/// enabled. Wider registers change only how many lanes one instruction
+/// covers — each output element still receives the identical sequence of
+/// `+= a*b` operations (no FMA contraction, no reassociation), so every
+/// tier produces the same bits.
 #[allow(clippy::too_many_arguments)]
 fn micro_full(
     a: &Matrix,
@@ -227,56 +227,31 @@ fn micro_full(
     band: &mut [f32],
     j0: usize,
     n: usize,
-    avx2: bool,
+    tier: crate::dispatch::SimdTier,
 ) {
     let a_rows: [&[f32]; MR] = std::array::from_fn(|r| &a.row(row0 + r)[kb..kb + kc]);
-    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
-    if avx2 {
-        // SAFETY: `avx2` is only true when AVX2 was runtime-detected.
-        unsafe { micro_full_avx2(&a_rows, kc, strip, band, j0, n) };
-        return;
-    }
-    let _ = avx2;
-    micro_full_body(&a_rows, kc, strip, band, j0, n);
+    micro_tile::dispatch(tier, &a_rows, kc, strip, band, j0, n);
 }
 
-#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
-#[target_feature(enable = "avx2")]
-unsafe fn micro_full_avx2(
-    a_rows: &[&[f32]; MR],
-    kc: usize,
-    strip: &[f32],
-    band: &mut [f32],
-    j0: usize,
-    n: usize,
-) {
-    micro_full_body(a_rows, kc, strip, band, j0, n);
-}
-
-#[inline(always)]
-fn micro_full_body(
-    a_rows: &[&[f32]; MR],
-    kc: usize,
-    strip: &[f32],
-    band: &mut [f32],
-    j0: usize,
-    n: usize,
-) {
-    let mut acc = [[0.0f32; NR]; MR];
-    for (r, acc_r) in acc.iter_mut().enumerate() {
-        acc_r.copy_from_slice(&band[r * n + j0..r * n + j0 + NR]);
-    }
-    for k in 0..kc {
-        let bk: &[f32; NR] = strip[k * NR..(k + 1) * NR].try_into().expect("strip row");
-        let av: [f32; MR] = std::array::from_fn(|r| a_rows[r][k]);
-        for (acc_r, &a) in acc.iter_mut().zip(&av) {
-            for (o, &w) in acc_r.iter_mut().zip(bk) {
-                *o += a * w;
+crate::dispatch_kernel! {
+    /// The register-tile body shared by every tier (see [`micro_full`]).
+    micro_tile(a_rows: &[&[f32]; MR], kc: usize, strip: &[f32], band: &mut [f32], j0: usize, n: usize) {
+        let mut acc = [[0.0f32; NR]; MR];
+        for (r, acc_r) in acc.iter_mut().enumerate() {
+            acc_r.copy_from_slice(&band[r * n + j0..r * n + j0 + NR]);
+        }
+        for k in 0..kc {
+            let bk: &[f32; NR] = strip[k * NR..(k + 1) * NR].try_into().expect("strip row");
+            let av: [f32; MR] = std::array::from_fn(|r| a_rows[r][k]);
+            for (acc_r, &a) in acc.iter_mut().zip(&av) {
+                for (o, &w) in acc_r.iter_mut().zip(bk) {
+                    *o += a * w;
+                }
             }
         }
-    }
-    for (r, acc_r) in acc.iter().enumerate() {
-        band[r * n + j0..r * n + j0 + NR].copy_from_slice(acc_r);
+        for (r, acc_r) in acc.iter().enumerate() {
+            band[r * n + j0..r * n + j0 + NR].copy_from_slice(acc_r);
+        }
     }
 }
 

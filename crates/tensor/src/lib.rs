@@ -26,8 +26,10 @@
 //! assert!((weights.get(0, 0) - weights.get(1, 1)).abs() < 1e-6);
 //! ```
 
+pub mod dispatch;
 pub mod gemm;
 pub mod kmeans;
+pub mod lut;
 pub mod matrix;
 pub mod ops;
 pub mod quant;

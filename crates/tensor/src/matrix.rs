@@ -355,6 +355,27 @@ impl Matrix {
         }
     }
 
+    /// Scores the query against every row — `out[r] = dot(query, row r)`
+    /// — into a reused buffer (cleared first), on the
+    /// [`dispatch`](crate::dispatch) registry with the tier resolved once
+    /// for the whole sweep. Bit-identical to calling [`dot`] per row
+    /// (same products, same ascending-index addition order); this is the
+    /// batched scoring kernel the InfiniGen selector runs on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != cols`.
+    pub fn dot_rows_into(&self, query: &[f32], out: &mut Vec<f32>) {
+        assert_eq!(query.len(), self.cols, "dot_rows shape mismatch");
+        out.clear();
+        out.reserve(self.rows);
+        let tier = crate::dispatch::active_tier();
+        out.extend(
+            self.iter_rows()
+                .map(|row| row_dot::dispatch(tier, query, row)),
+        );
+    }
+
     /// Makes `self` a copy of `src`, reusing the existing data buffer
     /// when its capacity suffices (the derived `Clone` always
     /// reallocates).
@@ -376,7 +397,8 @@ impl Matrix {
     }
 }
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices (the sequential reference the
+/// dispatched [`Matrix::dot_rows_into`] kernel is pinned against).
 ///
 /// # Panics
 ///
@@ -385,6 +407,36 @@ impl Matrix {
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot length mismatch");
     a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Elements staged per [`row_dot`] chunk.
+const DOT_CHUNK: usize = 64;
+
+crate::dispatch_kernel! {
+    /// One f32 dot: stage the products chunk by chunk (element-wise,
+    /// lane-parallel at the wide tiers), fold each chunk in ascending
+    /// index order — exactly [`dot`]'s addition sequence, so every tier
+    /// returns its bits.
+    row_dot(query: &[f32], row: &[f32]) -> f32 {
+        let mut buf = [0.0f32; DOT_CHUNK];
+        let mut acc = 0.0f32;
+        let mut i = 0;
+        while i < query.len() {
+            let c = DOT_CHUNK.min(query.len() - i);
+            for ((b, &q), &w) in buf[..c]
+                .iter_mut()
+                .zip(&query[i..i + c])
+                .zip(&row[i..i + c])
+            {
+                *b = q * w;
+            }
+            for &v in &buf[..c] {
+                acc += v;
+            }
+            i += c;
+        }
+        acc
+    }
 }
 
 #[cfg(test)]

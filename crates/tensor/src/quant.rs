@@ -5,8 +5,147 @@
 //! provides symmetric per-vector int8 and int4 quantization with an
 //! absmax scale, plus a fused quantized dot product so retrieval can score
 //! without materializing the dequantized vector.
+//!
+//! [`QuantVec::dot`] runs on the [`dispatch`](crate::dispatch) registry:
+//! the int4 path unpacks a byte (two levels) at a time — no branchy
+//! per-element bit-extract even on the scalar tier — and both widths
+//! stage one chunk of products in a buffer (the element-wise phase the
+//! wide tiers vectorize) before a sequential ascending-index reduction
+//! consumes it, which is exactly the addition order of the original
+//! per-element loop retained as [`QuantVec::dot_reference`]. Every tier
+//! is bit-identical to that reference. For scoring *many* int4 vectors
+//! against one query, see [`lut`](crate::lut): a per-query lookup table
+//! replaces the multiplies with gathers.
 
 use serde::{Deserialize, Serialize};
+
+/// Elements staged per dispatch chunk. Even, so int4 bytes never
+/// straddle a chunk boundary; 64 f32 products fit comfortably in
+/// registers + L1 at every tier.
+const QUANT_CHUNK: usize = 64;
+
+/// Keys scored together by [`dot_i8_batch_into`]. One key's fold is a
+/// single sequential addition chain (latency-bound); eight keys give
+/// eight independent chains the core overlaps, without changing any
+/// key's own addition order.
+const QUANT_LANES: usize = 8;
+
+crate::dispatch_kernel! {
+    /// Fused int8 dot: stage `query[i] * level[i]` products chunk by
+    /// chunk (element-wise, lane-parallel at the wide tiers), then fold
+    /// each chunk in ascending index order — the reference's exact
+    /// addition sequence. Returns the unscaled sum.
+    quant_dot_i8(query: &[f32], packed: &[u8]) -> f32 {
+        let mut buf = [0.0f32; QUANT_CHUNK];
+        let mut acc = 0.0f32;
+        let mut i = 0;
+        while i < query.len() {
+            let c = QUANT_CHUNK.min(query.len() - i);
+            for ((b, &q), &l) in buf[..c]
+                .iter_mut()
+                .zip(&query[i..i + c])
+                .zip(&packed[i..i + c])
+            {
+                *b = q * (l as i8 as f32);
+            }
+            for &v in &buf[..c] {
+                acc += v;
+            }
+            i += c;
+        }
+        acc
+    }
+}
+
+crate::dispatch_kernel! {
+    /// Fused int4 dot: unpack one byte — two sign-extended nibbles — per
+    /// step (chunks start even, so bytes never straddle), multiply the
+    /// staged levels by the query element-wise, then fold in ascending
+    /// index order. Identical products, identical addition order, so
+    /// bit-identical to the per-element reference. Returns the unscaled
+    /// sum.
+    quant_dot_i4(query: &[f32], packed: &[u8]) -> f32 {
+        let mut buf = [0.0f32; QUANT_CHUNK];
+        let mut acc = 0.0f32;
+        let mut i = 0;
+        while i < query.len() {
+            let c = QUANT_CHUNK.min(query.len() - i);
+            for (j, &byte) in packed[i / 2..(i + c).div_ceil(2)].iter().enumerate() {
+                // Low nibble: shift into the sign position, arithmetic
+                // shift back; high nibble: arithmetic shift alone. Both
+                // match `level()`'s sign-extension bit for bit. An odd
+                // tail writes one extra staged level past `c`; the
+                // `..c` slices below never read it.
+                buf[2 * j] = (((byte << 4) as i8) >> 4) as f32;
+                buf[2 * j + 1] = ((byte as i8) >> 4) as f32;
+            }
+            for (b, &q) in buf[..c].iter_mut().zip(&query[i..i + c]) {
+                *b *= q;
+            }
+            for &v in &buf[..c] {
+                acc += v;
+            }
+            i += c;
+        }
+        acc
+    }
+}
+
+crate::dispatch_kernel! {
+    /// The blocked int8 batch dot: widened multiply-accumulate for
+    /// [`QUANT_LANES`] keys against one query simultaneously. Lane `k`
+    /// receives exactly the reference's adds for key `k` — `query[i] *
+    /// level[i]` in ascending element order — so results are
+    /// bit-identical to [`QuantVec::dot_reference`]; only the chains
+    /// interleave across lanes. Accumulators are unscaled.
+    quant_dot_i8_block(
+        query: &[f32],
+        packed: &[&[u8]; QUANT_LANES],
+        acc: &mut [f32; QUANT_LANES],
+    ) {
+        for a in acc.iter_mut() {
+            *a = 0.0;
+        }
+        for (i, &q) in query.iter().enumerate() {
+            for (a, p) in acc.iter_mut().zip(packed) {
+                *a += q * (p[i] as i8 as f32);
+            }
+        }
+    }
+}
+
+/// Scores one query against many int8 keys into a reused buffer
+/// (cleared first): the production side of the int8 LUT-vs-arithmetic
+/// trade (see [`lut`](crate::lut) for why the true 256-entry table
+/// loses at cache-sized dims). The dispatch tier is resolved once, keys
+/// run [`QUANT_LANES`] at a time, and each result is bit-identical to
+/// `key.dot_reference(query)`.
+///
+/// # Panics
+///
+/// Panics if any key is not int8 or disagrees with `query` on length.
+pub fn dot_i8_batch_into(query: &[f32], keys: &[QuantVec], out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(keys.len());
+    let tier = crate::dispatch::active_tier();
+    let mut blocks = keys.chunks_exact(QUANT_LANES);
+    for block in &mut blocks {
+        let packed: [&[u8]; QUANT_LANES] = std::array::from_fn(|k| {
+            let key = &block[k];
+            assert_eq!(key.width(), BitWidth::Int8, "dot_i8_batch_into wants int8");
+            assert_eq!(key.len(), query.len(), "quant dot length mismatch");
+            key.packed()
+        });
+        let mut acc = [0.0f32; QUANT_LANES];
+        quant_dot_i8_block::dispatch(tier, query, &packed, &mut acc);
+        out.extend(acc.iter().zip(block).map(|(a, key)| a * key.scale()));
+    }
+    for key in blocks.remainder() {
+        assert_eq!(key.width(), BitWidth::Int8, "dot_i8_batch_into wants int8");
+        assert_eq!(key.len(), query.len(), "quant dot length mismatch");
+        out.push(quant_dot_i8::dispatch(tier, query, key.packed()) * key.scale());
+    }
+}
 
 /// Bit width of a quantized vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -135,13 +274,45 @@ impl QuantVec {
             .collect()
     }
 
+    /// The absmax scale (`value[i] ≈ scale * level[i]`).
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The packed level bytes (int8: one level per byte; int4: two
+    /// nibbles per byte, low nibble first).
+    pub(crate) fn packed(&self) -> &[u8] {
+        &self.packed
+    }
+
     /// Dot product of a float query against this quantized vector without
     /// materializing the dequantized values.
+    ///
+    /// Runs on the [`dispatch`](crate::dispatch) registry (byte-wise
+    /// int4 unpacking even on the scalar tier); bit-identical to
+    /// [`dot_reference`](Self::dot_reference) at every tier.
     ///
     /// # Panics
     ///
     /// Panics if `query.len() != self.len()`.
     pub fn dot(&self, query: &[f32]) -> f32 {
+        assert_eq!(query.len(), self.len, "quant dot length mismatch");
+        let tier = crate::dispatch::active_tier();
+        let acc = match self.width {
+            BitWidth::Int8 => quant_dot_i8::dispatch(tier, query, &self.packed),
+            BitWidth::Int4 => quant_dot_i4::dispatch(tier, query, &self.packed),
+        };
+        acc * self.scale
+    }
+
+    /// The original per-element fused dot — one branchy `level(i)`
+    /// unpack per element — retained as the pinning reference for
+    /// [`dot`](Self::dot) and the `lut` kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != self.len()`.
+    pub fn dot_reference(&self, query: &[f32]) -> f32 {
         assert_eq!(query.len(), self.len, "quant dot length mismatch");
         let mut acc = 0.0;
         for (i, &q) in query.iter().enumerate() {

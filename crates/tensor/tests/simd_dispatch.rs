@@ -1,0 +1,200 @@
+//! The determinism contract of the SIMD dispatch registry: every kernel
+//! behind `spec_tensor::dispatch` must match its retained scalar
+//! reference **bit-for-bit at every available tier** (swept per run via
+//! `dispatch::with_tier`, which takes precedence over `SPEC_SIMD`). CI
+//! additionally runs the whole test suite under `SPEC_SIMD=scalar`,
+//! exercising the env-var path end to end on wide machines.
+
+use proptest::prelude::*;
+use spec_tensor::dispatch::{self, SimdTier};
+use spec_tensor::lut::{I8Lut, QueryLut};
+use spec_tensor::quant::{BitWidth, QuantVec};
+use spec_tensor::{matrix, SimRng};
+
+fn assert_bits_eq(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: element {i} differs ({g} vs {w})"
+        );
+    }
+}
+
+/// Runs `f` once per available tier, labelled for failure messages.
+fn for_each_tier(mut f: impl FnMut(SimdTier)) {
+    for &tier in dispatch::available_tiers() {
+        dispatch::with_tier(tier, || f(tier));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `QuantVec::dot` (both widths) equals the per-element reference at
+    /// every tier; lengths straddle the staging chunk and stay odd often
+    /// enough to exercise the int4 half-byte tail.
+    #[test]
+    fn quant_dot_matches_reference_at_every_tier(
+        params in (0usize..200, any::<u64>())
+    ) {
+        let (n, seed) = params;
+        let mut rng = SimRng::seed(seed);
+        let xs = rng.normal_matrix(1, n, 1.0).as_slice().to_vec();
+        let query = rng.normal_matrix(1, n, 1.0).as_slice().to_vec();
+        for width in [BitWidth::Int4, BitWidth::Int8] {
+            let key = QuantVec::quantize(&xs, width);
+            let want = key.dot_reference(&query);
+            for_each_tier(|tier| {
+                let got = key.dot(&query);
+                assert_eq!(
+                    got.to_bits(), want.to_bits(),
+                    "{width:?} len {n} tier {tier}: {got} vs {want}"
+                );
+            });
+        }
+    }
+
+    /// The int4 query LUT — single dots and the batched `scores_into`
+    /// (key counts straddle the 8-lane blocking, leaving remainders) —
+    /// equals `dot_reference` at every tier.
+    #[test]
+    fn lut_i4_matches_reference_at_every_tier(
+        params in (0usize..150, 1usize..28, any::<u64>())
+    ) {
+        let (n, nkeys, seed) = params;
+        let mut rng = SimRng::seed(seed);
+        let query = rng.normal_matrix(1, n, 1.0).as_slice().to_vec();
+        let keys: Vec<QuantVec> = (0..nkeys)
+            .map(|_| {
+                let xs = rng.normal_matrix(1, n, 1.0).as_slice().to_vec();
+                QuantVec::quantize(&xs, BitWidth::Int4)
+            })
+            .collect();
+        let lut = QueryLut::build(&query);
+        let want: Vec<f32> = keys.iter().map(|k| k.dot_reference(&query)).collect();
+        for_each_tier(|tier| {
+            let mut out = vec![f32::NAN; 2];
+            lut.scores_into(&keys, &mut out);
+            assert_bits_eq(&out, &want, &format!("scores_into len {n} tier {tier}"));
+            for (k, w) in keys.iter().zip(&want) {
+                assert_eq!(lut.dot_i4(k).to_bits(), w.to_bits(), "tier {tier}");
+            }
+        });
+    }
+
+    /// Both int8 batch paths — the true LUT and the blocked widened
+    /// multiply (key counts straddle the 8-lane blocking) — equal
+    /// `dot_reference` at every tier.
+    #[test]
+    fn lut_i8_matches_reference_at_every_tier(
+        params in (0usize..150, 1usize..28, any::<u64>())
+    ) {
+        let (n, nkeys, seed) = params;
+        let mut rng = SimRng::seed(seed);
+        let query = rng.normal_matrix(1, n, 1.0).as_slice().to_vec();
+        let keys: Vec<QuantVec> = (0..nkeys)
+            .map(|_| {
+                let xs = rng.normal_matrix(1, n, 1.0).as_slice().to_vec();
+                QuantVec::quantize(&xs, BitWidth::Int8)
+            })
+            .collect();
+        let lut = I8Lut::build(&query);
+        let want: Vec<f32> = keys.iter().map(|k| k.dot_reference(&query)).collect();
+        for_each_tier(|tier| {
+            for (k, w) in keys.iter().zip(&want) {
+                assert_eq!(lut.dot_i8(k).to_bits(), w.to_bits(), "table tier {tier}");
+            }
+            let mut out = vec![f32::NAN; 2];
+            spec_tensor::quant::dot_i8_batch_into(&query, &keys, &mut out);
+            assert_bits_eq(&out, &want, &format!("batch len {n} tier {tier}"));
+        });
+    }
+
+    /// The batched row-dot kernel behind the InfiniGen selector equals
+    /// the reference `matrix::dot` per row at every tier.
+    #[test]
+    fn dot_rows_into_matches_reference_at_every_tier(
+        params in (0usize..40, 1usize..150, any::<u64>())
+    ) {
+        let (rows, cols, seed) = params;
+        let mut rng = SimRng::seed(seed);
+        let keys = rng.normal_matrix(rows, cols, 1.0);
+        let query = rng.normal_matrix(1, cols, 1.0).as_slice().to_vec();
+        let want: Vec<f32> = keys.iter_rows().map(|k| matrix::dot(&query, k)).collect();
+        for_each_tier(|tier| {
+            let mut out = vec![f32::NAN; 3];
+            keys.dot_rows_into(&query, &mut out);
+            assert_bits_eq(&out, &want, &format!("{rows}x{cols} tier {tier}"));
+        });
+    }
+
+    /// The blocked matmul (whose micro tile is now a dispatched kernel)
+    /// equals the naive triple loop at every tier.
+    #[test]
+    fn matmul_matches_reference_at_every_tier(
+        shape in (1usize..32, 1usize..32, 1usize..32, any::<u64>())
+    ) {
+        let (m, k, n, seed) = shape;
+        let mut rng = SimRng::seed(seed);
+        let a = rng.normal_matrix(m, k, 1.0);
+        let b = rng.normal_matrix(k, n, 1.0);
+        let want = a.matmul_naive(&b);
+        for_each_tier(|tier| {
+            let got = a.matmul(&b);
+            assert_bits_eq(
+                got.as_slice(),
+                want.as_slice(),
+                &format!("matmul {m}x{k}x{n} tier {tier}"),
+            );
+        });
+    }
+}
+
+/// Lengths pinned at the int4 staging edges: chunk boundary, one over,
+/// and odd tails whose final byte carries a padding nibble.
+#[test]
+fn int4_edge_lengths_match_at_every_tier() {
+    for n in [0usize, 1, 2, 3, 63, 64, 65, 127, 128, 129] {
+        let mut rng = SimRng::seed(0xC0DE + n as u64);
+        let xs = rng.normal_matrix(1, n, 1.0).as_slice().to_vec();
+        let query = rng.normal_matrix(1, n, 1.0).as_slice().to_vec();
+        let key = QuantVec::quantize(&xs, BitWidth::Int4);
+        let lut = QueryLut::build(&query);
+        let want = key.dot_reference(&query);
+        for_each_tier(|tier| {
+            assert_eq!(
+                key.dot(&query).to_bits(),
+                want.to_bits(),
+                "dot len {n} tier {tier}"
+            );
+            assert_eq!(
+                lut.dot_i4(&key).to_bits(),
+                want.to_bits(),
+                "lut len {n} tier {tier}"
+            );
+        });
+    }
+}
+
+/// The `SPEC_SIMD` regression gate: when CI (or a user) forces a tier
+/// via the environment, `active_tier` must honor it — clamped to what
+/// the CPU supports. With no override the active tier is the detected
+/// hardware maximum. Either way it must be executable.
+#[test]
+fn spec_simd_env_forces_the_active_tier() {
+    let active = dispatch::active_tier();
+    match std::env::var("SPEC_SIMD")
+        .ok()
+        .and_then(|v| SimdTier::parse(&v))
+    {
+        Some(forced) => assert_eq!(
+            active,
+            dispatch::clamp(forced),
+            "SPEC_SIMD={forced} must pin the active tier"
+        ),
+        None => assert_eq!(active, dispatch::detected_tier()),
+    }
+    assert!(dispatch::available_tiers().contains(&active));
+}
