@@ -20,6 +20,10 @@ pub struct DeviceSpec {
     pub pcie_bw: f64,
     /// Fixed per-transfer latency, seconds (driver + DMA setup).
     pub pcie_latency: f64,
+    /// Rental price, USD per GPU-hour (on-demand cloud list price
+    /// class; edge devices use an amortized ownership figure). Feeds
+    /// the fleet cost model and goodput-per-dollar reporting.
+    pub hourly_cost: f64,
 }
 
 impl DeviceSpec {
@@ -33,6 +37,7 @@ impl DeviceSpec {
             cpu_mem_bytes: 1008 * (1 << 30),
             pcie_bw: 25e9,
             pcie_latency: 10e-6,
+            hourly_cost: 2.21,
         }
     }
 
@@ -46,6 +51,7 @@ impl DeviceSpec {
             cpu_mem_bytes: 24 * (1 << 30),
             pcie_bw: 12e9,
             pcie_latency: 15e-6,
+            hourly_cost: 0.12,
         }
     }
 
@@ -60,6 +66,7 @@ impl DeviceSpec {
             cpu_mem_bytes: 128 * (1 << 30),
             pcie_bw: 25e9,
             pcie_latency: 10e-6,
+            hourly_cost: 0.44,
         }
     }
 
@@ -73,6 +80,7 @@ impl DeviceSpec {
             cpu_mem_bytes: 1008 * (1 << 30),
             pcie_bw: 55e9,
             pcie_latency: 8e-6,
+            hourly_cost: 4.76,
         }
     }
 
@@ -140,6 +148,19 @@ mod tests {
         assert!(d.gpu_mem_bw < a.gpu_mem_bw);
         assert!(a.gpu_mem_bw < h.gpu_mem_bw);
         assert!(d.gpu_mem_bytes < a.gpu_mem_bytes);
+    }
+
+    #[test]
+    fn hourly_cost_tracks_the_device_ladder() {
+        let l = DeviceSpec::rtx4060_laptop();
+        let d = DeviceSpec::rtx4090();
+        let a = DeviceSpec::a100_80g();
+        let h = DeviceSpec::h100_80g();
+        assert!(l.hourly_cost < d.hourly_cost);
+        assert!(d.hourly_cost < a.hourly_cost);
+        assert!(a.hourly_cost < h.hourly_cost);
+        // The capped edge profile inherits the full profile's price.
+        assert_eq!(DeviceSpec::rtx4060_laptop_4g().hourly_cost, l.hourly_cost);
     }
 
     #[test]

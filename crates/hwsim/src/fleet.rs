@@ -8,6 +8,51 @@
 //! router policies break ties by replica index.
 
 use crate::device::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// What phase of a request a replica serves.
+///
+/// `Unified` replicas run the whole lifecycle (today's behaviour and
+/// the default everywhere). In a disaggregated fleet, `Prefill`
+/// replicas finish each request at its first token and hand the
+/// resident KV off over the interconnect; `Decode` replicas admit those
+/// handoffs and run the remaining decode iterations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReplicaRole {
+    /// Runs prefill and decode (the monolithic default).
+    #[default]
+    Unified,
+    /// Runs prefill only; emits a KV handoff at first token.
+    Prefill,
+    /// Runs decode only; admits prefill handoffs.
+    Decode,
+}
+
+impl ReplicaRole {
+    /// Short lowercase label for reports and traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReplicaRole::Unified => "unified",
+            ReplicaRole::Prefill => "prefill",
+            ReplicaRole::Decode => "decode",
+        }
+    }
+}
+
+impl std::fmt::Display for ReplicaRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One replica slot: a device plus the role it serves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSlot {
+    /// The device backing this slot.
+    pub device: DeviceSpec,
+    /// The phase this slot serves.
+    pub role: ReplicaRole,
+}
 
 /// Declarative builder for replica device lists.
 ///
@@ -25,7 +70,7 @@ use crate::device::DeviceSpec;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Fleet {
-    devices: Vec<DeviceSpec>,
+    slots: Vec<FleetSlot>,
 }
 
 impl Fleet {
@@ -34,35 +79,54 @@ impl Fleet {
         Self::default()
     }
 
-    /// Appends `count` replicas of `spec`.
-    pub fn with(mut self, spec: DeviceSpec, count: usize) -> Self {
-        self.devices.extend(std::iter::repeat_n(spec, count));
+    /// Appends `count` unified replicas of `spec`.
+    pub fn with(self, spec: DeviceSpec, count: usize) -> Self {
+        self.with_role(spec, ReplicaRole::Unified, count)
+    }
+
+    /// Appends `count` replicas of `spec` serving `role` — the
+    /// disaggregated form: compute-rich profiles take
+    /// [`ReplicaRole::Prefill`], bandwidth-rich profiles take
+    /// [`ReplicaRole::Decode`].
+    pub fn with_role(mut self, spec: DeviceSpec, role: ReplicaRole, count: usize) -> Self {
+        self.slots
+            .extend(std::iter::repeat_n(FleetSlot { device: spec, role }, count));
         self
     }
 
-    /// The device list, in replica order.
+    /// The device list, in replica order (roles dropped).
     pub fn build(self) -> Vec<DeviceSpec> {
-        self.devices
+        self.slots.into_iter().map(|s| s.device).collect()
+    }
+
+    /// The slot list, in replica order, with roles.
+    pub fn build_slots(self) -> Vec<FleetSlot> {
+        self.slots
     }
 
     /// Number of replica slots so far.
     pub fn len(&self) -> usize {
-        self.devices.len()
+        self.slots.len()
     }
 
     /// Whether no replica slot has been added.
     pub fn is_empty(&self) -> bool {
-        self.devices.is_empty()
+        self.slots.is_empty()
     }
 
     /// Total GPU memory across the fleet, bytes.
     pub fn total_gpu_mem(&self) -> u64 {
-        self.devices.iter().map(|d| d.gpu_mem_bytes).sum()
+        self.slots.iter().map(|s| s.device.gpu_mem_bytes).sum()
     }
 
     /// Total peak FP16 throughput across the fleet, FLOP/s.
     pub fn total_flops(&self) -> f64 {
-        self.devices.iter().map(|d| d.gpu_flops).sum()
+        self.slots.iter().map(|s| s.device.gpu_flops).sum()
+    }
+
+    /// Total rental price across the fleet, USD per hour.
+    pub fn hourly_cost(&self) -> f64 {
+        self.slots.iter().map(|s| s.device.hourly_cost).sum()
     }
 }
 
@@ -112,5 +176,36 @@ mod tests {
     #[test]
     fn empty_fleet_builds_empty() {
         assert!(Fleet::new().build().is_empty());
+    }
+
+    #[test]
+    fn role_slots_preserve_order_and_default_to_unified() {
+        let slots = Fleet::new()
+            .with_role(DeviceSpec::h100_80g(), ReplicaRole::Prefill, 2)
+            .with_role(DeviceSpec::a100_80g(), ReplicaRole::Decode, 1)
+            .with(DeviceSpec::rtx4090(), 1)
+            .build_slots();
+        let roles: Vec<ReplicaRole> = slots.iter().map(|s| s.role).collect();
+        assert_eq!(
+            roles,
+            [
+                ReplicaRole::Prefill,
+                ReplicaRole::Prefill,
+                ReplicaRole::Decode,
+                ReplicaRole::Unified,
+            ]
+        );
+        assert_eq!(slots[0].device.name, "H100-80GB");
+        assert_eq!(ReplicaRole::default(), ReplicaRole::Unified);
+        assert_eq!(ReplicaRole::Prefill.to_string(), "prefill");
+    }
+
+    #[test]
+    fn fleet_hourly_cost_sums_over_slots() {
+        let fleet = Fleet::new()
+            .with_role(DeviceSpec::h100_80g(), ReplicaRole::Prefill, 1)
+            .with_role(DeviceSpec::a100_80g(), ReplicaRole::Decode, 2);
+        let want = DeviceSpec::h100_80g().hourly_cost + 2.0 * DeviceSpec::a100_80g().hourly_cost;
+        assert!((fleet.hourly_cost() - want).abs() < 1e-12);
     }
 }

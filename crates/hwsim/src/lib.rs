@@ -12,7 +12,12 @@
 //! * [`event`] — a two-stream discrete-event simulator (compute stream +
 //!   copy stream) with dependencies, the substrate for the asynchronous
 //!   prefetch dataflow of Section 5;
-//! * [`transfer`] — CPU↔GPU transfer timing.
+//! * [`transfer`] — CPU↔GPU transfer timing;
+//! * [`link`] — inter-replica interconnect classes (NVLink/InfiniBand/
+//!   Ethernet) pricing the prefill→decode KV hop in disaggregated
+//!   fleets;
+//! * [`fleet`] — replica slot lists with per-slot
+//!   [`ReplicaRole`](fleet::ReplicaRole)s and fleet-level $/hour.
 //!
 //! Everything is in SI seconds and bytes; no wall-clock measurement is
 //! involved, so results are exactly reproducible.
@@ -23,11 +28,13 @@ pub mod energy;
 pub mod event;
 pub mod fleet;
 pub mod gantt;
+pub mod link;
 pub mod transfer;
 
 pub use cost::{EngineProfile, KernelCost};
 pub use device::DeviceSpec;
 pub use energy::EnergyModel;
 pub use event::{EventSim, OpRecord, StreamId};
-pub use fleet::Fleet;
+pub use fleet::{Fleet, FleetSlot, ReplicaRole};
+pub use link::LinkSpec;
 pub use transfer::TransferEngine;

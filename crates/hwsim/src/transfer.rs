@@ -1,6 +1,7 @@
 //! CPU↔GPU transfer timing and accounting.
 
 use crate::device::DeviceSpec;
+use crate::link::LinkSpec;
 use serde::{Deserialize, Serialize};
 
 /// Accumulates transfer volume and time over a run.
@@ -29,6 +30,16 @@ impl TransferEngine {
     /// Time for a transfer batched with others (no extra latency).
     pub fn transfer_batched(&mut self, bytes: f64, dev: &DeviceSpec) -> f64 {
         let t = bytes / dev.pcie_bw;
+        self.total_bytes += bytes;
+        self.total_time += t;
+        self.transfers += 1;
+        t
+    }
+
+    /// Time to move `bytes` over an inter-replica `link` (the
+    /// prefill→decode KV hop), recording it like any other transfer.
+    pub fn transfer_link(&mut self, bytes: f64, link: &LinkSpec) -> f64 {
+        let t = link.time(bytes);
         self.total_bytes += bytes;
         self.total_time += t;
         self.transfers += 1;
@@ -64,6 +75,21 @@ mod tests {
         assert_eq!(t.total_bytes(), 3e9);
         assert_eq!(t.transfers(), 2);
         assert!(t.total_time() > 0.1);
+    }
+
+    #[test]
+    fn link_transfer_prices_and_accounts() {
+        let mut t = TransferEngine::new();
+        let ib = LinkSpec::infiniband();
+        let dt = t.transfer_link(50e9, &ib);
+        assert!((dt - ib.time(50e9)).abs() < 1e-12);
+        assert_eq!(t.total_bytes(), 50e9);
+        assert_eq!(t.transfers(), 1);
+        // A zero-cost link still counts bytes but adds no time.
+        let before = t.total_time();
+        t.transfer_link(1e9, &LinkSpec::zero_cost());
+        assert_eq!(t.total_time(), before);
+        assert_eq!(t.total_bytes(), 51e9);
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub use adaptive::{AdaptiveManager, Thresholds};
 pub use dataflow::{DataflowKind, StepBreakdown};
 pub use memory::MemoryModel;
 pub use scheduler::{
-    BatchState, CompletedRequest, CrashedWork, FairConfig, PreemptionPolicy, QueueDiscipline,
-    Request, RestorableRequest, ScheduleReport, Scheduler, SchedulerConfig,
+    BatchState, CompletedRequest, CrashedWork, FairConfig, HandoffRecord, PreemptionPolicy,
+    QueueDiscipline, Request, RestorableRequest, ScheduleReport, Scheduler, SchedulerConfig,
 };
 pub use serving::{MemoryPolicy, ServingSim, StepCache, SystemKind, ThroughputReport, Workload};
+// The role enum lives beside the fleet model in `spec_hwsim`; re-export
+// it so scheduler users name it without a second import.
+pub use spec_hwsim::ReplicaRole;

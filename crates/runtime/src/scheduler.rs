@@ -27,6 +27,7 @@
 
 use crate::serving::{ServingSim, StepCache, SystemKind, Workload};
 use serde::{Deserialize, Serialize};
+use spec_hwsim::ReplicaRole;
 use spec_telemetry::{seconds_to_ticks, Event, EventKind, NullSink, TelemetrySink};
 use spec_tensor::PercentileSummary;
 use std::collections::{BTreeMap, VecDeque};
@@ -293,8 +294,9 @@ struct Running {
     preemptions: usize,
 }
 
-/// One queued unit of work: a fresh arrival (`produced == 0`) or a
-/// checkpointed request awaiting restore.
+/// One queued unit of work: a fresh arrival (`produced == 0`), a
+/// checkpointed request awaiting restore, or a delivered prefill
+/// handoff whose KV is already device-resident (`preloaded`).
 #[derive(Debug, Clone, Copy)]
 struct QueueEntry {
     req: Request,
@@ -308,6 +310,12 @@ struct QueueEntry {
     first_token: Option<f64>,
     /// Times this request has been checkpointed so far.
     preemptions: usize,
+    /// Whether the entry's KV is already resident on this engine: a
+    /// prefill handoff whose interconnect hop (paid by the cluster)
+    /// priced device placement too, so admission charges nothing. A
+    /// preemption clears it — later restores pay PCIe like any
+    /// checkpoint.
+    preloaded: bool,
 }
 
 /// One tenant's wait queue plus its fairness ledgers.
@@ -350,6 +358,24 @@ pub struct RestorableRequest {
     pub preemptions: usize,
 }
 
+/// A request a `Prefill`-role engine retired at its first token,
+/// packaged for the KV hop to a decode replica. The restorable carries
+/// the request with its *original* arrival plus the timing history
+/// (start, first token, produced = 1) the decode side needs for honest
+/// latency accounting; `kv_bytes` is the resident KV under the sparse
+/// budget — exactly what the interconnect moves, and the quantity the
+/// `table3_disagg` bench shows shrinking versus dense baselines.
+#[derive(Debug, Clone, Copy)]
+pub struct HandoffRecord {
+    /// The request plus its produced/timing history.
+    pub restorable: RestorableRequest,
+    /// The prefill engine's clock when the handoff was emitted (the
+    /// request's first-token time).
+    pub emitted: f64,
+    /// Device-resident KV bytes to move over the interconnect.
+    pub kv_bytes: f64,
+}
+
 /// Everything a crash tears out of an engine — see
 /// [`BatchState::crash_dump`].
 #[derive(Debug, Clone, Default)]
@@ -390,6 +416,12 @@ pub struct BatchState {
     gauges: GaugeShadow,
     /// Straggler multiplier on device-priced costs (1.0 = nominal).
     time_scale: f64,
+    /// Which phase this engine serves. `Unified` (the default) is the
+    /// monolithic behaviour, bit-identical to the pre-role scheduler.
+    role: ReplicaRole,
+    /// Handoffs a `Prefill`-role engine has emitted and nobody
+    /// collected yet.
+    handoffs: Vec<HandoffRecord>,
 }
 
 impl Default for BatchState {
@@ -407,6 +439,8 @@ impl Default for BatchState {
             drr_last: None,
             gauges: GaugeShadow::default(),
             time_scale: 1.0,
+            role: ReplicaRole::Unified,
+            handoffs: Vec::new(),
         }
     }
 }
@@ -420,6 +454,32 @@ impl BatchState {
     /// The engine's straggler multiplier on device-priced costs.
     pub fn time_scale(&self) -> f64 {
         self.time_scale
+    }
+
+    /// Which phase this engine serves.
+    pub fn role(&self) -> ReplicaRole {
+        self.role
+    }
+
+    /// Sets the engine's role. `Unified` runs the whole request
+    /// lifecycle (the default, bit-identical to the pre-role
+    /// scheduler); `Prefill` retires each request at its first token
+    /// into a [`HandoffRecord`]; `Decode` admits delivered handoffs via
+    /// [`BatchState::push_preloaded`] and runs the remaining
+    /// iterations.
+    pub fn set_role(&mut self, role: ReplicaRole) {
+        self.role = role;
+    }
+
+    /// Drains the handoffs a `Prefill`-role engine has emitted since
+    /// the last call, in emission order.
+    pub fn take_handoffs(&mut self) -> Vec<HandoffRecord> {
+        std::mem::take(&mut self.handoffs)
+    }
+
+    /// Whether any emitted handoff is still waiting for collection.
+    pub fn has_handoffs(&self) -> bool {
+        !self.handoffs.is_empty()
     }
 
     /// Sets the straggler multiplier: prefill, decode iterations and KV
@@ -464,7 +524,9 @@ impl BatchState {
         }
         for q in self.queues.values_mut() {
             for e in q.queue.drain(..) {
-                if e.produced > 0 {
+                // Preloaded handoffs live in device memory only — no
+                // host checkpoint survives the crash.
+                if e.produced > 0 && !e.preloaded {
                     out.checkpointed.push(RestorableRequest {
                         request: e.req,
                         produced: e.produced,
@@ -520,6 +582,59 @@ impl BatchState {
                 start: restorable.start,
                 first_token: restorable.first_token,
                 preemptions: restorable.preemptions,
+                preloaded: false,
+            });
+        emit(
+            sink,
+            req.arrival,
+            EventKind::Enqueued {
+                request: req.id as u64,
+                tenant: req.tenant,
+            },
+        );
+    }
+
+    /// Re-enqueues a delivered prefill handoff whose KV the
+    /// interconnect already placed on this engine
+    /// ([`BatchState::push_restorable`] with `preloaded` set): its
+    /// admission charges nothing — the cluster priced the whole hop,
+    /// GPUDirect-style, when it delayed delivery by the link time — and
+    /// emits [`EventKind::Restored`] rather than a fresh admission. A
+    /// later preemption clears the flag, so re-restores pay PCIe like
+    /// any checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrival` precedes a previously pushed request.
+    pub fn push_preloaded<S: TelemetrySink>(
+        &mut self,
+        restorable: RestorableRequest,
+        arrival: f64,
+        sink: &mut S,
+    ) {
+        let mut req = restorable.request;
+        req.arrival = arrival;
+        assert!(
+            req.arrival >= self.last_arrival,
+            "requests must be pushed in arrival order ({} after {})",
+            req.arrival,
+            self.last_arrival
+        );
+        self.last_arrival = req.arrival;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queues
+            .entry(req.tenant)
+            .or_default()
+            .queue
+            .push_back(QueueEntry {
+                req,
+                seq,
+                produced: restorable.produced,
+                start: restorable.start,
+                first_token: restorable.first_token,
+                preemptions: restorable.preemptions,
+                preloaded: true,
             });
         emit(
             sink,
@@ -569,6 +684,7 @@ impl BatchState {
                 start: None,
                 first_token: None,
                 preemptions: 0,
+                preloaded: false,
             });
         emit(
             sink,
@@ -902,7 +1018,9 @@ impl Scheduler {
         for r in &state.running {
             state.queues.entry(r.req.tenant).or_default().served += 1;
         }
+        let role = state.role;
         let completed = &mut state.completed;
+        let handoffs = &mut state.handoffs;
         state.running.retain(|r| {
             if r.produced >= r.req.output_len {
                 completed.push(CompletedRequest {
@@ -918,6 +1036,35 @@ impl Scheduler {
                     EventKind::Completed {
                         request: r.req.id as u64,
                         tenant: r.req.tenant,
+                    },
+                );
+                false
+            } else if role == ReplicaRole::Prefill {
+                // A prefill engine is done with a request the moment its
+                // first token exists: retire it into a handoff carrying
+                // the resident KV (sparse-budget-capped) for the decode
+                // hop. Requests whose whole output was that one token
+                // completed above and never pay the hop.
+                let kv_bytes = self.resident_tokens(&r.req, r.produced) as f64
+                    * self.sim.memory_model().kv_token_total_bytes();
+                handoffs.push(HandoffRecord {
+                    restorable: RestorableRequest {
+                        request: r.req,
+                        produced: r.produced,
+                        start: Some(r.start),
+                        first_token: r.first_token,
+                        preemptions: r.preemptions,
+                    },
+                    emitted: now,
+                    kv_bytes,
+                });
+                emit(
+                    sink,
+                    now,
+                    EventKind::HandoffEmitted {
+                        request: r.req.id as u64,
+                        tenant: r.req.tenant,
+                        bytes: kv_bytes as u64,
                     },
                 );
                 false
@@ -1002,7 +1149,19 @@ impl Scheduler {
         if q.queue.is_empty() {
             q.deficit = 0;
         }
-        if entry.produced == 0 {
+        if entry.preloaded {
+            // Delivered prefill handoff: the KV is already resident (the
+            // cluster priced the interconnect hop, device placement
+            // included), so admission costs nothing.
+            emit(
+                sink,
+                state.now,
+                EventKind::Restored {
+                    request: entry.req.id as u64,
+                    tenant: entry.req.tenant,
+                },
+            );
+        } else if entry.produced == 0 {
             state.now += self.prefill_time(&entry.req, cache) * state.time_scale;
             emit(
                 sink,
@@ -1073,6 +1232,9 @@ impl Scheduler {
                 start: Some(victim.start),
                 first_token: victim.first_token,
                 preemptions: victim.preemptions + 1,
+                // The checkpoint now lives host-side; the restore pays
+                // PCIe even if the KV originally arrived preloaded.
+                preloaded: false,
             });
         if sink.enabled() {
             let request = victim.req.id as u64;
@@ -1545,6 +1707,87 @@ mod tests {
                 assert!(c.finish >= c.first_token);
             }
         }
+    }
+
+    #[test]
+    fn prefill_role_retires_requests_at_first_token() {
+        let s = Scheduler::new(sim(), SystemKind::SpeContext, SchedulerConfig::default());
+        let mut state = BatchState::new();
+        state.set_role(ReplicaRole::Prefill);
+        assert_eq!(state.role(), ReplicaRole::Prefill);
+        for req in trace(3, 0.1) {
+            state.push(req);
+        }
+        let mut cache = StepCache::new();
+        while state.has_work() {
+            s.step(&mut state, &mut cache);
+        }
+        assert!(state.completed().is_empty(), "prefill engines never finish");
+        assert!(state.has_handoffs());
+        let handoffs = state.take_handoffs();
+        assert_eq!(handoffs.len(), 3);
+        assert!(!state.has_handoffs(), "take_handoffs drains");
+        // Resident KV under the sparse budget: 2048 input + 1 produced,
+        // capped at the 2048-token budget.
+        let per_token = s.sim().memory_model().kv_token_total_bytes();
+        for h in &handoffs {
+            assert_eq!(h.restorable.produced, 1);
+            assert_eq!(h.restorable.first_token, Some(h.emitted));
+            assert!(h.restorable.start.is_some());
+            assert_eq!(h.kv_bytes, 2048.0 * per_token);
+        }
+    }
+
+    #[test]
+    fn single_token_outputs_complete_on_the_prefill_engine() {
+        let s = Scheduler::new(sim(), SystemKind::SpeContext, SchedulerConfig::default());
+        let mut state = BatchState::new();
+        state.set_role(ReplicaRole::Prefill);
+        state.push(Request::new(0, 0, 1024, 1, 0.0));
+        let mut cache = StepCache::new();
+        while state.has_work() {
+            s.step(&mut state, &mut cache);
+        }
+        assert_eq!(state.completed().len(), 1);
+        assert!(!state.has_handoffs(), "one-token outputs never pay the hop");
+    }
+
+    #[test]
+    fn preloaded_handoffs_admit_free_and_keep_timing_history() {
+        let s = Scheduler::new(sim(), SystemKind::SpeContext, SchedulerConfig::default());
+        // Produce one handoff on a prefill engine.
+        let mut prefill = BatchState::new();
+        prefill.set_role(ReplicaRole::Prefill);
+        prefill.push(Request::new(0, 0, 2048, 64, 0.0));
+        let mut cache = StepCache::new();
+        while prefill.has_work() {
+            s.step(&mut prefill, &mut cache);
+        }
+        let handoff = prefill.take_handoffs().pop().expect("one handoff");
+
+        // Admit it preloaded on one decode engine and as a plain
+        // restorable (PCIe-charged) on another: the preloaded engine
+        // must finish strictly earlier, by exactly the restore time.
+        let run = |preloaded: bool| {
+            let mut state = BatchState::new();
+            state.set_role(ReplicaRole::Decode);
+            if preloaded {
+                state.push_preloaded(handoff.restorable, handoff.emitted, &mut NullSink);
+            } else {
+                state.push_restorable(handoff.restorable, handoff.emitted, &mut NullSink);
+            }
+            let mut cache = StepCache::new();
+            while state.has_work() {
+                s.step(&mut state, &mut cache);
+            }
+            state.completed()[0]
+        };
+        let free = run(true);
+        let paid = run(false);
+        assert_eq!(free.first_token, handoff.restorable.first_token.unwrap());
+        assert_eq!(free.request.output_len, 64);
+        assert!(free.finish < paid.finish, "preloaded admission is free");
+        assert_eq!(free.preemptions, 0);
     }
 
     #[test]

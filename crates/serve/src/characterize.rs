@@ -55,6 +55,43 @@ impl Log2Histogram {
     }
 }
 
+/// Prefill-vs-decode compute split of a trace.
+///
+/// Under the standard 2·P-FLOPs-per-token transformer cost model both
+/// phases burn the same FLOPs per generated-or-ingested token, so a
+/// request's prefill share is `input / (input + output)` — the quantity
+/// that decides how a disaggregated fleet should split prefill and
+/// decode replicas (see `cluster::Cluster::from_fleet_slots`). This is
+/// an approximation: it ignores the attention term's quadratic growth
+/// with context, which skews long-context traces further toward
+/// prefill.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputeSplit {
+    /// Token-weighted fleet share: Σ input / Σ (input + output). The
+    /// fraction of total FLOPs a prefill tier would absorb.
+    pub prefill_share: f64,
+    /// Unweighted mean of per-request prefill shares.
+    pub mean_request_share: f64,
+    /// Smallest per-request prefill share (most decode-heavy request).
+    pub min_request_share: f64,
+    /// Largest per-request prefill share (most prefill-heavy request).
+    pub max_request_share: f64,
+    /// Per-request shares bucketed into ten 0.1-wide bins over [0, 1].
+    pub share_hist: [u64; 10],
+}
+
+impl Default for ComputeSplit {
+    fn default() -> Self {
+        ComputeSplit {
+            prefill_share: 0.0,
+            mean_request_share: 0.0,
+            min_request_share: 0.0,
+            max_request_share: 0.0,
+            share_hist: [0; 10],
+        }
+    }
+}
+
 /// One tenant's share of the trace.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TenantShare {
@@ -92,6 +129,8 @@ pub struct Characterization {
     pub output_tokens: u64,
     /// Per-tenant shares, sorted by tenant id.
     pub tenants: Vec<TenantShare>,
+    /// Prefill-vs-decode compute split (disaggregation sizing input).
+    pub compute_split: ComputeSplit,
     /// Input-length histogram (log₂ buckets).
     pub input_hist: Log2Histogram,
     /// Output-length histogram (log₂ buckets).
@@ -124,6 +163,9 @@ pub fn characterize(name: &str, bytes: &[u8]) -> Result<Characterization, TraceE
     let (mut input_tokens, mut output_tokens) = (0u64, 0u64);
     let mut input_hist = Log2Histogram::default();
     let mut output_hist = Log2Histogram::default();
+    let mut share_sum = 0.0f64;
+    let (mut share_min, mut share_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut share_hist = [0u64; 10];
 
     while let Some(rec) = cursor.next_record()? {
         if requests == 0 {
@@ -153,6 +195,16 @@ pub fn characterize(name: &str, bytes: &[u8]) -> Result<Characterization, TraceE
         output_tokens += rec.output_len as u64;
         input_hist.add(rec.input_len);
         output_hist.add(rec.output_len);
+        let total = rec.input_len + rec.output_len;
+        let share = if total > 0 {
+            rec.input_len as f64 / total as f64
+        } else {
+            0.0
+        };
+        share_sum += share;
+        share_min = share_min.min(share);
+        share_max = share_max.max(share);
+        share_hist[((share * 10.0) as usize).min(9)] += 1;
         requests += 1;
     }
     peak_window = peak_window.max(window_count);
@@ -195,6 +247,17 @@ pub fn characterize(name: &str, bytes: &[u8]) -> Result<Characterization, TraceE
         input_tokens,
         output_tokens,
         tenants: tenant_shares,
+        compute_split: if requests > 0 {
+            ComputeSplit {
+                prefill_share: input_tokens as f64 / (input_tokens + output_tokens).max(1) as f64,
+                mean_request_share: share_sum / requests as f64,
+                min_request_share: share_min,
+                max_request_share: share_max,
+                share_hist,
+            }
+        } else {
+            ComputeSplit::default()
+        },
         input_hist,
         output_hist,
         encoded_bytes: bytes.len() as u64,
@@ -256,6 +319,34 @@ impl Characterization {
             ));
         }
 
+        let cs = &self.compute_split;
+        out.push_str("\n## Prefill/decode compute split\n\n");
+        out.push_str(
+            "Token-share proxy for FLOPs (2·P per token in both phases); the\n\
+             fraction of fleet compute a prefill tier would absorb.\n\n",
+        );
+        out.push_str("| metric | value |\n|---|---|\n");
+        out.push_str(&format!(
+            "| prefill share (token-weighted) | {:.1}% |\n",
+            100.0 * cs.prefill_share
+        ));
+        out.push_str(&format!(
+            "| prefill share (per-request mean) | {:.1}% |\n",
+            100.0 * cs.mean_request_share
+        ));
+        out.push_str(&format!(
+            "| per-request range | {:.1}%–{:.1}% |\n",
+            100.0 * cs.min_request_share,
+            100.0 * cs.max_request_share
+        ));
+        out.push_str("\n| prefill share | requests |\n|---|---|\n");
+        for (i, &n) in cs.share_hist.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            out.push_str(&format!("| {}0–{}0% | {} |\n", i, i + 1, n));
+        }
+
         out.push_str("\n## Input lengths (tokens)\n\n| range | count | share |\n|---|---|---|\n");
         out.push_str(&self.input_hist.to_markdown(""));
         out.push_str("\n## Output lengths (tokens)\n\n| range | count | share |\n|---|---|---|\n");
@@ -289,6 +380,11 @@ impl Characterization {
                 "  \"input_tokens\": {},\n",
                 "  \"output_tokens\": {},\n",
                 "  \"tenants\": [{}],\n",
+                "  \"prefill_share\": {:.4},\n",
+                "  \"prefill_share_mean\": {:.4},\n",
+                "  \"prefill_share_min\": {:.4},\n",
+                "  \"prefill_share_max\": {:.4},\n",
+                "  \"prefill_share_hist\": [{}],\n",
                 "  \"input_hist_log2\": {},\n",
                 "  \"output_hist_log2\": {},\n",
                 "  \"encoded_bytes\": {},\n",
@@ -306,6 +402,16 @@ impl Characterization {
             self.input_tokens,
             self.output_tokens,
             tenants.join(","),
+            self.compute_split.prefill_share,
+            self.compute_split.mean_request_share,
+            self.compute_split.min_request_share,
+            self.compute_split.max_request_share,
+            self.compute_split
+                .share_hist
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
             self.input_hist.to_json(),
             self.output_hist.to_json(),
             self.encoded_bytes,
@@ -394,6 +500,60 @@ mod tests {
         let json = c.to_json();
         assert!(json.contains("\"requests\": 100"));
         assert!(json.contains("\"input_hist_log2\": ["));
+    }
+
+    #[test]
+    fn compute_split_is_exact_for_a_single_shape() {
+        // One shape, 2048 in / 1024 out: every request's prefill share
+        // is exactly 2/3, so weighted, mean, min and max all agree and
+        // the whole mass lands in the 60–70% bucket.
+        let cfg = TraceConfig::poisson(2.0)
+            .shapes(vec![Workload::new(2048, 1024, 1)])
+            .count(200);
+        let bytes = encode(generate(&cfg, &mut SimRng::seed(11)));
+        let cs = characterize("split", &bytes).unwrap().compute_split;
+        let want = 2048.0 / 3072.0;
+        assert!((cs.prefill_share - want).abs() < 1e-12);
+        assert!((cs.mean_request_share - want).abs() < 1e-12);
+        assert_eq!(cs.min_request_share, cs.max_request_share);
+        assert_eq!(cs.share_hist[6], 200);
+        assert_eq!(cs.share_hist.iter().sum::<u64>(), 200);
+    }
+
+    #[test]
+    fn compute_split_orders_prefill_vs_decode_heavy_traces() {
+        let heavy_in = encode(generate(
+            &TraceConfig::poisson(2.0)
+                .shapes(vec![Workload::new(8192, 128, 1)])
+                .count(500),
+            &mut SimRng::seed(5),
+        ));
+        let heavy_out = encode(generate(
+            &TraceConfig::poisson(2.0)
+                .shapes(vec![Workload::new(512, 8192, 1)])
+                .count(500),
+            &mut SimRng::seed(5),
+        ));
+        let ci = characterize("in", &heavy_in).unwrap().compute_split;
+        let co = characterize("out", &heavy_out).unwrap().compute_split;
+        assert!(ci.prefill_share > 0.9, "prefill-heavy {}", ci.prefill_share);
+        assert!(co.prefill_share < 0.1, "decode-heavy {}", co.prefill_share);
+        assert!(ci.mean_request_share > co.mean_request_share);
+    }
+
+    #[test]
+    fn compute_split_renders_in_both_report_shapes() {
+        let cfg = TraceConfig::poisson(2.0)
+            .shapes(vec![Workload::new(2048, 1024, 1)])
+            .count(50);
+        let bytes = encode(generate(&cfg, &mut SimRng::seed(2)));
+        let c = characterize("render-split", &bytes).unwrap();
+        let md = c.to_markdown();
+        assert!(md.contains("## Prefill/decode compute split"));
+        assert!(md.contains("| prefill share (token-weighted) | 66.7% |"));
+        let json = c.to_json();
+        assert!(json.contains("\"prefill_share\": 0.6667"));
+        assert!(json.contains("\"prefill_share_hist\": [0,0,0,0,0,0,50,0,0,0]"));
     }
 
     #[test]

@@ -25,15 +25,18 @@
 use crate::arrivals::{ArrivalSource, ClusterRequest, SliceSource};
 use crate::faults::{FaultAction, FaultEvent, FaultLedger, FaultPlan, FaultRun, FaultSummary};
 use crate::replica::Replica;
-use crate::router::{ReplicaSnapshot, RoutePolicy};
-use crate::slo::{self, SloReport, SloSpec};
+use crate::router::{ReplicaSnapshot, RoutePolicy, RouterKind};
+use crate::slo::{self, CostReport, SloReport, SloSpec};
 use serde::{Deserialize, Serialize};
-use spec_hwsim::DeviceSpec;
+use spec_hwsim::{DeviceSpec, FleetSlot, LinkSpec, ReplicaRole};
 use spec_model::ModelConfig;
-use spec_runtime::{CompletedRequest, ScheduleReport, SchedulerConfig, ServingSim, SystemKind};
+use spec_runtime::{
+    CompletedRequest, HandoffRecord, ScheduleReport, SchedulerConfig, ServingSim, SystemKind,
+};
 use spec_telemetry::{
     merge_streams, seconds_to_ticks, Event, EventKind, RecordingSink, TelemetrySink,
 };
+use std::collections::HashMap;
 
 /// Queue-depth-driven scale-up/down.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,6 +49,14 @@ pub struct AutoscaleConfig {
     /// Park an idle replica when the fleet's total outstanding count is
     /// at or below this depth.
     pub scale_down_outstanding: usize,
+    /// Seconds a freshly woken replica spends booting before it serves —
+    /// charged by jumping its clock past the wake instant. `0.0` (the
+    /// default) reproduces the instant-wake autoscaler exactly.
+    pub spin_up_s: f64,
+    /// KV tokens a freshly woken replica warms over the interconnect
+    /// before serving (cold-start cache warmup, priced by the cluster's
+    /// [`DisaggConfig`] link). `0` (the default) skips the transfer.
+    pub warmup_kv_tokens: usize,
 }
 
 impl Default for AutoscaleConfig {
@@ -54,7 +65,54 @@ impl Default for AutoscaleConfig {
             min_replicas: 1,
             scale_up_outstanding: 4,
             scale_down_outstanding: 1,
+            spin_up_s: 0.0,
+            warmup_kv_tokens: 0,
         }
+    }
+}
+
+/// Disaggregated prefill/decode serving knobs. Only consulted when the
+/// fleet declares [`ReplicaRole::Prefill`]/[`ReplicaRole::Decode`] slots
+/// (see [`Cluster::from_fleet_slots`]); an all-`Unified` fleet never
+/// reads it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisaggConfig {
+    /// The interconnect pricing each prefill→decode KV hop: a handoff
+    /// emitted at `t` with `b` resident bytes reaches its decode target
+    /// at `t + link.time(b)`.
+    pub link: LinkSpec,
+    /// Stage-2 policy picking the decode target at handoff-delivery time
+    /// (stage 1 is the cluster's main router, restricted to non-decode
+    /// replicas).
+    pub decode_router: RouterKind,
+}
+
+impl Default for DisaggConfig {
+    /// InfiniBand-class interconnect, least-outstanding decode picks.
+    fn default() -> Self {
+        Self {
+            link: LinkSpec::infiniband(),
+            decode_router: RouterKind::LeastOutstanding,
+        }
+    }
+}
+
+impl DisaggConfig {
+    /// The default configuration; chain the builder methods.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the interconnect class pricing the KV hop.
+    pub fn link(mut self, link: LinkSpec) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Sets the stage-2 decode-target policy.
+    pub fn decode_router(mut self, kind: RouterKind) -> Self {
+        self.decode_router = kind;
+        self
     }
 }
 
@@ -72,6 +130,10 @@ pub struct ClusterConfig {
     pub scheduler: SchedulerConfig,
     /// Autoscaling; `None` keeps the whole fleet active throughout.
     pub autoscale: Option<AutoscaleConfig>,
+    /// Disaggregated prefill/decode serving; `None` falls back to the
+    /// defaults when the fleet declares split roles and is ignored
+    /// entirely otherwise.
+    pub disagg: Option<DisaggConfig>,
 }
 
 impl ClusterConfig {
@@ -91,6 +153,25 @@ impl ClusterConfig {
         self.autoscale = Some(autoscale);
         self
     }
+
+    /// Configures the disaggregated prefill/decode path (interconnect
+    /// class and decode-target policy).
+    pub fn disagg(mut self, disagg: DisaggConfig) -> Self {
+        self.disagg = Some(disagg);
+        self
+    }
+}
+
+/// Interconnect traffic of the prefill→decode KV hops in one run; all
+/// zeros when no replica ran a split role.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct HandoffSummary {
+    /// Handoffs delivered to decode replicas.
+    pub count: usize,
+    /// KV bytes moved over the interconnect.
+    pub bytes: f64,
+    /// Seconds the handoffs spent on the wire (sum over hops).
+    pub transfer_s: f64,
 }
 
 /// One replica's slice of a cluster run.
@@ -127,6 +208,11 @@ pub struct ClusterReport {
     /// Fault and recovery counters; all zeros for fault-free runs, so
     /// no-fault reports stay bit-identical to pre-fault ones.
     pub faults: FaultSummary,
+    /// Prefill→decode handoff traffic; all zeros on unified fleets.
+    pub handoffs: HandoffSummary,
+    /// Dollar accounting: fleet price, billed replica-hours, and
+    /// goodput per dollar.
+    pub cost: CostReport,
 }
 
 /// A fleet of serving replicas behind a router.
@@ -142,6 +228,41 @@ pub struct Cluster {
     /// Set for the duration of a health-aware faulted run: non-healthy
     /// replicas are folded out of routing candidate sets.
     health_aware: bool,
+    /// Whether any replica runs a split role — the single gate on every
+    /// disaggregation code path, so an all-`Unified` fleet walks exactly
+    /// the pre-disaggregation event sequence.
+    two_stage: bool,
+    /// Stage-2 router picking decode targets at handoff-delivery time.
+    decode_router: Box<dyn RoutePolicy>,
+    /// The interconnect pricing prefill→decode hops and cold-start
+    /// warmup transfers.
+    link: LinkSpec,
+    /// Handoffs on the wire, kept sorted by `(ready, request id)`.
+    pending_handoffs: Vec<PendingHandoff>,
+    /// Request id → session, so stage-2 routing of a handoff sees the
+    /// same session key stage 1 saw (populated on split fleets only).
+    sessions: HashMap<usize, u64>,
+    /// Request id → original arrival, for handed-off requests whose
+    /// engine-side arrival was restamped to the delivery instant (the
+    /// report patches latency metrics back to first submission).
+    origins: HashMap<usize, f64>,
+    /// Interconnect traffic accounting.
+    handoffs: HandoffSummary,
+    /// Billing: when each replica's current active window opened
+    /// (`None` = parked, not billing).
+    active_since: Vec<Option<f64>>,
+    /// Billing: closed active-window seconds per replica.
+    billed_s: Vec<f64>,
+}
+
+/// One prefill→decode handoff in flight on the interconnect.
+#[derive(Debug, Clone, Copy)]
+struct PendingHandoff {
+    /// Delivery instant: emission + link transfer time.
+    ready: f64,
+    /// Seconds the hop spends on the wire.
+    transfer_s: f64,
+    record: HandoffRecord,
 }
 
 impl Cluster {
@@ -171,6 +292,12 @@ impl Cluster {
             }
         }
         let peak_active = replicas.iter().filter(|r| r.is_active()).count();
+        let disagg = cfg.disagg.clone().unwrap_or_default();
+        let active_since = replicas
+            .iter()
+            .map(|r| r.is_active().then_some(0.0))
+            .collect();
+        let billed_s = vec![0.0; replicas.len()];
         Self {
             replicas,
             router,
@@ -178,6 +305,15 @@ impl Cluster {
             peak_active,
             telemetry: None,
             health_aware: false,
+            two_stage: false,
+            decode_router: disagg.decode_router.build(),
+            link: disagg.link,
+            pending_handoffs: Vec::new(),
+            sessions: HashMap::new(),
+            origins: HashMap::new(),
+            handoffs: HandoffSummary::default(),
+            active_since,
+            billed_s,
         }
     }
 
@@ -197,6 +333,57 @@ impl Cluster {
             .map(|dev| ServingSim::new(model.clone(), dev.clone(), budget))
             .collect();
         Self::new(sims, system, cfg, router)
+    }
+
+    /// Builds a role-typed cluster from fleet slots
+    /// (`spec_hwsim::Fleet::build_slots`): one replica per slot, prefill
+    /// slots running requests only to their first token and handing the
+    /// resident KV off to decode slots over `cfg.disagg`'s interconnect.
+    /// A fleet of all-[`Unified`](ReplicaRole::Unified) slots behaves
+    /// exactly like [`Cluster::from_fleet`] over the same devices.
+    pub fn from_fleet_slots(
+        model: &ModelConfig,
+        slots: &[FleetSlot],
+        budget: usize,
+        system: SystemKind,
+        cfg: ClusterConfig,
+        router: Box<dyn RoutePolicy>,
+    ) -> Self {
+        let sims = slots
+            .iter()
+            .map(|s| ServingSim::new(model.clone(), s.device.clone(), budget))
+            .collect();
+        let mut cluster = Self::new(sims, system, cfg, router);
+        for (i, slot) in slots.iter().enumerate() {
+            cluster.replicas[i].set_role(slot.role);
+        }
+        cluster.two_stage = slots.iter().any(|s| s.role != ReplicaRole::Unified);
+        if cluster.two_stage && cluster.cfg.autoscale.is_some() {
+            // `min_replicas` parking in `new` is role-blind; a split
+            // fleet must keep at least one routable replica per present
+            // role or both routing stages would wedge on an all-parked
+            // candidate set.
+            for role in [
+                ReplicaRole::Prefill,
+                ReplicaRole::Decode,
+                ReplicaRole::Unified,
+            ] {
+                let of_role: Vec<usize> = (0..cluster.replicas.len())
+                    .filter(|&i| cluster.replicas[i].role() == role)
+                    .collect();
+                if !of_role.is_empty() && !of_role.iter().any(|&i| cluster.replicas[i].is_active())
+                {
+                    cluster.replicas[of_role[0]].set_active(true);
+                }
+            }
+            cluster.peak_active = cluster.replicas.iter().filter(|r| r.is_active()).count();
+            cluster.active_since = cluster
+                .replicas
+                .iter()
+                .map(|r| r.is_active().then_some(0.0))
+                .collect();
+        }
+        cluster
     }
 
     /// The fleet, in replica order.
@@ -240,14 +427,19 @@ impl Cluster {
     ) -> ClusterReport {
         let mut queue_depth = Vec::with_capacity(source.remaining_hint().unwrap_or(0));
         if source.closed_loop() {
+            assert!(
+                !self.two_stage,
+                "disaggregated fleets drive open-loop sources (closed-loop \
+                 handoff pumping is not wired)"
+            );
             self.run_closed_loop(source, &mut queue_depth);
         } else {
             while let Some(cr) = source.next_request() {
-                self.advance_all(cr.request.arrival);
+                self.advance_delivering(cr.request.arrival);
                 self.route_arrived(&cr, &mut queue_depth);
             }
         }
-        self.drain_all();
+        self.drain_delivering();
         self.report(queue_depth, slo)
     }
 
@@ -279,6 +471,160 @@ impl Cluster {
                 rep.drain();
             }
         }
+    }
+
+    /// [`Cluster::advance_all`] with the prefill→decode handoff pump:
+    /// the fleet advances to each delivery instant on the way to `t` in
+    /// order, the handoff is admitted on its stage-2-routed decode
+    /// target, and the advance resumes — so a decode engine never steps
+    /// past the instant its KV came on board. Degenerates to a plain
+    /// `advance_all` (no pump state touched) on unified fleets.
+    fn advance_delivering(&mut self, t: f64) {
+        if !self.two_stage {
+            self.advance_all(t);
+            return;
+        }
+        loop {
+            self.collect_handoffs();
+            match self.next_ready().filter(|&r| r <= t) {
+                Some(r) => {
+                    self.advance_all(r);
+                    self.collect_handoffs();
+                    self.deliver_ready(r);
+                }
+                None => {
+                    self.advance_all(t);
+                    // Advancing to `t` may itself have emitted handoffs
+                    // whose transfer completes before `t`; deliver those
+                    // too (delivery pushes work but never steps engines,
+                    // so no further handoffs can appear).
+                    self.collect_handoffs();
+                    self.deliver_ready(t);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// [`Cluster::drain_all`] with the handoff pump: alternates draining
+    /// the fleet with delivering completed transfers until no work and
+    /// no in-flight handoffs remain. Plain `drain_all` on unified
+    /// fleets.
+    fn drain_delivering(&mut self) {
+        if !self.two_stage {
+            self.drain_all();
+            return;
+        }
+        loop {
+            self.collect_handoffs();
+            if let Some(r) = self.next_ready() {
+                self.advance_all(r);
+                self.collect_handoffs();
+                self.deliver_ready(r);
+            } else if self.replicas.iter().any(Replica::has_work) {
+                self.drain_all();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Moves freshly emitted handoff records from prefill engines onto
+    /// the interconnect, stamping each with its delivery instant.
+    fn collect_handoffs(&mut self) {
+        if !self.two_stage {
+            return;
+        }
+        for i in 0..self.replicas.len() {
+            if !self.replicas[i].has_handoffs() {
+                continue;
+            }
+            for record in self.replicas[i].take_handoffs() {
+                let transfer_s = self.link.time(record.kv_bytes);
+                self.pending_handoffs.push(PendingHandoff {
+                    ready: record.emitted + transfer_s,
+                    transfer_s,
+                    record,
+                });
+            }
+        }
+        self.pending_handoffs.sort_by(|a, b| {
+            a.ready
+                .partial_cmp(&b.ready)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    a.record
+                        .restorable
+                        .request
+                        .id
+                        .cmp(&b.record.restorable.request.id),
+                )
+        });
+    }
+
+    /// The earliest in-flight handoff's delivery instant.
+    fn next_ready(&self) -> Option<f64> {
+        self.pending_handoffs.first().map(|p| p.ready)
+    }
+
+    /// Delivers every handoff whose transfer completed by `t`, in
+    /// `(ready, id)` order — so each decode replica sees nondecreasing
+    /// arrival stamps.
+    fn deliver_ready(&mut self, t: f64) {
+        while self.pending_handoffs.first().is_some_and(|p| p.ready <= t) {
+            let p = self.pending_handoffs.remove(0);
+            self.deliver_one(p);
+        }
+    }
+
+    /// Stage-2 routing: picks the decode target for one delivered
+    /// handoff and admits it there, preloaded (the link already priced
+    /// the hop). Health folding composes on top exactly as in stage 1.
+    fn deliver_one(&mut self, p: PendingHandoff) {
+        let req = p.record.restorable.request;
+        let session = self.sessions.get(&req.id).copied().unwrap_or(req.id as u64);
+        let cr = ClusterRequest {
+            request: spec_runtime::Request {
+                arrival: p.ready,
+                ..req
+            },
+            session,
+        };
+        let mut snapshots: Vec<ReplicaSnapshot> = self
+            .replicas
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r.snapshot(i))
+            .collect();
+        for snap in &mut snapshots {
+            if self.replicas[snap.index].role() != ReplicaRole::Decode
+                || (self.health_aware && !snap.health.routable())
+            {
+                snap.active = false;
+            }
+        }
+        let idx = self.decode_router.route(&cr, &snapshots);
+        assert!(
+            idx < snapshots.len() && (snapshots[idx].active || snapshots.iter().all(|s| !s.active)),
+            "decode router {} picked an unavailable replica {idx}",
+            self.decode_router.name()
+        );
+        // Latency metrics must span from first submission; remember the
+        // original arrival before the engine-side restamp to `ready`.
+        self.origins.entry(req.id).or_insert(req.arrival);
+        self.replicas[idx].push_preloaded(p.record.restorable, p.ready);
+        self.handoffs.count += 1;
+        self.handoffs.bytes += p.record.kv_bytes;
+        self.handoffs.transfer_s += p.transfer_s;
+        self.emit_cluster_event(
+            p.ready,
+            idx,
+            EventKind::HandoffDelivered {
+                request: req.id as u64,
+                tenant: req.tenant,
+                bytes: p.record.kv_bytes as u64,
+            },
+        );
     }
 
     /// [`Cluster::run`] with request-lifecycle telemetry: runs the trace
@@ -390,17 +736,25 @@ impl Cluster {
         let mut run = FaultRun::new(plan, self.replicas.len());
         self.health_aware = plan.health_aware;
         loop {
+            self.collect_handoffs();
             let arrival = source.peek_arrival();
             let retry = run.next_retry_time();
-            if arrival.is_none() && retry.is_none() && !self.replicas.iter().any(Replica::has_work)
+            let handoff = self.next_ready();
+            if arrival.is_none()
+                && retry.is_none()
+                && handoff.is_none()
+                && !self.replicas.iter().any(Replica::has_work)
             {
                 break;
             }
             let fault = run.injector.peek_time();
             // Earliest event wins; at equal instants faults apply before
-            // retries and retries re-enter before fresh arrivals.
+            // retries, retries before handoff deliveries, and all of
+            // them before fresh arrivals. (Unified fleets never have a
+            // handoff candidate, so the pre-disaggregation ordering is
+            // untouched.)
             let mut best: Option<(f64, u8)> = None;
-            for (t, priority) in [(fault, 0u8), (retry, 1), (arrival, 2)] {
+            for (t, priority) in [(fault, 0u8), (retry, 1), (handoff, 2), (arrival, 3)] {
                 if let Some(t) = t {
                     let better = best.is_none_or(|(bt, bp)| t < bt || (t == bt && priority < bp));
                     if better {
@@ -415,13 +769,15 @@ impl Cluster {
             };
             match which {
                 0 => {
-                    if arrival.is_none() && retry.is_none() {
+                    if arrival.is_none() && retry.is_none() && handoff.is_none() {
                         // Only fault events remain. Advance to the event
                         // first: if that drains the fleet there is nothing
                         // left to perturb, and injecting further (an MTBF
                         // timeline is endless) would stall termination.
-                        self.advance_all(t);
-                        if !self.replicas.iter().any(Replica::has_work) {
+                        self.advance_delivering(t);
+                        if !self.replicas.iter().any(Replica::has_work)
+                            && self.pending_handoffs.is_empty()
+                        {
                             break;
                         }
                     }
@@ -429,7 +785,7 @@ impl Cluster {
                     self.apply_fault(ev, &mut run);
                 }
                 1 => {
-                    self.advance_all(t);
+                    self.advance_delivering(t);
                     let ready = run.pop_retry().expect("peeked retry vanished");
                     let mut req = ready.req;
                     req.arrival = ready.ready;
@@ -442,9 +798,14 @@ impl Cluster {
                     // happened) and emit no second `Arrived`.
                     self.route_in(&cr, &mut queue_depth, false);
                 }
+                2 => {
+                    self.advance_all(t);
+                    self.collect_handoffs();
+                    self.deliver_ready(t);
+                }
                 _ => {
                     let cr = source.next_request().expect("peeked arrival vanished");
-                    self.advance_all(t);
+                    self.advance_delivering(t);
                     run.sessions.insert(cr.request.id, cr.session);
                     if let Some(shed) = &plan.shed {
                         let outstanding: usize =
@@ -635,13 +996,17 @@ impl Cluster {
     /// The surviving replica a checkpoint restores onto: the
     /// least-outstanding healthy replica other than the crashed one,
     /// falling back to any up replica when none is healthy. `None` only
-    /// when every other replica is down.
+    /// when every other replica is down. On split fleets the primary
+    /// pick skips prefill replicas — a restored checkpoint resumes
+    /// *decoding*, and a prefill engine would immediately hand it off
+    /// again, paying a pointless second hop.
     fn pick_restore_target(&self, crashed: usize) -> Option<usize> {
         let up = |i: &usize| *i != crashed && !self.replicas[*i].is_down();
         let by_load = |i: &usize| (self.replicas[*i].outstanding(), *i);
         (0..self.replicas.len())
             .filter(up)
             .filter(|&i| !self.health_aware || self.replicas[i].health().routable())
+            .filter(|&i| !self.two_stage || self.replicas[i].role() != ReplicaRole::Prefill)
             .min_by_key(by_load)
             .or_else(|| (0..self.replicas.len()).filter(up).min_by_key(by_load))
     }
@@ -754,6 +1119,18 @@ impl Cluster {
                 }
             }
         }
+        if self.two_stage {
+            // Stage 1: fresh work starts with its prompt phase, so
+            // decode-only replicas leave the candidate set the same way
+            // unhealthy ones do; the decode target is picked later, at
+            // handoff-delivery time.
+            for snap in &mut snapshots {
+                if self.replicas[snap.index].role() == ReplicaRole::Decode {
+                    snap.active = false;
+                }
+            }
+            self.sessions.insert(cr.request.id, cr.session);
+        }
         let idx = self.router.route(cr, &snapshots);
         assert!(
             idx < snapshots.len() && (snapshots[idx].active || snapshots.iter().all(|s| !s.active)),
@@ -778,8 +1155,16 @@ impl Cluster {
     }
 
     /// One scale decision, taken at an arrival instant: scale up when
-    /// every active replica is backed up, scale down an idle replica
-    /// when the fleet is nearly empty.
+    /// every active replica of some role is backed up, scale down an
+    /// idle replica when the fleet is nearly empty.
+    ///
+    /// The wake pick is cost-aware — among parked candidates of a
+    /// backed-up role, the cheapest device wins, ties to the lowest
+    /// index — and charges the cold start (spin-up latency plus the
+    /// warmup KV transfer over the interconnect) by jumping the woken
+    /// replica's clock. On an all-`Unified` homogeneous fleet with the
+    /// default zero cold-start this is exactly the original
+    /// wake-first-parked-by-index autoscaler.
     fn autoscale(&mut self, now: f64) {
         let Some(auto) = self.cfg.autoscale else {
             return;
@@ -792,31 +1177,64 @@ impl Cluster {
         // Crashed replicas neither veto a scale-up (their outstanding
         // count is frozen, not low) nor qualify as wake/park candidates
         // — the restart path owns their state.
-        let all_backed_up = active
-            .iter()
-            .filter(|&&i| !self.replicas[i].is_down())
-            .all(|&i| self.replicas[i].outstanding() >= auto.scale_up_outstanding);
-        if all_backed_up {
-            if let Some(parked) = (0..self.replicas.len())
-                .find(|&i| !self.replicas[i].is_active() && !self.replicas[i].is_down())
-            {
-                self.replicas[parked].set_active(true);
-                self.peak_active = self.peak_active.max(active.len() + 1);
-                self.emit_cluster_event(now, parked, EventKind::ReplicaScaledUp);
-                return;
+        let backed_up = |role: ReplicaRole| {
+            active
+                .iter()
+                .filter(|&&i| !self.replicas[i].is_down() && self.replicas[i].role() == role)
+                .all(|&i| self.replicas[i].outstanding() >= auto.scale_up_outstanding)
+        };
+        let wake = (0..self.replicas.len())
+            .filter(|&i| !self.replicas[i].is_active() && !self.replicas[i].is_down())
+            .filter(|&i| backed_up(self.replicas[i].role()))
+            .min_by(|&a, &b| {
+                self.replicas[a]
+                    .hourly_cost()
+                    .partial_cmp(&self.replicas[b].hourly_cost())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+        if let Some(parked) = wake {
+            self.replicas[parked].set_active(true);
+            let warmup_bytes =
+                auto.warmup_kv_tokens as f64 * self.replicas[parked].kv_bytes_per_token() as f64;
+            let cold_start = auto.spin_up_s
+                + if auto.warmup_kv_tokens > 0 {
+                    self.link.time(warmup_bytes)
+                } else {
+                    0.0
+                };
+            if cold_start > 0.0 {
+                self.replicas[parked].warm_until(now + cold_start);
             }
+            self.peak_active = self.peak_active.max(active.len() + 1);
+            if self.active_since[parked].is_none() {
+                self.active_since[parked] = Some(now);
+            }
+            self.emit_cluster_event(now, parked, EventKind::ReplicaScaledUp);
+            return;
         }
         if active.len() > min_replicas && total_outstanding <= auto.scale_down_outstanding {
             // Park the highest-index active replica that is fully
             // drained: a replica still holding queued or running work is
             // never parked mid-flight — it stays a candidate for when it
-            // runs dry.
-            if let Some(&idle) = active
-                .iter()
-                .rev()
-                .find(|&&i| self.replicas[i].outstanding() == 0 && !self.replicas[i].is_down())
-            {
+            // runs dry. On split fleets the last active replica of a
+            // role is never parked, so both routing stages always keep a
+            // candidate.
+            let last_of_role = |i: usize| {
+                self.two_stage
+                    && !active
+                        .iter()
+                        .any(|&j| j != i && self.replicas[j].role() == self.replicas[i].role())
+            };
+            if let Some(&idle) = active.iter().rev().find(|&&i| {
+                self.replicas[i].outstanding() == 0
+                    && !self.replicas[i].is_down()
+                    && !last_of_role(i)
+            }) {
                 self.replicas[idle].set_active(false);
+                if let Some(start) = self.active_since[idle].take() {
+                    self.billed_s[idle] += now - start;
+                }
                 self.emit_cluster_event(now, idle, EventKind::ReplicaScaledDown);
             }
         }
@@ -844,13 +1262,23 @@ impl Cluster {
         slo: &SloSpec,
         ledger: &FaultLedger,
     ) -> ClusterReport {
-        // Retried and migrated requests were restamped to their
-        // re-injection instant (the engines' arrival-order invariant);
-        // latency metrics must span from first submission, so patch the
-        // original arrival back in. No-fault ledgers have an empty
-        // origin map and every completion passes through unchanged.
+        // Retried, migrated and handed-off requests were restamped to
+        // their re-injection/delivery instant (the engines'
+        // arrival-order invariant); latency metrics must span from first
+        // submission, so patch the original arrival back in — the
+        // earliest origin either map recorded. No-fault unified runs
+        // have both maps empty and every completion passes through
+        // unchanged.
         let patch = |mut c: CompletedRequest| {
-            if let Some(&origin) = ledger.origins.get(&c.request.id) {
+            let origin = match (
+                ledger.origins.get(&c.request.id),
+                self.origins.get(&c.request.id),
+            ) {
+                (Some(&a), Some(&b)) => Some(a.min(b)),
+                (Some(&a), None) | (None, Some(&a)) => Some(a),
+                (None, None) => None,
+            };
+            if let Some(origin) = origin {
                 c.request.arrival = origin;
             }
             c
@@ -895,6 +1323,39 @@ impl Cluster {
         }
         let rejected_by_tenant: Vec<(u32, usize)> = rejected_by_tenant.into_iter().collect();
         let total_tokens: usize = all.iter().map(|c| c.request.output_len).sum();
+        let slo_report = slo::evaluate_faulted(
+            &all,
+            rejected,
+            &rejected_by_tenant,
+            &ledger.outcomes(),
+            makespan,
+            slo,
+        );
+        // Billing: closed windows plus any window still open at the end
+        // of the run, priced per replica at its device's hourly rate. A
+        // provisioned-but-parked replica bills nothing.
+        let mut billed_hours = 0.0;
+        let mut cost_usd = 0.0;
+        for (i, rep) in self.replicas.iter().enumerate() {
+            let open = self.active_since[i].map_or(0.0, |s| (makespan - s).max(0.0));
+            let hours = (self.billed_s[i] + open) / 3600.0;
+            billed_hours += hours;
+            cost_usd += hours * rep.hourly_cost();
+        }
+        let per_usd = |tokens_per_s: f64| {
+            if cost_usd > 0.0 {
+                tokens_per_s * makespan / cost_usd
+            } else {
+                0.0
+            }
+        };
+        let cost = CostReport {
+            fleet_hourly_usd: self.replicas.iter().map(Replica::hourly_cost).sum(),
+            billed_hours,
+            cost_usd,
+            goodput_tokens_per_usd: per_usd(slo_report.goodput_tokens_per_s),
+            throughput_tokens_per_usd: per_usd(slo_report.throughput_tokens_per_s),
+        };
         ClusterReport {
             completed: all.len(),
             rejected,
@@ -904,17 +1365,12 @@ impl Cluster {
             } else {
                 0.0
             },
-            slo: slo::evaluate_faulted(
-                &all,
-                rejected,
-                &rejected_by_tenant,
-                &ledger.outcomes(),
-                makespan,
-                slo,
-            ),
+            slo: slo_report,
             queue_depth,
             peak_active: self.peak_active,
             faults: ledger.summary,
+            handoffs: self.handoffs,
+            cost,
             replicas,
         }
     }
@@ -1020,6 +1476,7 @@ mod tests {
             min_replicas: 1,
             scale_up_outstanding: 2,
             scale_down_outstanding: 1,
+            ..AutoscaleConfig::default()
         };
         let mut c = cluster(4, RouterKind::LeastOutstanding, Some(auto));
         let report = c.run(&trace(8.0, 40, 7), &SloSpec::default());
@@ -1065,6 +1522,7 @@ mod tests {
             min_replicas: 0,
             scale_up_outstanding: 1000,
             scale_down_outstanding: 0,
+            ..AutoscaleConfig::default()
         };
         let mut c = cluster(3, RouterKind::RoundRobin, Some(auto));
         let report = c.run(&trace(2.0, 12, 13), &SloSpec::default());
@@ -1082,6 +1540,7 @@ mod tests {
             min_replicas: 1,
             scale_up_outstanding: 1000,
             scale_down_outstanding: 1000, // park-eligible at every arrival
+            ..AutoscaleConfig::default()
         };
         let mut c = cluster(2, RouterKind::LeastOutstanding, Some(auto));
         let mk = |id: usize, arrival: f64| ClusterRequest {
@@ -1221,6 +1680,141 @@ mod tests {
         for t in [2usize, 7] {
             assert_eq!(run(t), reference, "threads={t}");
         }
+    }
+
+    fn split_cluster(prefill: usize, decode: usize, link: LinkSpec) -> Cluster {
+        let slots = Fleet::new()
+            .with_role(DeviceSpec::a100_80g(), ReplicaRole::Prefill, prefill)
+            .with_role(DeviceSpec::a100_80g(), ReplicaRole::Decode, decode)
+            .build_slots();
+        Cluster::from_fleet_slots(
+            &model(),
+            &slots,
+            2048,
+            SystemKind::SpeContext,
+            ClusterConfig::new().disagg(DisaggConfig::new().link(link)),
+            RouterKind::LeastOutstanding.build(),
+        )
+    }
+
+    #[test]
+    fn unified_slots_match_from_fleet_exactly() {
+        let reqs = trace(2.0, 24, 11);
+        let slots = Fleet::new().with(DeviceSpec::a100_80g(), 3).build_slots();
+        let a = Cluster::from_fleet_slots(
+            &model(),
+            &slots,
+            2048,
+            SystemKind::SpeContext,
+            ClusterConfig::new(),
+            RouterKind::LeastOutstanding.build(),
+        )
+        .run(&reqs, &SloSpec::default());
+        let b = cluster(3, RouterKind::LeastOutstanding, None).run(&reqs, &SloSpec::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_fleet_completes_everything_and_counts_the_hops() {
+        let reqs = trace(2.0, 16, 11);
+        let mut c = split_cluster(1, 1, LinkSpec::infiniband());
+        let report = c.run(&reqs, &SloSpec::default());
+        assert_eq!(report.completed, 16);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.handoffs.count, 16, "one hop per request");
+        assert!(report.handoffs.bytes > 0.0);
+        assert!(report.handoffs.transfer_s > 0.0);
+        assert!(
+            report.replicas[0].report.completed.is_empty(),
+            "prefill replicas retire at first token"
+        );
+        assert_eq!(report.replicas[1].report.completed.len(), 16);
+        // Delivered requests were restamped on the decode engine; the
+        // report must span latency from first submission.
+        for (c, orig) in report.replicas[1].report.completed.iter().zip(&reqs) {
+            assert_eq!(c.request.arrival, orig.request.arrival, "origin patched");
+            assert!(c.first_token < c.finish);
+        }
+    }
+
+    #[test]
+    fn pricier_links_stretch_decode_latency_not_bytes() {
+        let reqs = trace(1.0, 8, 5);
+        let fast = split_cluster(1, 1, LinkSpec::nvlink()).run(&reqs, &SloSpec::default());
+        let slow = split_cluster(1, 1, LinkSpec::ethernet_100g()).run(&reqs, &SloSpec::default());
+        assert_eq!(fast.completed, 8);
+        assert_eq!(slow.completed, 8);
+        assert_eq!(
+            slow.handoffs.bytes, fast.handoffs.bytes,
+            "the link prices the hop, it does not resize it"
+        );
+        assert!(slow.handoffs.transfer_s > fast.handoffs.transfer_s);
+        assert!(
+            slow.slo.latency.p50 > fast.slo.latency.p50,
+            "slow {} vs fast {}",
+            slow.slo.latency.p50,
+            fast.slo.latency.p50
+        );
+    }
+
+    #[test]
+    fn billing_charges_active_windows_at_device_rates() {
+        let reqs = trace(2.0, 8, 3);
+        let mut c = cluster(2, RouterKind::LeastOutstanding, None);
+        let r = c.run(&reqs, &SloSpec::default());
+        let a100 = DeviceSpec::a100_80g().hourly_cost;
+        assert!((r.cost.fleet_hourly_usd - 2.0 * a100).abs() < 1e-12);
+        // Fixed fleet: both replicas bill the whole run.
+        assert!((r.cost.billed_hours - 2.0 * r.makespan / 3600.0).abs() < 1e-9);
+        assert!((r.cost.cost_usd - r.cost.billed_hours * a100).abs() < 1e-9);
+        assert!(r.cost.goodput_tokens_per_usd > 0.0);
+        assert!(r.cost.throughput_tokens_per_usd >= r.cost.goodput_tokens_per_usd);
+        // An autoscaled fleet that never wakes its second replica bills
+        // roughly half the replica-hours.
+        let auto = AutoscaleConfig {
+            min_replicas: 1,
+            scale_up_outstanding: 1_000_000,
+            scale_down_outstanding: 0,
+            ..AutoscaleConfig::default()
+        };
+        let r2 =
+            cluster(2, RouterKind::LeastOutstanding, Some(auto)).run(&reqs, &SloSpec::default());
+        assert_eq!(r2.completed, 8);
+        assert!(
+            r2.cost.billed_hours < r.cost.billed_hours,
+            "parked time must be free: {} vs {}",
+            r2.cost.billed_hours,
+            r.cost.billed_hours
+        );
+    }
+
+    #[test]
+    fn cold_start_pricing_delays_woken_replicas() {
+        let reqs = trace(8.0, 24, 7);
+        let base = AutoscaleConfig {
+            min_replicas: 1,
+            scale_up_outstanding: 2,
+            scale_down_outstanding: 0,
+            ..AutoscaleConfig::default()
+        };
+        let free =
+            cluster(3, RouterKind::LeastOutstanding, Some(base)).run(&reqs, &SloSpec::default());
+        let cold_cfg = AutoscaleConfig {
+            spin_up_s: 20.0,
+            warmup_kv_tokens: 2048,
+            ..base
+        };
+        let cold = cluster(3, RouterKind::LeastOutstanding, Some(cold_cfg))
+            .run(&reqs, &SloSpec::default());
+        assert_eq!(free.completed, 24);
+        assert_eq!(cold.completed, 24);
+        assert!(free.peak_active > 1, "burst must trigger a wake");
+        assert!(
+            cold.slo.latency.p95 > free.slo.latency.p95,
+            "cold starts must show up in the tail: {} vs {}",
+            cold.slo.latency.p95,
+            free.slo.latency.p95
+        );
     }
 
     #[test]

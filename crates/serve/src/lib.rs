@@ -27,7 +27,12 @@
 //! * [`cluster`] — the event loop: pull arrivals from the source, advance
 //!   replicas, route, optionally autoscale on queue depth, feed
 //!   completions back to closed-loop sources, drain, report;
-//!   heterogeneous fleets come from `spec_hwsim::Fleet`;
+//!   heterogeneous fleets come from `spec_hwsim::Fleet`. Role-typed
+//!   fleets ([`Cluster::from_fleet_slots`](cluster::Cluster::from_fleet_slots))
+//!   disaggregate serving: prefill replicas retire requests at first
+//!   token and hand their sparse-budget KV to decode replicas over a
+//!   priced interconnect, with two-stage routing, cost-aware role-aware
+//!   autoscaling, and goodput-per-dollar accounting;
 //! * [`slo`] — per-request TTFT/TBT/latency percentiles, SLO attainment
 //!   and goodput, fleet-wide and broken down per tenant;
 //! * [`faults`] — deterministic seeded fault injection (crashes,
@@ -84,13 +89,16 @@ pub use arrivals::{
     ArrivalProcess, ArrivalSource, ClosedLoopConfig, ClosedLoopSource, ClusterRequest,
     GeneratedArrivals, SliceSource, TenantClass, TraceConfig,
 };
-pub use characterize::{characterize, Characterization};
-pub use cluster::{AutoscaleConfig, Cluster, ClusterConfig, ClusterReport, ReplicaReport};
+pub use characterize::{characterize, Characterization, ComputeSplit};
+pub use cluster::{
+    AutoscaleConfig, Cluster, ClusterConfig, ClusterReport, DisaggConfig, HandoffSummary,
+    ReplicaReport,
+};
 pub use faults::{
     CrashEvent, CrashModel, FaultInjector, FaultPlan, FaultSummary, RetryPolicy, ShedPolicy,
     StragglerModel, StragglerWindow,
 };
 pub use replica::Replica;
 pub use router::{ReplicaHealth, ReplicaSnapshot, RoutePolicy, RouterKind, WeightedTenant};
-pub use slo::{FaultOutcomes, SloReport, SloSpec, TenantSlo};
+pub use slo::{CostReport, FaultOutcomes, SloReport, SloSpec, TenantSlo};
 pub use trace::{RecordingSource, ReplayArrivals, TraceCursor, TraceError, TraceWriter};

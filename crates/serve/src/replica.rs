@@ -12,8 +12,8 @@
 use crate::router::{ReplicaHealth, ReplicaSnapshot};
 use spec_kvcache::{AllocId, AllocPolicy, BlockAllocator};
 use spec_runtime::{
-    BatchState, CompletedRequest, CrashedWork, Request, RestorableRequest, Scheduler,
-    SchedulerConfig, ServingSim, StepCache, SystemKind,
+    BatchState, CompletedRequest, CrashedWork, HandoffRecord, ReplicaRole, Request,
+    RestorableRequest, Scheduler, SchedulerConfig, ServingSim, StepCache, SystemKind,
 };
 use spec_telemetry::{seconds_to_ticks, Event, EventKind, RecordingSink, TelemetrySink};
 use std::collections::{HashMap, HashSet};
@@ -33,6 +33,9 @@ pub struct Replica {
     kv_overflow: HashMap<usize, usize>,
     kv_token_cap: usize,
     device: String,
+    /// Rental price of the underlying device, USD per hour (cost-aware
+    /// autoscaling and the fleet cost report).
+    hourly_cost: f64,
     active: bool,
     /// Crashed and not yet restarted: the engine is frozen (no steps,
     /// no drains) and the fault loop owns its state.
@@ -68,6 +71,7 @@ impl Replica {
             _ => usize::MAX,
         };
         let device = sim.device().name.clone();
+        let hourly_cost = sim.device().hourly_cost;
         Self {
             scheduler: Scheduler::new(sim, system, cfg),
             state: BatchState::new(),
@@ -81,6 +85,7 @@ impl Replica {
             kv_overflow: HashMap::new(),
             kv_token_cap,
             device,
+            hourly_cost,
             active: true,
             down: false,
             probation_until: None,
@@ -116,6 +121,57 @@ impl Replica {
     /// The device this replica runs on.
     pub fn device(&self) -> &str {
         &self.device
+    }
+
+    /// Rental price of the underlying device, USD per hour.
+    pub fn hourly_cost(&self) -> f64 {
+        self.hourly_cost
+    }
+
+    /// One token's KV bytes on this replica (warmup-transfer sizing).
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        self.kv.bytes_per_token()
+    }
+
+    /// The phase this replica's engine runs ([`ReplicaRole::Unified`]
+    /// unless the fleet slot said otherwise).
+    pub fn role(&self) -> ReplicaRole {
+        self.state.role()
+    }
+
+    /// Pins the replica to one serving phase. Set at fleet construction,
+    /// before any request is routed.
+    pub fn set_role(&mut self, role: ReplicaRole) {
+        self.state.set_role(role);
+    }
+
+    /// Whether this (prefill) replica has emitted handoffs the cluster
+    /// has not collected yet.
+    pub fn has_handoffs(&self) -> bool {
+        self.state.has_handoffs()
+    }
+
+    /// Drains the handoff records emitted since the last collection, in
+    /// emission order.
+    pub fn take_handoffs(&mut self) -> Vec<HandoffRecord> {
+        self.state.take_handoffs()
+    }
+
+    /// Admits a delivered prefill handoff at time `at`: the request's KV
+    /// is already device-resident (the cluster priced the interconnect
+    /// hop by delaying delivery), so admission charges nothing and the
+    /// first-token history carries over.
+    pub fn push_preloaded(&mut self, restorable: RestorableRequest, at: f64) {
+        self.assigned += 1;
+        self.state
+            .push_preloaded(restorable, at, &mut self.telemetry);
+    }
+
+    /// Jumps the engine clock forward to `t` without touching queued
+    /// work — the autoscaler charges spin-up latency and cold-start KV
+    /// warmup to a freshly woken replica this way.
+    pub fn warm_until(&mut self, t: f64) {
+        self.state.skip_to(t);
     }
 
     /// Whether the replica accepts new requests.
@@ -486,6 +542,30 @@ mod tests {
         );
         slow.set_slowdown(1.0);
         assert_eq!(slow.health(), ReplicaHealth::Healthy);
+    }
+
+    #[test]
+    fn prefill_replica_hands_off_and_decode_resumes_free() {
+        let mut p = replica(SystemKind::SpeContext);
+        p.set_role(ReplicaRole::Prefill);
+        assert_eq!(p.role(), ReplicaRole::Prefill);
+        p.push(req(0, 0.0));
+        p.drain();
+        assert!(p.completed().is_empty(), "prefill retires at first token");
+        assert!(p.has_handoffs());
+        let hs = p.take_handoffs();
+        assert_eq!(hs.len(), 1);
+        assert!(!p.has_handoffs(), "collection drains the buffer");
+        let mut d = replica(SystemKind::SpeContext);
+        d.set_role(ReplicaRole::Decode);
+        d.push_preloaded(hs[0].restorable, hs[0].emitted);
+        d.drain();
+        assert_eq!(d.completed().len(), 1);
+        assert_eq!(
+            d.completed()[0].first_token,
+            hs[0].emitted,
+            "first-token history survives the hop"
+        );
     }
 
     #[test]

@@ -123,6 +123,27 @@ pub struct SloReport {
     pub per_tenant: Vec<TenantSlo>,
 }
 
+/// Dollar accounting for a cluster run. Goodput-per-dollar is the
+/// cost-aware headline: SLO-attaining output tokens divided by the
+/// dollars actually billed, so an over-provisioned fleet that idles
+/// expensive replicas scores worse than a right-sized one at the same
+/// goodput. All zeros when nothing was billed (zero-length run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Σ hourly rental price over every provisioned replica, USD/h —
+    /// what the fleet would cost fully active.
+    pub fleet_hourly_usd: f64,
+    /// Replica-hours actually billed (active windows only; parked time
+    /// is free).
+    pub billed_hours: f64,
+    /// Dollars billed over the run, per replica at its device's rate.
+    pub cost_usd: f64,
+    /// SLO-attaining output tokens per dollar billed.
+    pub goodput_tokens_per_usd: f64,
+    /// All completed output tokens per dollar billed.
+    pub throughput_tokens_per_usd: f64,
+}
+
 /// Per-tenant fault dispositions feeding [`evaluate_faulted`]: each list
 /// is `(tenant, count)` pairs in any order. `dead_lettered` and `shed`
 /// are terminal — they join rejections in the submitted denominator —

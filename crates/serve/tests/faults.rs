@@ -94,6 +94,7 @@ fn empty_plan_is_bit_identical_to_run() {
         min_replicas: 1,
         scale_up_outstanding: 2,
         scale_down_outstanding: 1,
+        ..AutoscaleConfig::default()
     };
     let a = cluster(4, RouterKind::LeastOutstanding, Some(auto)).run(&reqs, &slo);
     let b = cluster(4, RouterKind::LeastOutstanding, Some(auto)).run_fault_plan(
@@ -295,6 +296,7 @@ fn no_arrival_is_ever_routed_to_a_parked_replica() {
         min_replicas: 1,
         scale_up_outstanding: 2,
         scale_down_outstanding: 3,
+        ..AutoscaleConfig::default()
     };
     // Two bursts separated by a long lull: scale decisions fire at
     // arrival instants, so the fleet must be drained at one for a park

@@ -77,6 +77,21 @@ pub enum EventKind {
     CheckpointLost { request: u64, bytes: u64 },
     /// The request exhausted its retry budget and was dropped.
     DeadLettered { request: u64, tenant: u32 },
+    /// A `Prefill`-role replica retired the request at its first token
+    /// and emitted its resident KV (`bytes`, sparse-budget-capped) for
+    /// the hop to a decode replica.
+    HandoffEmitted {
+        request: u64,
+        tenant: u32,
+        bytes: u64,
+    },
+    /// The interconnect finished moving the handoff's KV and the
+    /// request joined a `Decode`-role replica's queue, preloaded.
+    HandoffDelivered {
+        request: u64,
+        tenant: u32,
+        bytes: u64,
+    },
     /// The replica entered a straggler window: step costs are scaled by
     /// `permille`/1000 until [`EventKind::StragglerEnded`].
     StragglerStarted { permille: u32 },
@@ -108,7 +123,9 @@ impl EventKind {
             | EventKind::RetryScheduled { request, .. }
             | EventKind::RequestShed { request, .. }
             | EventKind::CheckpointLost { request, .. }
-            | EventKind::DeadLettered { request, .. } => Some(request),
+            | EventKind::DeadLettered { request, .. }
+            | EventKind::HandoffEmitted { request, .. }
+            | EventKind::HandoffDelivered { request, .. } => Some(request),
             _ => None,
         }
     }
@@ -127,6 +144,8 @@ impl EventKind {
             | EventKind::RetryScheduled { tenant, .. }
             | EventKind::RequestShed { tenant, .. }
             | EventKind::DeadLettered { tenant, .. }
+            | EventKind::HandoffEmitted { tenant, .. }
+            | EventKind::HandoffDelivered { tenant, .. }
             | EventKind::QueueDepth { tenant, .. }
             | EventKind::DrrDeficit { tenant, .. } => Some(tenant),
             _ => None,
@@ -153,6 +172,8 @@ impl EventKind {
             EventKind::RequestShed { .. } => "request_shed",
             EventKind::CheckpointLost { .. } => "checkpoint_lost",
             EventKind::DeadLettered { .. } => "dead_lettered",
+            EventKind::HandoffEmitted { .. } => "handoff_emitted",
+            EventKind::HandoffDelivered { .. } => "handoff_delivered",
             EventKind::StragglerStarted { .. } => "straggler_started",
             EventKind::StragglerEnded => "straggler_ended",
             EventKind::QueueDepth { .. } => "queue_depth",

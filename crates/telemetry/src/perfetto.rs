@@ -182,8 +182,9 @@ pub fn export_trace(events: &[Event]) -> String {
         ]));
     }
 
-    // Instants, counters and preempt→restore flows.
+    // Instants, counters, preempt→restore and prefill→decode flows.
     let mut pending_flow: BTreeMap<u64, (u32, u32, Tick)> = BTreeMap::new();
+    let mut pending_handoff: BTreeMap<u64, (u32, u32, Tick)> = BTreeMap::new();
     let mut flow_seq: BTreeMap<u64, u64> = BTreeMap::new();
     for event in events {
         let pid = event.replica as u64;
@@ -252,6 +253,60 @@ pub fn export_trace(events: &[Event]) -> String {
                     "t",
                     vec![("request", u(request)), ("bytes", u(bytes))],
                 ));
+            }
+            EventKind::HandoffEmitted {
+                request,
+                tenant,
+                bytes,
+            } => {
+                out.push(instant(
+                    event,
+                    tenant_tid(tenant),
+                    "t",
+                    vec![("request", u(request)), ("bytes", u(bytes))],
+                ));
+                pending_handoff.insert(request, (event.replica, tenant, event.tick));
+            }
+            EventKind::HandoffDelivered {
+                request,
+                tenant,
+                bytes,
+            } => {
+                out.push(instant(
+                    event,
+                    tenant_tid(tenant),
+                    "t",
+                    vec![("request", u(request)), ("bytes", u(bytes))],
+                ));
+                if let Some((from_replica, from_tenant, from_tick)) =
+                    pending_handoff.remove(&request)
+                {
+                    let seq = flow_seq.entry(request).or_insert(0);
+                    let id = request * 16 + *seq;
+                    *seq += 1;
+                    let flow = |ph: &str, pid: u64, tid: u64, ts: Tick| {
+                        let mut fields = vec![
+                            ("ph", s(ph)),
+                            ("id", u(id)),
+                            ("name", s("handoff")),
+                            ("cat", s("handoff")),
+                            ("pid", u(pid)),
+                            ("tid", u(tid)),
+                            ("ts", u(ts)),
+                        ];
+                        if ph == "f" {
+                            fields.push(("bp", s("e")));
+                        }
+                        obj(fields)
+                    };
+                    out.push(flow(
+                        "s",
+                        from_replica as u64,
+                        tenant_tid(from_tenant),
+                        from_tick,
+                    ));
+                    out.push(flow("f", pid, tenant_tid(tenant), event.tick));
+                }
             }
             EventKind::Preempted { request, tenant } => {
                 pending_flow.insert(request, (event.replica, tenant, event.tick));
@@ -433,6 +488,48 @@ mod tests {
         assert!(events.iter().any(|e| phase(e) == "s"));
         assert!(events.iter().any(|e| phase(e) == "f"));
         assert!(events.iter().any(|e| phase(e) == "M"));
+    }
+
+    #[test]
+    fn handoffs_export_cross_replica_flows() {
+        let events = vec![
+            ev(
+                10,
+                0,
+                K::HandoffEmitted {
+                    request: 9,
+                    tenant: 1,
+                    bytes: 1 << 20,
+                },
+            ),
+            ev(
+                25,
+                2,
+                K::HandoffDelivered {
+                    request: 9,
+                    tenant: 1,
+                    bytes: 1 << 20,
+                },
+            ),
+        ];
+        let json = export_trace(&events);
+        assert!(json.contains("\"handoff_emitted\""));
+        assert!(json.contains("\"handoff_delivered\""));
+        assert!(json.contains("\"cat\":\"handoff\""));
+        let doc: Value = serde_json::from_str(&json).expect("valid JSON");
+        let items = match doc.get_field("traceEvents").unwrap() {
+            Value::Seq(items) => items.clone(),
+            other => panic!("traceEvents not a list: {other:?}"),
+        };
+        let phases: Vec<String> = items
+            .iter()
+            .filter_map(|e| match e.get_field("ph") {
+                Ok(Value::Str(p)) => Some(p.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(phases.iter().filter(|p| *p == "s").count(), 1);
+        assert_eq!(phases.iter().filter(|p| *p == "f").count(), 1);
     }
 
     #[test]

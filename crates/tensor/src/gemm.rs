@@ -126,18 +126,6 @@ fn vecmat_fast(a: &Matrix, b: &Matrix) -> Matrix {
     out
 }
 
-/// Whether the running CPU has AVX2.
-///
-/// Feature detection moved to the workspace-wide dispatch registry; this
-/// shim remains only so out-of-tree callers keep compiling one release.
-#[deprecated(
-    since = "0.2.0",
-    note = "consult spec_tensor::dispatch (active_tier / has_avx2) instead"
-)]
-pub fn has_avx2() -> bool {
-    crate::dispatch::has_avx2()
-}
-
 /// Tiles one contiguous band of output rows (starting at `first_row`)
 /// against the packed `kc`-deep panel, MR x NR register tiles.
 fn tile_band(

@@ -105,6 +105,7 @@ fn main() {
                 min_replicas: 1,
                 scale_up_outstanding: 3,
                 scale_down_outstanding: 1,
+                ..AutoscaleConfig::default()
             }),
         ),
     ] {

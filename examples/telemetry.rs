@@ -55,6 +55,7 @@ fn traced_fleet() -> Cluster {
             min_replicas: 1,
             scale_up_outstanding: 4,
             scale_down_outstanding: 1,
+            ..AutoscaleConfig::default()
         });
     Cluster::from_fleet(
         &ModelConfig::deepseek_distill_llama_8b(),
